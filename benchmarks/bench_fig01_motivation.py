@@ -1,0 +1,76 @@
+"""Figure 1 — the motivating experiment.
+
+SVM on the clustered higgs dataset: (a) existing strategies (No Shuffle,
+Sliding-Window, MRS) converge to lower accuracy than Shuffle Once; (b) a
+full pre-shuffle fixes convergence but its up-front cost rivals the training
+itself on HDD.
+"""
+
+from __future__ import annotations
+
+from conftest import ENGINE_BLOCK_BYTES, TUPLES_PER_BLOCK, emit, report_table
+
+from repro.bench import format_curve, run_convergence_sweep
+from repro.db import run_in_db_system
+from repro.ml import LinearSVM
+from repro.storage import HDD_SCALED as HDD
+
+STRATEGIES = ("no_shuffle", "sliding_window", "mrs", "shuffle_once", "corgipile")
+
+
+def test_fig01_convergence_and_shuffle_cost(benchmark, glm_problems):
+    train, test = glm_problems["higgs"]
+
+    def run():
+        sweep = run_convergence_sweep(
+            train,
+            test,
+            lambda: LinearSVM(train.n_features),
+            STRATEGIES,
+            epochs=12,
+            learning_rate=0.05,
+            tuples_per_block=TUPLES_PER_BLOCK,
+            buffer_fraction=0.1,
+            seed=0,
+        )
+        corgi = run_in_db_system(
+            "corgipile", "corgipile", train, test, "svm", HDD,
+            epochs=3, block_size=ENGINE_BLOCK_BYTES,
+        )
+        once = run_in_db_system(
+            "bismarck", "shuffle_once", train, test, "svm", HDD,
+            epochs=3, block_size=ENGINE_BLOCK_BYTES,
+        )
+        return sweep, corgi, once
+
+    sweep, corgi, once = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    emit("\nFigure 1(a): SVM on clustered higgs, accuracy per epoch")
+    for name, history in sweep.histories.items():
+        emit(format_curve(name, history.test_scores))
+    report_table(sweep.rows(), title="final accuracies", json_name="fig01.json")
+    report_table(
+        [
+            {
+                "system": once.timeline.system,
+                "shuffle_setup_s": round(once.timeline.setup_s, 4),
+                "total_s": round(once.timeline.total_time_s, 4),
+            },
+            {
+                "system": corgi.timeline.system,
+                "shuffle_setup_s": 0.0,
+                "total_s": round(corgi.timeline.total_time_s, 4),
+            },
+        ],
+        title="Figure 1(b): shuffle-once overhead vs CorgiPile (HDD)",
+    )
+
+    scores = sweep.final_scores()
+    # Shape: partial strategies fall short of Shuffle Once on clustered data.
+    assert scores["no_shuffle"] < scores["shuffle_once"] - 0.05
+    assert scores["sliding_window"] < scores["shuffle_once"] - 0.03
+    # CorgiPile matches Shuffle Once.
+    assert abs(scores["corgipile"] - scores["shuffle_once"]) < 0.05
+    # The pre-shuffle alone costs more than one epoch of CorgiPile training.
+    per_epoch_corgi = corgi.timeline.total_time_s / 3
+    assert once.timeline.setup_s > per_epoch_corgi

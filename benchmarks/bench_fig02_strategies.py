@@ -1,0 +1,85 @@
+"""Figure 2 — convergence of all five baseline strategies on clustered vs
+shuffled data, for a GLM (criteo-like) and a deep model (cifar-like).
+
+Shape: on shuffled data every strategy converges alike; on clustered data
+Shuffle Once ≈ Epoch Shuffle at the top, No Shuffle at the bottom, the
+partial shuffles in between.
+"""
+
+from __future__ import annotations
+
+from conftest import TUPLES_PER_BLOCK, emit, report_table
+
+from repro.bench import format_curve, run_convergence_sweep
+from repro.data import DATASETS, clustered_by_label
+from repro.ml import LogisticRegression, MLPClassifier
+
+STRATEGIES = ("epoch_shuffle", "shuffle_once", "no_shuffle", "sliding_window", "mrs")
+
+
+def test_fig02_glm_clustered_vs_shuffled(benchmark, glm_problems):
+    clustered, test = glm_problems["criteo"]
+    shuffled = clustered.shuffled(seed=7)
+
+    def run():
+        sweeps = {}
+        for label, train in (("clustered", clustered), ("shuffled", shuffled)):
+            sweeps[label] = run_convergence_sweep(
+                train,
+                test,
+                lambda: LogisticRegression(train.n_features),
+                STRATEGIES,
+                epochs=10,
+                learning_rate=0.05,
+                tuples_per_block=TUPLES_PER_BLOCK,
+                seed=1,
+                dataset_name=f"criteo-{label}",
+            )
+        return sweeps
+
+    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [r for sweep in sweeps.values() for r in sweep.rows()]
+    report_table(rows, title="Figure 2 (GLM): LR on criteo-like", json_name="fig02_glm.json")
+    for label, sweep in sweeps.items():
+        emit(f"  [{label}]")
+        for name, history in sweep.histories.items():
+            emit(format_curve(name, history.test_scores))
+
+    clustered_scores = sweeps["clustered"].final_scores()
+    shuffled_scores = sweeps["shuffled"].final_scores()
+    # Shuffled data: all strategies comparable.
+    spread = max(shuffled_scores.values()) - min(shuffled_scores.values())
+    assert spread < 0.06, f"on shuffled data all strategies should agree, spread={spread}"
+    # Clustered data: the paper's ordering.
+    assert clustered_scores["no_shuffle"] < clustered_scores["shuffle_once"] - 0.05
+    assert clustered_scores["sliding_window"] < clustered_scores["shuffle_once"] - 0.02
+    assert abs(clustered_scores["epoch_shuffle"] - clustered_scores["shuffle_once"]) < 0.04
+
+
+def test_fig02_deep_model_clustered(benchmark):
+    spec = DATASETS["cifar10-like"]
+    train, test = spec.build_split(seed=0)
+    clustered = clustered_by_label(train, seed=0)
+
+    def run():
+        return run_convergence_sweep(
+            clustered,
+            test,
+            lambda: MLPClassifier(train.n_features, 32, train.n_classes, seed=0),
+            ("shuffle_once", "no_shuffle", "sliding_window", "mrs"),
+            epochs=12,
+            learning_rate=0.1,
+            tuples_per_block=TUPLES_PER_BLOCK // 2,
+            batch_size=16,
+            seed=1,
+            dataset_name="cifar10-like-clustered",
+        )
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_table(sweep.rows(), title="Figure 2 (DL): MLP on cifar-like", json_name="fig02_dl.json")
+
+    scores = sweep.final_scores()
+    assert scores["no_shuffle"] < scores["shuffle_once"] - 0.15
+    assert scores["sliding_window"] < scores["shuffle_once"] - 0.05
+    assert scores["mrs"] < scores["shuffle_once"] - 0.05

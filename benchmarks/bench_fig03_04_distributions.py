@@ -1,0 +1,67 @@
+"""Figures 3 and 4 — tuple-id and label distributions after shuffling.
+
+On a 1000-tuple clustered table (first 500 negative, last 500 positive) the
+paper plots, for each strategy, where tuples land after shuffling and how
+many negatives/positives fall in every window of 20 visits.  We reproduce
+the quantitative signatures: the position-vs-id rank correlation (Sliding
+Window ≈ 1 "linear shape", full shuffle ≈ 0) and the per-window label
+mixing deviation (0 = ideal mix).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import report_table
+
+from repro.core import CorgiPileShuffle
+from repro.data import BlockLayout
+from repro.shuffle import make_strategy
+from repro.theory import distribution_report, label_window_counts
+
+N_TUPLES = 1000
+LABELS = np.array([-1.0] * 500 + [1.0] * 500)
+LAYOUT = BlockLayout(N_TUPLES, 20)  # 50 blocks, buffer of 10 => Example 2
+
+
+def _orders():
+    orders = {"no_shuffle": np.arange(N_TUPLES)}
+    for name in ("sliding_window", "mrs"):
+        orders[name] = make_strategy(name, LAYOUT, buffer_fraction=0.1, seed=0).epoch_indices(0)
+    orders["full_shuffle"] = make_strategy("epoch_shuffle", LAYOUT, seed=0).epoch_indices(0)
+    orders["corgipile"] = CorgiPileShuffle(LAYOUT, buffer_blocks=10, seed=0).epoch_indices(0)
+    return orders
+
+
+def test_fig03_04_order_signatures(benchmark):
+    orders = benchmark.pedantic(_orders, rounds=1, iterations=1)
+
+    rows = [distribution_report(name, order, LABELS) for name, order in orders.items()]
+    report_table(rows, title="Figures 3-4: shuffled-order signatures", json_name="fig03_04.json")
+
+    by_name = {r["strategy"]: r for r in rows}
+    # Figure 3(a/b): No Shuffle and Sliding Window keep the linear shape.
+    assert by_name["no_shuffle"]["rank_correlation"] == 1.0
+    assert by_name["sliding_window"]["rank_correlation"] > 0.9
+    # Figure 3(c): MRS is partial — between window and full shuffle.
+    assert 0.2 < by_name["mrs"]["rank_correlation"] < 0.95
+    # Figure 3(d) and 4(a): full shuffle and CorgiPile destroy the order.
+    assert abs(by_name["full_shuffle"]["rank_correlation"]) < 0.15
+    assert abs(by_name["corgipile"]["rank_correlation"]) < 0.35
+    # Label mixing (Figures 3e-h, 4b): CorgiPile ~ full shuffle << no shuffle.
+    assert by_name["no_shuffle"]["label_mixing_deviation"] > 0.45
+    assert by_name["corgipile"]["label_mixing_deviation"] < 0.15
+    assert by_name["sliding_window"]["label_mixing_deviation"] > 0.3
+
+
+def test_fig04_corgipile_windows_near_uniform(benchmark):
+    order = benchmark.pedantic(
+        lambda: CorgiPileShuffle(LAYOUT, buffer_blocks=10, seed=3).epoch_indices(0),
+        rounds=1,
+        iterations=1,
+    )
+    counts = label_window_counts(order, LABELS, window=20)
+    # Figure 4(b): every window of 20 holds a near-even split.  The binomial
+    # noise floor for n=20, p=.5 gives std ~2.2; allow 4 sigma.
+    negatives = counts[:, 0]
+    assert np.all(np.abs(negatives - 10) <= 9)
+    assert abs(float(negatives.mean()) - 10.0) < 1.0

@@ -1,0 +1,81 @@
+"""Figure 7 — end-to-end deep learning on the ImageNet stand-in.
+
+ResNet50/ImageNet becomes an MLP over the 20-class imagenet-like dataset
+(see DESIGN.md); the execution model is the paper's: 8 data-parallel
+workers, per-worker CorgiPile buffers, block-based storage.  The full
+pre-shuffle of the record files is charged at the paper's measured cost —
+8.5 hours against ~0.37 h/epoch of training, i.e. ~23 epoch-equivalents of
+random small-file I/O.
+
+Claims to reproduce: CorgiPile reaches Shuffle Once's accuracy well over
+1.3× faster end to end, converges to the same accuracy, keeps its per-epoch
+overhead over No Shuffle small, and No Shuffle collapses far below both.
+"""
+
+from __future__ import annotations
+
+from conftest import report_table
+
+from repro.data import DATASETS, clustered_by_label
+from repro.db import DL_FRAMEWORK_PROFILE, run_framework
+from repro.ml import MLPClassifier
+from repro.storage import HDD_SCALED
+
+STRATEGIES = ("shuffle_once", "corgipile", "no_shuffle")
+SHUFFLE_EPOCH_EQUIVALENTS = 23.0  # 8.5 h shuffle / 0.37 h per epoch (Section 7.2.1)
+
+
+def test_fig07_imagenet_end_to_end(benchmark):
+    train, test = DATASETS["imagenet-like"].build_split(seed=0)
+    clustered = clustered_by_label(train, seed=0)
+
+    def run():
+        runs = {}
+        for name in STRATEGIES:
+            runs[name] = run_framework(
+                clustered,
+                test,
+                MLPClassifier(train.n_features, 48, train.n_classes, seed=0),
+                name,
+                HDD_SCALED,
+                epochs=15,
+                learning_rate=0.3,
+                decay=0.9,
+                batch_size=32,
+                buffer_fraction=0.1,
+                tuples_per_block=20,
+                compute=DL_FRAMEWORK_PROFILE,
+                n_workers=8,
+                seed=0,
+                shuffle_once_epoch_equivalents=SHUFFLE_EPOCH_EQUIVALENTS,
+            )
+        return runs
+
+    runs = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    once = runs["shuffle_once"]
+    corgi = runs["corgipile"]
+    none = runs["no_shuffle"]
+    target = 0.95 * once.timeline.final_test_score
+    rows = [
+        {
+            "strategy": name,
+            "setup_s": round(r.timeline.setup_s, 4),
+            "per_epoch_s": round(r.per_epoch_s, 4),
+            "final_top1": round(r.timeline.final_test_score, 4),
+            "time_to_target_s": round(t, 4) if (t := r.timeline.time_to_reach(target)) else None,
+        }
+        for name, r in runs.items()
+    ]
+    report_table(rows, title="Figure 7: ImageNet-like end-to-end", json_name="fig07.json")
+
+    # Accuracy: CorgiPile ~ Shuffle Once; No Shuffle collapses.
+    assert abs(corgi.timeline.final_test_score - once.timeline.final_test_score) < 0.06
+    assert none.timeline.final_test_score < once.timeline.final_test_score - 0.1
+    # Wall-clock: CorgiPile >= 1.3x faster to the target accuracy (the paper
+    # measures 1.5x; our scaled run lands higher because the shuffle cost
+    # amortises over fewer epochs).
+    speedup = corgi.timeline.speedup_over(once.timeline, target)
+    assert speedup is not None and speedup > 1.3, f"speedup={speedup}"
+    # Per-epoch overhead vs No Shuffle stays modest (paper: ~15%).
+    assert corgi.per_epoch_s <= 1.25 * none.per_epoch_s

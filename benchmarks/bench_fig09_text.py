@@ -1,0 +1,46 @@
+"""Figure 9 — text classification on the clustered yelp-like corpus.
+
+HAN/TextCNN on yelp-review-full becomes an MLP over sparse bag-of-words
+documents in 5 classes.  Paper shape: No Shuffle ≈ 20 % (chance for 5
+classes), Sliding Window ≈ 40 %, MRS in between, CorgiPile ≈ Shuffle Once.
+"""
+
+from __future__ import annotations
+
+from conftest import report_table
+
+from repro.bench import run_convergence_sweep
+from repro.data import DATASETS, clustered_by_label
+from repro.ml import MLPClassifier
+
+STRATEGIES = ("shuffle_once", "corgipile", "mrs", "sliding_window", "no_shuffle")
+
+
+def test_fig09_text_classification(benchmark):
+    train, test = DATASETS["yelp-like"].build_split(seed=0)
+    clustered = clustered_by_label(train, seed=0)
+
+    def run():
+        return run_convergence_sweep(
+            clustered,
+            test,
+            lambda: MLPClassifier(train.n_features, 24, train.n_classes, seed=0),
+            STRATEGIES,
+            epochs=10,
+            learning_rate=0.1,
+            tuples_per_block=30,
+            batch_size=16,
+            seed=1,
+            dataset_name="yelp-like-clustered",
+        )
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_table(sweep.rows(), title="Figure 9: MLP on clustered yelp-like", json_name="fig09.json")
+
+    scores = sweep.final_scores()
+    assert abs(scores["corgipile"] - scores["shuffle_once"]) < 0.06
+    # No Shuffle hovers near 5-class chance.
+    assert scores["no_shuffle"] < 0.6
+    assert scores["sliding_window"] < scores["shuffle_once"] - 0.08
+    assert scores["mrs"] < scores["shuffle_once"] - 0.08
+    assert scores["no_shuffle"] <= scores["sliding_window"]

@@ -1,0 +1,48 @@
+"""Figure 10 — the cifar experiment repeated with Adam instead of SGD.
+
+Shape: the strategy ordering of Figure 8 survives the optimiser change —
+CorgiPile ≈ Shuffle Once, Sliding Window / No Shuffle clearly lower.
+"""
+
+from __future__ import annotations
+
+from conftest import report_table
+
+from repro.bench import run_convergence_sweep
+from repro.data import DATASETS, clustered_by_label
+from repro.ml import MLPClassifier
+
+STRATEGIES = ("shuffle_once", "corgipile", "sliding_window", "no_shuffle")
+
+
+def test_fig10_adam_optimizer(benchmark):
+    train, test = DATASETS["cifar10-like"].build_split(seed=0)
+    clustered = clustered_by_label(train, seed=0)
+
+    def run():
+        sweeps = {}
+        for batch_size in (16, 32):
+            sweeps[batch_size] = run_convergence_sweep(
+                clustered,
+                test,
+                lambda: MLPClassifier(train.n_features, 32, train.n_classes, seed=0),
+                STRATEGIES,
+                epochs=10,
+                learning_rate=0.01,
+                tuples_per_block=40,
+                batch_size=batch_size,
+                use_adam=True,
+                seed=2,
+                dataset_name=f"cifar-like adam bs={batch_size}",
+            )
+        return sweeps
+
+    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [r for sweep in sweeps.values() for r in sweep.rows()]
+    report_table(rows, title="Figure 10: Adam on clustered cifar-like", json_name="fig10.json")
+
+    for batch_size, sweep in sweeps.items():
+        scores = sweep.final_scores()
+        assert abs(scores["corgipile"] - scores["shuffle_once"]) < 0.06, (batch_size, scores)
+        assert scores["no_shuffle"] < scores["shuffle_once"] - 0.04, (batch_size, scores)
+        assert scores["sliding_window"] < scores["shuffle_once"] - 0.04, (batch_size, scores)

@@ -1,0 +1,66 @@
+"""Figure 13 — per-epoch time: No Shuffle vs CorgiPile vs single-buffer.
+
+Claims: CorgiPile's per-epoch time is within ~12 % of the fastest No
+Shuffle baseline (double buffering hides the block/tuple shuffle work), the
+single-buffer variant is up to ~24 % slower than double-buffered CorgiPile,
+and small datasets run at memory speed after the first epoch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import ENGINE_BLOCK_BYTES, GLM_DATASETS, report_table
+
+from repro.db import run_in_db_system
+from repro.storage import HDD_SCALED, SSD_SCALED
+
+EPOCHS = 4
+
+
+def _steady_epoch_s(result) -> float:
+    """Mean per-epoch wall time after the cold first epoch."""
+    times = [p.time_s for p in result.timeline.points]
+    walls = np.diff([result.timeline.setup_s] + times)
+    return float(np.mean(walls[1:])) if len(walls) > 1 else float(walls[0])
+
+
+def _run(glm_problems):
+    rows = []
+    for device in (HDD_SCALED, SSD_SCALED):
+        for dataset in GLM_DATASETS:
+            train, test = glm_problems[dataset]
+            per = {}
+            for strategy in ("no_shuffle", "corgipile", "corgipile_single_buffer"):
+                result = run_in_db_system(
+                    "corgipile", strategy, train, test, "svm", device,
+                    epochs=EPOCHS, block_size=ENGINE_BLOCK_BYTES, seed=0,
+                )
+                per[strategy] = _steady_epoch_s(result)
+            rows.append(
+                {
+                    "device": device.name,
+                    "dataset": dataset,
+                    "no_shuffle_s": round(per["no_shuffle"], 6),
+                    "corgipile_s": round(per["corgipile"], 6),
+                    "single_buffer_s": round(per["corgipile_single_buffer"], 6),
+                    "corgi_vs_ns": round(per["corgipile"] / per["no_shuffle"], 3),
+                    "double_vs_single": round(
+                        per["corgipile"] / per["corgipile_single_buffer"], 3
+                    ),
+                }
+            )
+    return rows
+
+
+def test_fig13_per_epoch_overhead(benchmark, glm_problems):
+    rows = benchmark.pedantic(lambda: _run(glm_problems), rounds=1, iterations=1)
+    report_table(rows, title="Figure 13: per-epoch time", json_name="fig13.json")
+
+    for row in rows:
+        # CorgiPile within ~20 % of No Shuffle (paper: <= 11.7 %).
+        assert row["corgi_vs_ns"] < 1.2, row
+        # Double buffering never slower than single buffering.
+        assert row["double_vs_single"] <= 1.0 + 1e-9, row
+    # Double buffering pays off visibly on at least some configurations
+    # (the paper reports up to 23.6 % shorter epochs).
+    assert min(r["double_vs_single"] for r in rows) < 0.95

@@ -1,0 +1,93 @@
+"""Figure 14 — sensitivity to buffer size (a) and block size (b).
+
+(a) CorgiPile with 1 %, 2 %, 5 % buffers vs Shuffle Once on the two largest
+datasets: a 2 % buffer already matches Shuffle Once; 1 % converges slightly
+slower but to the same accuracy.
+(b) Per-epoch time falls as the block size grows (higher effective I/O
+throughput) and flattens once blocks amortise the access latency (the
+paper's 10 MB point; scaled here).
+"""
+
+from __future__ import annotations
+
+from conftest import TUPLES_PER_BLOCK, report_table
+
+from repro.bench import run_convergence_sweep
+from repro.core import CorgiPileShuffle
+from repro.db import run_in_db_system
+from repro.ml import ExponentialDecay, LogisticRegression, Trainer
+from repro.storage import HDD_SCALED
+
+BUFFERS = (0.01, 0.02, 0.05)
+BLOCK_SIZES = (2 * 1024, 8 * 1024, 32 * 1024)  # scaled 2 MB / 10 MB / 50 MB
+
+
+def test_fig14a_buffer_size(benchmark, glm_problems):
+    def run():
+        rows = []
+        for dataset in ("criteo", "yfcc"):
+            train, test = glm_problems[dataset]
+            layout = train.layout(max(10, train.n_tuples // 200))
+            once = run_convergence_sweep(
+                train, test, lambda: LogisticRegression(train.n_features),
+                ("shuffle_once",), epochs=12, learning_rate=0.05,
+                tuples_per_block=layout.tuples_per_block, seed=6,
+            ).converged_scores()["shuffle_once"]
+            for fraction in BUFFERS:
+                cp = CorgiPileShuffle.from_buffer_fraction(layout, fraction, seed=6)
+                history = Trainer(
+                    LogisticRegression(train.n_features), train, cp,
+                    epochs=12, schedule=ExponentialDecay(0.05), test=test,
+                ).run()
+                rows.append(
+                    {
+                        "dataset": dataset,
+                        "buffer": f"{fraction:.0%}",
+                        "corgipile_acc": round(history.converged_test_score(), 4),
+                        "shuffle_once_acc": round(once, 4),
+                        "gap": round(history.converged_test_score() - once, 4),
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_table(rows, title="Figure 14(a): buffer-size sensitivity", json_name="fig14a.json")
+
+    for row in rows:
+        # Even the 1 % buffer lands within a few points of Shuffle Once...
+        assert row["gap"] > -0.05, row
+    # ...and 2 %+ buffers are statistically indistinguishable.
+    for row in rows:
+        if row["buffer"] in ("2%", "5%"):
+            assert abs(row["gap"]) < 0.04, row
+
+
+def test_fig14b_block_size(benchmark, glm_problems):
+    train, test = glm_problems["criteo"]
+
+    def run():
+        rows = []
+        for block_bytes in BLOCK_SIZES:
+            result = run_in_db_system(
+                "corgipile", "corgipile", train, test, "svm", HDD_SCALED,
+                epochs=2, block_size=block_bytes, seed=0,
+            )
+            first_epoch = result.timeline.points[0].time_s - result.timeline.setup_s
+            rows.append(
+                {
+                    "block_size": f"{block_bytes // 1024}KB (scaled {block_bytes // 1024 // 2}0MB-ish)",
+                    "cold_epoch_s": round(first_epoch, 5),
+                    "io_s": round(result.resources.io_seconds, 5),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_table(rows, title="Figure 14(b): block-size sweep", json_name="fig14b.json")
+
+    cold = [r["cold_epoch_s"] for r in rows]
+    # Time falls (or stays flat) as blocks grow...
+    assert cold[0] >= cold[1] >= cold[2] * 0.95
+    # ...but the 10MB-equivalent already achieves most of the gain: the
+    # further improvement to 50MB-equivalent is small (paper: under 10%).
+    assert (cold[1] - cold[2]) / cold[1] < 0.15

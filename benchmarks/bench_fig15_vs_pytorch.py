@@ -1,0 +1,104 @@
+"""Figure 15 — per-epoch time: in-DB CorgiPile vs PyTorch outside the DB.
+
+Claims: (1) in-DB CorgiPile is multiple times faster than per-tuple PyTorch
+on datasets with many tuples (the per-tuple Python↔C++ invocation dominates);
+(2) the compressed (TOAST) dense dataset reverses the comparison — the DB
+pays per-tuple decompression that PyTorch's in-memory copy avoids;
+(3) outside the DB, PyTorch-with-CorgiPile costs only a small overhead over
+PyTorch-with-No-Shuffle.
+"""
+
+from __future__ import annotations
+
+from conftest import ENGINE_BLOCK_BYTES, report_table
+
+from repro.db import PYTORCH_PROFILE, run_framework, run_in_db_system
+from repro.ml import LogisticRegression
+from repro.storage import SSD_SCALED
+
+DATASETS_USED = ("higgs", "susy", "criteo")
+
+
+def test_fig15_in_db_vs_pytorch(benchmark, glm_problems):
+    def run():
+        rows = []
+        for dataset in DATASETS_USED:
+            train, test = glm_problems[dataset]
+            indb = run_in_db_system(
+                "corgipile", "corgipile", train, test, "lr", SSD_SCALED,
+                epochs=3, block_size=ENGINE_BLOCK_BYTES, seed=0,
+            )
+            epoch_times = [p.time_s for p in indb.timeline.points]
+            indb_epoch = epoch_times[-1] - epoch_times[-2]
+            torch = run_framework(
+                train, test, LogisticRegression(train.n_features), "no_shuffle",
+                SSD_SCALED, epochs=1, in_memory=True, compute=PYTORCH_PROFILE,
+            )
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "in_db_corgipile_s": round(indb_epoch, 5),
+                    "pytorch_s": round(torch.per_epoch_s, 5),
+                    "pytorch_over_indb": round(torch.per_epoch_s / indb_epoch, 2),
+                }
+            )
+        # The compressed high-dimensional dataset (epsilon stands in for the
+        # paper's TOAST case): per-tuple decompression hits the DB only.
+        train, test = glm_problems["epsilon"]
+        indb = run_in_db_system(
+            "corgipile", "corgipile", train, test, "lr", SSD_SCALED,
+            epochs=3, block_size=ENGINE_BLOCK_BYTES, compress=True, seed=0,
+        )
+        epoch_times = [p.time_s for p in indb.timeline.points]
+        indb_epoch = epoch_times[-1] - epoch_times[-2]
+        torch = run_framework(
+            train, test, LogisticRegression(train.n_features), "no_shuffle",
+            SSD_SCALED, epochs=1, in_memory=True, compute=PYTORCH_PROFILE,
+        )
+        rows.append(
+            {
+                "dataset": "epsilon (TOAST)",
+                "in_db_corgipile_s": round(indb_epoch, 5),
+                "pytorch_s": round(torch.per_epoch_s, 5),
+                "pytorch_over_indb": round(torch.per_epoch_s / indb_epoch, 2),
+            }
+        )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_table(rows, title="Figure 15: in-DB CorgiPile vs PyTorch", json_name="fig15.json")
+
+    by_ds = {r["dataset"]: r for r in rows}
+    # Many-tuple datasets: in-DB wins by 2x+ (paper: 2-16x).
+    for dataset in DATASETS_USED:
+        assert by_ds[dataset]["pytorch_over_indb"] > 2.0, by_ds[dataset]
+    # Compressed dense dataset: PyTorch wins (paper: 2-3x).
+    assert by_ds["epsilon (TOAST)"]["pytorch_over_indb"] < 1.0, by_ds["epsilon (TOAST)"]
+
+
+def test_fig15_corgipile_overhead_outside_db(benchmark, glm_problems):
+    train, test = glm_problems["susy"]
+
+    def run():
+        none = run_framework(
+            train, test, LogisticRegression(train.n_features), "no_shuffle",
+            SSD_SCALED, epochs=1, compute=PYTORCH_PROFILE,
+        )
+        corgi = run_framework(
+            train, test, LogisticRegression(train.n_features), "corgipile",
+            SSD_SCALED, epochs=1, compute=PYTORCH_PROFILE, tuples_per_block=40,
+        )
+        return none, corgi
+
+    none, corgi = benchmark.pedantic(run, rounds=1, iterations=1)
+    overhead = corgi.per_epoch_s / none.per_epoch_s - 1.0
+    report_table(
+        [
+            {"mode": "PyTorch + No Shuffle", "per_epoch_s": round(none.per_epoch_s, 5)},
+            {"mode": "PyTorch + CorgiPile", "per_epoch_s": round(corgi.per_epoch_s, 5)},
+            {"mode": "overhead", "per_epoch_s": f"{overhead:.1%}"},
+        ],
+        title="Figure 15 (outside DB): CorgiPile overhead in PyTorch",
+    )
+    # Paper: up to 16% overhead.
+    assert overhead < 0.2

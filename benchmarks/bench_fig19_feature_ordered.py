@@ -1,0 +1,93 @@
+"""Figure 19 — datasets ordered by features instead of the label.
+
+For higgs/susy-like data the paper sorts by individual features (picking
+high/median/low label-correlation features for the high-dimensional sets)
+and shows No Shuffle converging below Shuffle Once while CorgiPile matches
+Shuffle Once on every ordering.
+
+Scale note (also recorded in EXPERIMENTS.md): the *converged-accuracy* drop
+of No Shuffle under feature ordering is a large-m effect — the paper's
+epochs make millions of label-imbalanced tail updates, ours thousands — so
+at 10³-scale the drop shows up as a first-epoch convergence penalty plus a
+never-better converged accuracy, which is what this bench asserts.  The
+full-magnitude clustered extreme is covered by Figures 11/12.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import TUPLES_PER_BLOCK, report_table
+
+from repro.bench import run_convergence_sweep
+from repro.data import feature_label_correlations, make_binary_dense, ordered_by_feature
+from repro.ml import LogisticRegression
+
+STRATEGIES = ("shuffle_once", "corgipile", "no_shuffle")
+
+# higgs/susy stand-ins with the class signal concentrated on a few
+# coordinates, so that single features carry label correlation (physics
+# features do; an isotropic random direction would not).
+PROBLEMS = {
+    "higgs-like": dict(n=6000, d=28, separation=0.5, predictive_features=3),
+    "susy-like": dict(n=5000, d=18, separation=0.9, predictive_features=2),
+}
+
+
+def _feature_picks(train) -> list[int]:
+    corr = np.abs(feature_label_correlations(train))
+    order = np.argsort(corr)
+    return [int(order[-1]), int(order[len(order) // 2]), int(order[0])]
+
+
+def _run():
+    rows = []
+    for name, cfg in PROBLEMS.items():
+        ds = make_binary_dense(
+            cfg["n"], cfg["d"], separation=cfg["separation"],
+            predictive_features=cfg["predictive_features"], seed=0, name=name,
+        )
+        train, test = ds.split(0.9, seed=1)
+        corr = feature_label_correlations(train)
+        for rank, feature in zip(("high", "median", "low"), _feature_picks(train)):
+            ordered = ordered_by_feature(train, feature, seed=0)
+            sweep = run_convergence_sweep(
+                ordered,
+                test,
+                lambda: LogisticRegression(train.n_features),
+                STRATEGIES,
+                epochs=12,
+                learning_rate=0.05,
+                tuples_per_block=TUPLES_PER_BLOCK,
+                seed=8,
+                dataset_name=f"{name} by feature {feature}",
+            )
+            scores = sweep.converged_scores()
+            rows.append(
+                {
+                    "dataset": name,
+                    "corr_rank": rank,
+                    "ordered_by": f"feature {feature}",
+                    "label_corr": round(float(corr[feature]), 3),
+                    "shuffle_once": round(scores["shuffle_once"], 4),
+                    "corgipile": round(scores["corgipile"], 4),
+                    "no_shuffle": round(scores["no_shuffle"], 4),
+                    "once_epoch1": round(sweep.histories["shuffle_once"].records[0].test_score, 4),
+                    "none_epoch1": round(sweep.histories["no_shuffle"].records[0].test_score, 4),
+                }
+            )
+    return rows
+
+
+def test_fig19_feature_ordered(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report_table(rows, title="Figure 19: feature-ordered datasets", json_name="fig19.json")
+
+    for row in rows:
+        # CorgiPile ≈ Shuffle Once on every ordering.
+        assert abs(row["corgipile"] - row["shuffle_once"]) < 0.04, row
+        # No Shuffle never meaningfully exceeds Shuffle Once.
+        assert row["no_shuffle"] <= row["shuffle_once"] + 0.03, row
+    # On the most label-correlated orderings, No Shuffle pays a visible
+    # first-epoch convergence penalty (the scaled form of the paper's drop).
+    high_rows = [r for r in rows if r["corr_rank"] == "high"]
+    assert any(r["none_epoch1"] < r["once_epoch1"] - 0.015 for r in high_rows), high_rows

@@ -1,0 +1,71 @@
+"""Statistical robustness: the headline accuracy claims across seeds.
+
+The paper's accuracy comparisons average over large datasets; at our 10³
+scale a single run carries ±2-3 pt noise, so this bench repeats the core
+comparison (CorgiPile vs Shuffle Once vs No Shuffle, clustered higgs/susy)
+over four seeds and asserts the claims *statistically*: CorgiPile's mean
+converged accuracy sits within the paper's ~1%-style band of Shuffle Once
+(2 pts at our noise floor) with low seed variance, while No Shuffle sits
+significantly below both (no 2σ overlap).
+"""
+
+from __future__ import annotations
+
+from conftest import report_table
+
+from repro.ml import ExponentialDecay, LogisticRegression, Trainer, multi_seed
+from repro.shuffle import make_strategy
+
+SEEDS = (0, 1, 2, 3)
+
+
+def test_multiseed_accuracy_claims(benchmark, glm_problems):
+    def run():
+        stats = {}
+        for dataset in ("higgs", "susy"):
+            train, test = glm_problems[dataset]
+            # Finer blocks than the default: the per-fill label mix
+            # improves with blocks-per-fill, shrinking the gap to the
+            # paper's sub-1%% regime (h_D·(1−α) in Theorem 1).
+            layout = train.layout(20)
+            for strategy in ("corgipile", "shuffle_once", "no_shuffle"):
+                def runner(seed: int, strategy=strategy, train=train, test=test, layout=layout):
+                    return Trainer(
+                        LogisticRegression(train.n_features),
+                        train,
+                        make_strategy(strategy, layout, buffer_fraction=0.1, seed=seed),
+                        epochs=12,
+                        schedule=ExponentialDecay(0.05),
+                        test=test,
+                    ).run()
+
+                stats[(dataset, strategy)] = multi_seed(runner, SEEDS)
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "dataset": dataset,
+            "strategy": strategy,
+            "mean": round(s.mean, 4),
+            "std": round(s.std, 4),
+            "min": round(s.min, 4),
+            "max": round(s.max, 4),
+        }
+        for (dataset, strategy), s in stats.items()
+    ]
+    report_table(rows, title="Converged accuracy over 4 seeds", json_name="multiseed.json")
+
+    for dataset in ("higgs", "susy"):
+        corgi = stats[(dataset, "corgipile")]
+        once = stats[(dataset, "shuffle_once")]
+        none = stats[(dataset, "no_shuffle")]
+        # CorgiPile within the paper's ~1%-style band of Shuffle Once
+        # (2 pts at our noise floor), stable across seeds.
+        assert abs(corgi.mean - once.mean) < 0.02, (dataset, corgi, once)
+        assert corgi.std < 0.02 and once.std < 0.02, (dataset, corgi, once)
+        # No Shuffle significantly below CorgiPile (no 2-sigma overlap and
+        # a gap far beyond noise).
+        assert none.mean < corgi.mean - 0.05, (dataset, none, corgi)
+        assert not none.overlaps(corgi, sigmas=2.0), (dataset, none, corgi)

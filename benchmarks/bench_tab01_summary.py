@@ -1,0 +1,83 @@
+"""Table 1 — the measured summary of all shuffling strategies.
+
+The paper's Table 1 is qualitative; here each cell is *measured*:
+convergence behaviour from a clustered-higgs LR run, I/O efficiency as
+epoch trace time relative to No Shuffle on the scaled HDD, buffer/extra-disk
+from the strategy traits and traces.
+"""
+
+from __future__ import annotations
+
+from conftest import TUPLES_PER_BLOCK, report_table
+
+from repro.bench import run_convergence_sweep
+from repro.ml import LogisticRegression
+from repro.shuffle import make_strategy
+from repro.storage import HDD_SCALED
+
+STRATEGIES = (
+    "no_shuffle",
+    "epoch_shuffle",
+    "shuffle_once",
+    "mrs",
+    "sliding_window",
+    "corgipile",
+)
+
+
+def test_tab01_summary(benchmark, glm_problems):
+    train, test = glm_problems["higgs"]
+    layout = train.layout(TUPLES_PER_BLOCK)
+    tuple_bytes = 8.0 * train.n_features + 20
+
+    def run():
+        return run_convergence_sweep(
+            train,
+            test,
+            lambda: LogisticRegression(train.n_features),
+            STRATEGIES,
+            epochs=10,
+            learning_rate=0.05,
+            tuples_per_block=TUPLES_PER_BLOCK,
+            seed=2,
+        )
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    base_epoch_io = make_strategy("no_shuffle", layout).epoch_trace(tuple_bytes).time_on(HDD_SCALED)
+    rows = []
+    for name in STRATEGIES:
+        strategy = make_strategy(name, layout, buffer_fraction=0.1, seed=2)
+        epoch_io = strategy.epoch_trace(tuple_bytes).time_on(HDD_SCALED)
+        setup_io = strategy.setup_trace(tuple_bytes).time_on(HDD_SCALED)
+        rows.append(
+            {
+                "strategy": name,
+                "final_acc": round(sweep.final_scores()[name], 4),
+                "epoch_io_vs_noshuffle": round(epoch_io / base_epoch_io, 2),
+                "setup_io_s": round(setup_io, 4),
+                "needs_buffer": strategy.traits.needs_buffer,
+                "extra_disk": f"{strategy.traits.extra_disk_copies + 1}x data size"
+                if strategy.traits.extra_disk_copies
+                else "no",
+            }
+        )
+    report_table(rows, title="Table 1 (measured)", json_name="tab01.json")
+
+    by_name = {r["strategy"]: r for r in rows}
+    scores = sweep.final_scores()
+    # Convergence column: No Shuffle low; Once/Epoch/CorgiPile high.
+    assert scores["no_shuffle"] < scores["shuffle_once"] - 0.05
+    assert abs(scores["corgipile"] - scores["shuffle_once"]) < 0.05
+    assert abs(scores["epoch_shuffle"] - scores["shuffle_once"]) < 0.04
+    # I/O column: every "fast" strategy within 2x of No Shuffle's epoch I/O;
+    # Epoch Shuffle pays the sort every epoch.
+    for name in ("sliding_window", "mrs", "corgipile"):
+        assert by_name[name]["epoch_io_vs_noshuffle"] < 2.0
+    assert by_name["epoch_shuffle"]["epoch_io_vs_noshuffle"] > 3.0
+    # Disk column: only Once/Epoch need the 2x copy.
+    assert by_name["shuffle_once"]["extra_disk"] == "2x data size"
+    assert by_name["corgipile"]["extra_disk"] == "no"
+    # Setup column: only Shuffle Once pays a one-time cost.
+    assert by_name["shuffle_once"]["setup_io_s"] > 0
+    assert by_name["corgipile"]["setup_io_s"] == 0

@@ -1,0 +1,39 @@
+"""Table 2 — the dataset inventory (scaled stand-ins vs paper originals)."""
+
+from __future__ import annotations
+
+from conftest import report_table
+
+from repro.data import DATASETS, load
+
+
+def test_tab02_dataset_registry(benchmark):
+    datasets = benchmark.pedantic(
+        lambda: {name: load(name, seed=0) for name in DATASETS},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for name, spec in DATASETS.items():
+        ds = datasets[name]
+        rows.append(
+            {
+                "name": name,
+                "type": spec.kind,
+                "tuples (scaled)": ds.n_tuples,
+                "features (scaled)": ds.n_features,
+                "paper tuples": spec.paper_tuples,
+                "paper features": spec.paper_features,
+                "paper size": spec.paper_size,
+            }
+        )
+    report_table(rows, title="Table 2: datasets", json_name="tab02.json")
+
+    assert len(rows) >= 8
+    # Structural spot checks mirroring the paper's table.
+    by_name = {r["name"]: r for r in rows}
+    assert by_name["criteo"]["type"] == "sparse"
+    assert by_name["higgs"]["paper size"] == "2.8 GB"
+    assert datasets["criteo"].is_sparse and not datasets["higgs"].is_sparse
+    assert datasets["yelp-like"].n_classes == 5
+    assert datasets["yearpred-like"].task == "regression"

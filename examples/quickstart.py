@@ -1,0 +1,54 @@
+"""Quickstart: CorgiPile vs the baseline shuffles on clustered data.
+
+Builds a clustered binary dataset (all negative tuples stored before all
+positive ones — the paper's worst case), trains logistic regression with
+each shuffling strategy under identical hyper-parameters, and prints the
+per-strategy convergence.  Expected outcome: CorgiPile matches Shuffle Once
+while No Shuffle and Sliding Window fall behind.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_curve, format_table, run_convergence_sweep
+from repro.data import clustered_by_label, make_binary_dense
+from repro.ml import LogisticRegression
+
+STRATEGIES = ("shuffle_once", "corgipile", "mrs", "sliding_window", "no_shuffle")
+
+
+def main() -> None:
+    dataset = make_binary_dense(6000, 20, separation=0.8, seed=0, name="demo")
+    train, test = dataset.split(0.9, seed=1)
+    clustered = clustered_by_label(train, seed=0)
+    print(f"training on {clustered!r} (physically clustered by label)")
+
+    sweep = run_convergence_sweep(
+        clustered,
+        test,
+        lambda: LogisticRegression(train.n_features),
+        STRATEGIES,
+        epochs=12,
+        learning_rate=0.05,
+        tuples_per_block=40,  # block-addressable layout: 40 tuples per block
+        buffer_fraction=0.1,  # every buffered strategy gets 10% of the data
+        seed=0,
+    )
+
+    print()
+    for name, history in sweep.histories.items():
+        print(format_curve(name, history.test_scores))
+    print()
+    print(format_table(sweep.rows(), title="final metrics"))
+
+    scores = sweep.converged_scores()
+    gap = abs(scores["corgipile"] - scores["shuffle_once"])
+    print(
+        f"\nCorgiPile vs Shuffle Once gap: {gap:.4f} "
+        f"(No Shuffle trails by {scores['shuffle_once'] - scores['no_shuffle']:.4f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

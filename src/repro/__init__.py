@@ -1,0 +1,63 @@
+"""CorgiPile reproduction: SGD without full data shuffle (SIGMOD 2022).
+
+Top-level convenience namespace.  The commonly used entry points are
+re-exported here; subsystems live in their own subpackages:
+
+* :mod:`repro.core` -- the CorgiPile shuffle and data-loading stack,
+* :mod:`repro.shuffle` -- the baseline shuffling strategies,
+* :mod:`repro.ml` -- models, optimisers, and the trainer,
+* :mod:`repro.data` -- synthetic datasets and physical orderings,
+* :mod:`repro.storage` -- pages, block files, buffer pool, I/O models,
+* :mod:`repro.db` -- the miniature in-DB ML engine,
+* :mod:`repro.theory` -- the h_D factor and convergence bounds,
+* :mod:`repro.bench` -- the experiment harness.
+"""
+
+from . import bench, core, data, db, ml, shuffle, storage, theory
+from .core import CorgiPileDataset, CorgiPileShuffle, DataLoader, MultiProcessCorgiPile
+from .data import BlockLayout, Dataset, clustered_by_label, load
+from .ml import (
+    Adam,
+    LinearRegression,
+    LinearSVM,
+    LogisticRegression,
+    MLPClassifier,
+    SoftmaxRegression,
+    Trainer,
+)
+from .shuffle import STRATEGY_NAMES, make_strategy
+from .storage import HDD, MEMORY, SSD
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "bench",
+    "core",
+    "db",
+    "theory",
+    "data",
+    "ml",
+    "shuffle",
+    "storage",
+    "CorgiPileShuffle",
+    "CorgiPileDataset",
+    "DataLoader",
+    "MultiProcessCorgiPile",
+    "Dataset",
+    "BlockLayout",
+    "clustered_by_label",
+    "load",
+    "Trainer",
+    "LogisticRegression",
+    "LinearSVM",
+    "LinearRegression",
+    "SoftmaxRegression",
+    "MLPClassifier",
+    "Adam",
+    "make_strategy",
+    "STRATEGY_NAMES",
+    "HDD",
+    "SSD",
+    "MEMORY",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Benchmark harness: sweep runners and result reporting."""
+
+from .reporting import format_curve, format_table, print_table, save_records
+from .runners import ConvergenceSweep, history_row, run_convergence_sweep
+
+__all__ = [
+    "format_table",
+    "format_curve",
+    "print_table",
+    "save_records",
+    "ConvergenceSweep",
+    "run_convergence_sweep",
+    "history_row",
+]

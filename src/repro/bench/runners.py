@@ -1,0 +1,117 @@
+"""High-level experiment runners shared by the benchmark targets.
+
+Each paper figure is a sweep over (dataset ordering × shuffle strategy ×
+model), reporting either convergence curves or end-to-end timelines.  The
+runners here encapsulate those sweeps so individual bench files stay small
+and declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..data.dataset import Dataset
+from ..ml.models.base import SupervisedModel
+from ..ml.optim import Adam, Optimizer, SGD
+from ..ml.schedules import ExponentialDecay
+from ..ml.trainer import ConvergenceHistory, Trainer
+from ..shuffle.registry import make_strategy
+
+__all__ = ["ConvergenceSweep", "run_convergence_sweep", "history_row"]
+
+
+@dataclass
+class ConvergenceSweep:
+    """The outcome of one strategy sweep on one dataset."""
+
+    dataset: str
+    model: str
+    histories: dict[str, ConvergenceHistory]
+
+    def final_scores(self) -> dict[str, float]:
+        return {
+            name: history.final.test_score
+            if history.final.test_score is not None
+            else history.final.train_score
+            for name, history in self.histories.items()
+        }
+
+    def converged_scores(self, tail: int = 4) -> dict[str, float]:
+        """Tail-averaged test scores (the stable converged-accuracy estimate)."""
+        return {
+            name: history.converged_test_score(tail)
+            for name, history in self.histories.items()
+        }
+
+    def rows(self) -> list[dict]:
+        return [
+            history_row(self.dataset, self.model, name, history)
+            for name, history in self.histories.items()
+        ]
+
+
+def history_row(dataset: str, model: str, strategy: str, history: ConvergenceHistory) -> dict:
+    final = history.final
+    return {
+        "dataset": dataset,
+        "model": model,
+        "strategy": strategy,
+        "epochs": history.epochs,
+        "train_loss": round(final.train_loss, 4),
+        "train_acc": round(final.train_score, 4),
+        "test_acc": round(final.test_score, 4) if final.test_score is not None else None,
+    }
+
+
+def run_convergence_sweep(
+    train: Dataset,
+    test: Dataset | None,
+    model_factory: Callable[[], SupervisedModel],
+    strategies: Sequence[str],
+    *,
+    epochs: int,
+    learning_rate: float,
+    decay: float = 0.95,
+    tuples_per_block: int | None = None,
+    buffer_fraction: float = 0.1,
+    batch_size: int = 1,
+    use_adam: bool = False,
+    seed: int = 0,
+    dataset_name: str | None = None,
+) -> ConvergenceSweep:
+    """Train one fresh model per strategy over ``train`` and collect histories.
+
+    Every strategy sees the same initial model (fresh factory call with the
+    same seed inside the factory), the same hyper-parameters, and the same
+    buffer budget — the paper's controlled-comparison protocol.
+    """
+    per_block = tuples_per_block or max(1, train.n_tuples // 100)
+    layout = train.layout(per_block)
+    histories: dict[str, ConvergenceHistory] = {}
+    for name in strategies:
+        model = model_factory()
+        strategy = make_strategy(name, layout, buffer_fraction=buffer_fraction, seed=seed)
+        optimizer: Optimizer | None
+        if use_adam:
+            optimizer = Adam(model)
+        elif batch_size > 1:
+            optimizer = SGD(model)
+        else:
+            optimizer = None
+        trainer = Trainer(
+            model,
+            train,
+            strategy,
+            epochs=epochs,
+            schedule=ExponentialDecay(learning_rate, decay),
+            batch_size=batch_size,
+            optimizer=optimizer,
+            test=test,
+        )
+        histories[name] = trainer.run()
+    return ConvergenceSweep(
+        dataset=dataset_name or train.name,
+        model=type(model_factory()).__name__,
+        histories=histories,
+    )

@@ -1,0 +1,255 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``      list the bundled datasets (scaled Table 2) and strategies
+``generate``  write a synthetic dataset to a LIBSVM or CSV file
+``train``     train a model over a data file (or bundled dataset) with a
+              chosen shuffling strategy; optionally save the model
+``predict``   score a saved model against a data file
+``explain``   print the physical plan a TRAIN query would execute
+``bench-io``  print the Figure 20 random-vs-sequential throughput curve
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench import format_table
+from .data import (
+    DATASETS,
+    Dataset,
+    clustered_by_label,
+    load,
+    ordered_by_feature,
+    read_csv,
+    read_libsvm,
+    write_csv,
+    write_libsvm,
+)
+from .db import MiniDB, TrainQuery
+from .ml import (
+    ExponentialDecay,
+    LinearRegression,
+    LinearSVM,
+    LogisticRegression,
+    SoftmaxRegression,
+    Trainer,
+    load_model,
+    save_model,
+)
+from .shuffle import STRATEGY_NAMES, make_strategy
+from .storage import HDD, SSD, random_vs_sequential_curve
+
+__all__ = ["main", "build_parser"]
+
+_MODELS = ("lr", "svm", "linreg", "softmax")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CorgiPile reproduction — SGD without full data shuffle",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list bundled datasets and strategies")
+
+    gen = sub.add_parser("generate", help="write a synthetic dataset to disk")
+    gen.add_argument("dataset", choices=sorted(DATASETS))
+    gen.add_argument("--out", required=True, help="output file path")
+    gen.add_argument("--format", choices=("libsvm", "csv"), default="libsvm")
+    gen.add_argument(
+        "--order",
+        default="shuffled",
+        help="physical order: shuffled | clustered | feature:<index>",
+    )
+    gen.add_argument("--seed", type=int, default=0)
+
+    train = sub.add_parser("train", help="train a model with a shuffle strategy")
+    source = train.add_mutually_exclusive_group(required=True)
+    source.add_argument("--data", help="LIBSVM/CSV input file")
+    source.add_argument("--dataset", choices=sorted(DATASETS), help="bundled dataset")
+    train.add_argument("--format", choices=("libsvm", "csv"), default="libsvm")
+    train.add_argument("--task", choices=("binary", "multiclass", "regression"), default="binary")
+    train.add_argument("--model", choices=_MODELS, default="lr")
+    train.add_argument("--strategy", choices=STRATEGY_NAMES, default="corgipile")
+    train.add_argument("--epochs", type=int, default=10)
+    train.add_argument("--lr", type=float, default=0.05)
+    train.add_argument("--decay", type=float, default=0.95)
+    train.add_argument("--batch-size", type=int, default=1)
+    train.add_argument("--buffer-fraction", type=float, default=0.1)
+    train.add_argument("--block-tuples", type=int, default=40)
+    train.add_argument("--test-fraction", type=float, default=0.1)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--save-model", help="write the trained model to this .npz path")
+
+    predict = sub.add_parser("predict", help="score a saved model on a data file")
+    predict.add_argument("--model", required=True, help="saved .npz model")
+    predict.add_argument("--data", required=True)
+    predict.add_argument("--format", choices=("libsvm", "csv"), default="libsvm")
+    predict.add_argument("--task", choices=("binary", "multiclass", "regression"), default="binary")
+
+    explain = sub.add_parser("explain", help="print the TRAIN physical plan")
+    explain.add_argument("--dataset", choices=sorted(DATASETS), default="higgs")
+    explain.add_argument("--model", choices=_MODELS, default="svm")
+    explain.add_argument("--strategy", default="corgipile")
+    explain.add_argument("--block-size", type=int, default=8 * 1024)
+    explain.add_argument("--buffer-fraction", type=float, default=0.1)
+
+    io_bench = sub.add_parser("bench-io", help="Figure 20 throughput curve")
+    io_bench.add_argument("--device", choices=("hdd", "ssd"), default="hdd")
+
+    return parser
+
+
+def _load_input(args) -> Dataset:
+    if getattr(args, "dataset", None):
+        return load(args.dataset, seed=getattr(args, "seed", 0))
+    if args.format == "csv":
+        return read_csv(args.data, task=args.task)
+    return read_libsvm(args.data, task=args.task)
+
+
+def _apply_order(dataset: Dataset, order: str, seed: int) -> Dataset:
+    if order == "shuffled":
+        return dataset.shuffled(seed=seed)
+    if order == "clustered":
+        return clustered_by_label(dataset, seed=seed)
+    if order.startswith("feature:"):
+        return ordered_by_feature(dataset, int(order.split(":", 1)[1]), seed=seed)
+    raise SystemExit(f"unknown --order {order!r}")
+
+
+def _build_model(name: str, dataset: Dataset):
+    if name == "lr":
+        return LogisticRegression(dataset.n_features)
+    if name == "svm":
+        return LinearSVM(dataset.n_features)
+    if name == "linreg":
+        return LinearRegression(dataset.n_features)
+    return SoftmaxRegression(dataset.n_features, dataset.n_classes)
+
+
+def _cmd_info(_args) -> int:
+    rows = [
+        {
+            "name": name,
+            "kind": spec.kind,
+            "tuples": spec.n_tuples,
+            "features": spec.n_features,
+            "paper size": spec.paper_size,
+        }
+        for name, spec in DATASETS.items()
+    ]
+    print(format_table(rows, title="bundled datasets (scaled Table 2)"))
+    print("\nshuffle strategies:", ", ".join(STRATEGY_NAMES))
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    dataset = _apply_order(load(args.dataset, seed=args.seed), args.order, args.seed)
+    if args.format == "csv":
+        write_csv(dataset, args.out)
+    else:
+        write_libsvm(dataset, args.out)
+    print(f"wrote {dataset.n_tuples} tuples x {dataset.n_features} features to {args.out}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    dataset = _load_input(args)
+    train_set, test_set = dataset.split(1.0 - args.test_fraction, seed=args.seed)
+    model = _build_model(args.model, dataset)
+    layout = train_set.layout(args.block_tuples)
+    strategy = make_strategy(
+        args.strategy, layout, buffer_fraction=args.buffer_fraction, seed=args.seed
+    )
+    history = Trainer(
+        model,
+        train_set,
+        strategy,
+        epochs=args.epochs,
+        schedule=ExponentialDecay(args.lr, args.decay),
+        batch_size=args.batch_size,
+        test=test_set,
+    ).run()
+    rows = [
+        {
+            "epoch": r.epoch,
+            "lr": round(r.lr, 5),
+            "train_loss": round(r.train_loss, 4),
+            "train_score": round(r.train_score, 4),
+            "test_score": round(r.test_score, 4) if r.test_score is not None else None,
+        }
+        for r in history.records
+    ]
+    print(format_table(rows, title=f"{args.model} via {args.strategy}"))
+    if args.save_model:
+        save_model(model, args.save_model)
+        print(f"saved model to {args.save_model}")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    model = load_model(args.model)
+    dataset = _load_input(args)
+    predictions = model.predict(dataset.X)
+    score = model.score(dataset.X, dataset.y)
+    metric = "R^2" if dataset.task == "regression" else "accuracy"
+    print(f"{predictions.size} predictions; {metric} = {score:.4f}")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    dataset = load(args.dataset, seed=0)
+    db = MiniDB(page_bytes=1024)
+    db.create_table(args.dataset, dataset)
+    query = TrainQuery(
+        table=args.dataset,
+        model=args.model,
+        strategy=args.strategy,
+        block_size=args.block_size,
+        buffer_fraction=args.buffer_fraction,
+    )
+    print(db.explain(query))
+    return 0
+
+
+def _cmd_bench_io(args) -> int:
+    device = HDD if args.device == "hdd" else SSD
+    sizes = [2**k for k in range(12, 28, 2)]
+    rows = [
+        {
+            "block": f"{int(r['block_bytes']) // 1024}KB",
+            "random MB/s": round(r["random_mb_per_s"], 2),
+            "sequential MB/s": round(r["sequential_mb_per_s"], 1),
+            "ratio": round(r["ratio"], 3),
+        }
+        for r in random_vs_sequential_curve(device, sizes)
+    ]
+    print(format_table(rows, title=f"{device.name}: random vs sequential"))
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "generate": _cmd_generate,
+    "train": _cmd_train,
+    "predict": _cmd_predict,
+    "explain": _cmd_explain,
+    "bench-io": _cmd_bench_io,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:  # e.g. `repro info | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

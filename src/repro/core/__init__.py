@@ -1,0 +1,23 @@
+"""CorgiPile core: the two-level shuffle, buffers, dataset API, multi-process mode."""
+
+from .buffer import ShuffleBuffer, pipelined_time, serial_time
+from .corgipile import CorgiPileShuffle
+from .dataloader import Batch, DataLoader, collate
+from .dataset import CorgiPileDataset
+from .distributed import MultiProcessCorgiPile
+from .multiworker import MultiWorkerLoader
+from .prefetch import PrefetchLoader
+
+__all__ = [
+    "CorgiPileShuffle",
+    "ShuffleBuffer",
+    "pipelined_time",
+    "serial_time",
+    "CorgiPileDataset",
+    "DataLoader",
+    "Batch",
+    "collate",
+    "MultiProcessCorgiPile",
+    "PrefetchLoader",
+    "MultiWorkerLoader",
+]

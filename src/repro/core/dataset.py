@@ -1,0 +1,116 @@
+"""``CorgiPileDataset`` — the PyTorch-style iterable dataset API (Section 5).
+
+The paper integrates CorgiPile into PyTorch as::
+
+    train_dataset = CorgiPileDataset(dataset_path, block_index_path, ...)
+    train_loader  = DataLoader(train_dataset, ...)
+    train(train_loader, model, ...)
+
+This module rebuilds that API without PyTorch.  A :class:`CorgiPileDataset`
+wraps an on-disk block file (written by
+:func:`repro.storage.blockfile.write_block_file`): iterating it reads blocks
+in a fresh random order, buffers ``buffer_blocks`` blocks, shuffles the
+buffered tuples, and yields them one by one — i.e. the iterator *is* the
+two-level shuffle, streaming from real files.
+
+Call :meth:`CorgiPileDataset.set_epoch` between epochs to advance the
+shuffle seed (mirroring ``DistributedSampler.set_epoch`` in PyTorch).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from ..storage.blockfile import BlockFileReader
+from ..storage.codec import TrainingTuple
+from .buffer import ShuffleBuffer
+
+__all__ = ["CorgiPileDataset"]
+
+
+class CorgiPileDataset:
+    """Iterable dataset performing the CorgiPile shuffle over a block file."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        buffer_blocks: int,
+        seed: int = 0,
+        worker_id: int = 0,
+        n_workers: int = 1,
+    ):
+        if buffer_blocks <= 0:
+            raise ValueError("buffer_blocks must be positive")
+        if n_workers <= 0 or not 0 <= worker_id < n_workers:
+            raise ValueError("need 0 <= worker_id < n_workers")
+        self.reader = BlockFileReader(path)
+        self.buffer_blocks = int(buffer_blocks)
+        self.seed = int(seed)
+        self.worker_id = int(worker_id)
+        self.n_workers = int(n_workers)
+        self.epoch = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_tuples(self) -> int:
+        return self.reader.n_tuples
+
+    @property
+    def n_blocks(self) -> int:
+        return self.reader.n_blocks
+
+    def set_epoch(self, epoch: int) -> None:
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        self.epoch = int(epoch)
+
+    # ------------------------------------------------------------------
+    def _worker_blocks(self, rng: np.random.Generator) -> np.ndarray:
+        """Block-level shuffle + split across workers (Section 5.1 step 2).
+
+        All workers draw the *same* shuffled block index (same seed), then
+        worker ``i`` takes the ``i``-th contiguous slice — so workers see
+        disjoint random block sets.
+        """
+        order = rng.permutation(self.n_blocks)
+        slices = np.array_split(order, self.n_workers)
+        return slices[self.worker_id]
+
+    def __iter__(self) -> Iterator[TrainingTuple]:
+        # The block-shuffle RNG is shared across workers (same seed, same
+        # epoch); the tuple-shuffle RNG is worker-local.
+        block_rng = np.random.default_rng(np.random.SeedSequence([self.seed, self.epoch]))
+        tuple_rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, self.epoch, 1 + self.worker_id])
+        )
+        my_blocks = self._worker_blocks(block_rng)
+        buffer: ShuffleBuffer[TrainingTuple] = ShuffleBuffer(
+            max(1, self.buffer_blocks) * max(1, self._tuples_per_block()), tuple_rng
+        )
+        filled_blocks = 0
+        for block_id in my_blocks:
+            for record in self.reader.read_block(int(block_id)):
+                if buffer.full:
+                    yield from buffer.shuffle_and_drain()
+                buffer.add(record)
+            filled_blocks += 1
+            if filled_blocks % self.buffer_blocks == 0:
+                yield from buffer.shuffle_and_drain()
+        yield from buffer.shuffle_and_drain()
+
+    def _tuples_per_block(self) -> int:
+        if not self.reader.entries:
+            return 1
+        return max(e.n_tuples for e in self.reader.entries)
+
+    def close(self) -> None:
+        self.reader.close()
+
+    def __enter__(self) -> "CorgiPileDataset":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,97 @@
+"""Multi-worker data loading over one block file.
+
+Section 5.1 runs two data-loading threads per training process.  This
+module implements that: ``MultiWorkerLoader`` opens ``n_workers``
+:class:`~repro.core.dataset.CorgiPileDataset` views of the same block file
+(same seed → disjoint random block slices), drives each through a
+background :class:`~repro.core.prefetch.PrefetchLoader`, and interleaves
+their batches round-robin into a single stream — the exact shape of
+PyTorch's ``DataLoader(num_workers=N)`` over an iterable dataset.
+
+The union of the workers' streams covers every tuple exactly once per
+epoch, and loading overlaps both training and the other workers' I/O.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from .dataloader import Batch, DataLoader
+from .dataset import CorgiPileDataset
+from .prefetch import PrefetchLoader
+
+__all__ = ["MultiWorkerLoader"]
+
+
+class MultiWorkerLoader:
+    """Round-robin interleave of prefetched per-worker CorgiPile streams."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        n_workers: int,
+        buffer_blocks_per_worker: int,
+        batch_size: int,
+        seed: int = 0,
+        prefetch_depth: int = 2,
+        drop_last: bool = False,
+    ):
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.batch_size = int(batch_size)
+        self.drop_last = bool(drop_last)
+        self.prefetch_depth = int(prefetch_depth)
+        self._workers = [
+            CorgiPileDataset(
+                path,
+                buffer_blocks=buffer_blocks_per_worker,
+                seed=seed,
+                worker_id=w,
+                n_workers=n_workers,
+            )
+            for w in range(n_workers)
+        ]
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def n_tuples(self) -> int:
+        return self._workers[0].n_tuples
+
+    def set_epoch(self, epoch: int) -> None:
+        for worker in self._workers:
+            worker.set_epoch(epoch)
+
+    def __iter__(self) -> Iterator[Batch]:
+        streams = [
+            iter(
+                PrefetchLoader(
+                    DataLoader(worker, batch_size=self.batch_size, drop_last=self.drop_last),
+                    depth=self.prefetch_depth,
+                )
+            )
+            for worker in self._workers
+        ]
+        live = list(range(len(streams)))
+        while live:
+            for index in list(live):
+                batch = next(streams[index], None)
+                if batch is None:
+                    live.remove(index)
+                    continue
+                yield batch
+
+    def close(self) -> None:
+        for worker in self._workers:
+            worker.close()
+
+    def __enter__(self) -> "MultiWorkerLoader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,78 @@
+"""Threaded prefetching — real double buffering for the data-loading path.
+
+Section 6.3's double-buffering overlaps data loading with SGD compute using
+two concurrent threads.  The analytic timing model covers the *simulated*
+engine; this module implements the mechanism for real on the PyTorch-style
+path: a background thread drives the wrapped iterable (e.g. a
+:class:`~repro.core.dataloader.DataLoader` over a
+:class:`~repro.core.dataset.CorgiPileDataset`) and pushes items into a
+bounded queue while the consumer trains on the previous items.
+
+Exceptions raised by the producer are re-raised in the consumer, and the
+producer thread shuts down cleanly if the consumer abandons iteration.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Generic, Iterable, Iterator, TypeVar
+
+__all__ = ["PrefetchLoader"]
+
+T = TypeVar("T")
+
+_END = object()
+
+
+class _Failure:
+    def __init__(self, error: BaseException):
+        self.error = error
+
+
+class PrefetchLoader(Generic[T]):
+    """Iterate ``source`` through a background producer thread.
+
+    ``depth`` bounds how far the producer may run ahead (two means classic
+    double buffering: one item being consumed, one ready, one in flight).
+    A fresh producer thread is started for every ``iter()`` so the loader
+    can drive one pass per epoch, like the DataLoader it wraps.
+    """
+
+    def __init__(self, source: Iterable[T], depth: int = 2):
+        if depth < 1:
+            raise ValueError("depth must be at least 1")
+        self.source = source
+        self.depth = int(depth)
+
+    def __iter__(self) -> Iterator[T]:
+        items: queue.Queue = queue.Queue(maxsize=self.depth)
+        stop = threading.Event()
+
+        def produce() -> None:
+            try:
+                for item in self.source:
+                    while not stop.is_set():
+                        try:
+                            items.put(item, timeout=0.1)
+                            break
+                        except queue.Full:
+                            continue
+                    if stop.is_set():
+                        return
+                items.put(_END)
+            except BaseException as error:  # propagate to the consumer
+                items.put(_Failure(error))
+
+        producer = threading.Thread(target=produce, daemon=True, name="prefetch-producer")
+        producer.start()
+        try:
+            while True:
+                item = items.get()
+                if item is _END:
+                    return
+                if isinstance(item, _Failure):
+                    raise item.error
+                yield item
+        finally:
+            stop.set()

@@ -1,0 +1,44 @@
+"""Datasets: synthetic generators, physical orderings, and the Table 2 registry."""
+
+from .dataset import BlockLayout, Dataset, FeatureMatrix
+from .io import read_csv, read_libsvm, write_csv, write_libsvm
+from .generators import (
+    make_binary_dense,
+    make_binary_sparse,
+    make_multiclass_dense,
+    make_multiclass_sparse,
+    make_regression,
+)
+from .orderings import (
+    clustered_by_label,
+    feature_label_correlations,
+    interleaved_by_label,
+    ordered_by_feature,
+)
+from .registry import DATASETS, DatasetSpec, load, names
+from .sparse import SparseMatrix, SparseRow
+
+__all__ = [
+    "BlockLayout",
+    "Dataset",
+    "FeatureMatrix",
+    "SparseMatrix",
+    "SparseRow",
+    "make_binary_dense",
+    "make_binary_sparse",
+    "make_multiclass_dense",
+    "make_multiclass_sparse",
+    "make_regression",
+    "clustered_by_label",
+    "ordered_by_feature",
+    "interleaved_by_label",
+    "feature_label_correlations",
+    "DATASETS",
+    "DatasetSpec",
+    "load",
+    "names",
+    "read_libsvm",
+    "write_libsvm",
+    "read_csv",
+    "write_csv",
+]

@@ -1,0 +1,180 @@
+"""Dataset and block-layout abstractions.
+
+A :class:`Dataset` bundles a feature matrix (dense ``numpy`` array or
+:class:`~repro.data.sparse.SparseMatrix`), a label vector, and metadata.  The
+*physical order* of the rows is significant: the whole point of the paper is
+that SGD behaviour depends on how tuples are laid out on storage.  Reordering
+therefore returns a new :class:`Dataset` whose rows are physically permuted.
+
+A :class:`BlockLayout` describes how a table of ``n_tuples`` rows is cut into
+``N`` blocks of ``b`` contiguous tuples each (the last block may be ragged),
+mirroring how the PostgreSQL integration groups batches of contiguous heap
+pages into blocks and how the PyTorch integration groups records of a binary
+file (Section 5 and 6 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Union
+
+import numpy as np
+
+from .sparse import SparseMatrix
+
+__all__ = ["Dataset", "BlockLayout", "FeatureMatrix"]
+
+FeatureMatrix = Union[np.ndarray, SparseMatrix]
+
+
+@dataclass(frozen=True)
+class BlockLayout:
+    """Partition of ``n_tuples`` contiguous tuples into fixed-size blocks."""
+
+    n_tuples: int
+    tuples_per_block: int
+
+    def __post_init__(self) -> None:
+        if self.n_tuples <= 0:
+            raise ValueError("n_tuples must be positive")
+        if self.tuples_per_block <= 0:
+            raise ValueError("tuples_per_block must be positive")
+
+    @property
+    def n_blocks(self) -> int:
+        return -(-self.n_tuples // self.tuples_per_block)
+
+    def block_slice(self, block_id: int) -> slice:
+        if not 0 <= block_id < self.n_blocks:
+            raise IndexError(f"block_id {block_id} out of range [0, {self.n_blocks})")
+        lo = block_id * self.tuples_per_block
+        hi = min(lo + self.tuples_per_block, self.n_tuples)
+        return slice(lo, hi)
+
+    def block_indices(self, block_id: int) -> np.ndarray:
+        s = self.block_slice(block_id)
+        return np.arange(s.start, s.stop, dtype=np.int64)
+
+    def block_size(self, block_id: int) -> int:
+        s = self.block_slice(block_id)
+        return s.stop - s.start
+
+    def block_of(self, tuple_id: int) -> int:
+        if not 0 <= tuple_id < self.n_tuples:
+            raise IndexError(f"tuple_id {tuple_id} out of range [0, {self.n_tuples})")
+        return tuple_id // self.tuples_per_block
+
+    @classmethod
+    def from_block_count(cls, n_tuples: int, n_blocks: int) -> "BlockLayout":
+        """Build a layout with (approximately) ``n_blocks`` blocks."""
+        if n_blocks <= 0:
+            raise ValueError("n_blocks must be positive")
+        per_block = max(1, -(-n_tuples // n_blocks))
+        return cls(n_tuples, per_block)
+
+
+@dataclass
+class Dataset:
+    """A labelled dataset with a significant physical row order."""
+
+    X: FeatureMatrix
+    y: np.ndarray
+    name: str = "dataset"
+    task: str = "binary"  # binary | multiclass | regression
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.y = np.asarray(self.y)
+        if len(self.X) != len(self.y):
+            raise ValueError(
+                f"X has {len(self.X)} rows but y has {len(self.y)} labels"
+            )
+        if self.task not in ("binary", "multiclass", "regression"):
+            raise ValueError(f"unknown task {self.task!r}")
+        if self.task == "binary":
+            labels = set(np.unique(self.y).tolist())
+            if not labels <= {-1.0, 1.0, -1, 1}:
+                raise ValueError("binary task requires labels in {-1, +1}")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_tuples(self) -> int:
+        return len(self.y)
+
+    @property
+    def n_features(self) -> int:
+        if isinstance(self.X, SparseMatrix):
+            return self.X.n_cols
+        return self.X.shape[1]
+
+    @property
+    def is_sparse(self) -> bool:
+        return isinstance(self.X, SparseMatrix)
+
+    @property
+    def n_classes(self) -> int:
+        if self.task == "regression":
+            raise ValueError("regression datasets have no classes")
+        return int(np.unique(self.y).size)
+
+    # ------------------------------------------------------------------
+    def reorder(self, perm: np.ndarray, suffix: str = "reordered") -> "Dataset":
+        """Return a new dataset whose physical row order is ``perm``."""
+        perm = np.asarray(perm, dtype=np.int64)
+        if perm.size != self.n_tuples:
+            raise ValueError("permutation length must match n_tuples")
+        if isinstance(self.X, SparseMatrix):
+            new_x: FeatureMatrix = self.X.take_rows(perm)
+        else:
+            new_x = self.X[perm]
+        return replace(
+            self,
+            X=new_x,
+            y=self.y[perm],
+            name=f"{self.name}-{suffix}" if suffix else self.name,
+            metadata=dict(self.metadata),
+        )
+
+    def shuffled(self, seed: int = 0) -> "Dataset":
+        """A fully shuffled physical copy (the paper's 'shuffled version')."""
+        rng = np.random.default_rng(seed)
+        return self.reorder(rng.permutation(self.n_tuples), suffix="shuffled")
+
+    def subset(self, indices: np.ndarray, suffix: str = "subset") -> "Dataset":
+        indices = np.asarray(indices, dtype=np.int64)
+        if isinstance(self.X, SparseMatrix):
+            new_x: FeatureMatrix = self.X.take_rows(indices)
+        else:
+            new_x = self.X[indices]
+        return replace(
+            self,
+            X=new_x,
+            y=self.y[indices],
+            name=f"{self.name}-{suffix}" if suffix else self.name,
+            metadata=dict(self.metadata),
+        )
+
+    def split(self, train_fraction: float, seed: int = 0) -> tuple["Dataset", "Dataset"]:
+        """Random train/test split (applied before any clustering)."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1)")
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(self.n_tuples)
+        cut = int(round(train_fraction * self.n_tuples))
+        return (
+            self.subset(perm[:cut], suffix="train"),
+            self.subset(perm[cut:], suffix="test"),
+        )
+
+    def layout(self, tuples_per_block: int) -> BlockLayout:
+        return BlockLayout(self.n_tuples, tuples_per_block)
+
+    def __len__(self) -> int:
+        return self.n_tuples
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "sparse" if self.is_sparse else "dense"
+        return (
+            f"Dataset({self.name!r}, n={self.n_tuples}, d={self.n_features}, "
+            f"{kind}, task={self.task})"
+        )

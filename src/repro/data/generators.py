@@ -1,0 +1,202 @@
+"""Synthetic dataset generators standing in for the paper's datasets.
+
+The paper trains on LIBSVM datasets (higgs, susy, epsilon, criteo, yfcc) and
+image/text corpora (ImageNet, cifar-10, yelp-review-full).  None of those can
+ship with an offline reproduction, and none of the paper's *claims* depend on
+their exact content — only on their shape (dense vs sparse, dimensionality,
+number of classes) and physical order.  These generators produce datasets
+that are learnable by the same model families, with controllable Bayes error,
+so that convergence-rate differences between shuffling strategies are visible
+exactly as in the paper.
+
+All generators return rows in fully shuffled order; apply
+:mod:`repro.data.orderings` to obtain the clustered / feature-ordered copies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dataset import Dataset
+from .sparse import SparseMatrix, SparseRow
+
+__all__ = [
+    "make_binary_dense",
+    "make_binary_sparse",
+    "make_multiclass_dense",
+    "make_multiclass_sparse",
+    "make_regression",
+]
+
+
+def _rng(seed: int | np.random.Generator) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def make_binary_dense(
+    n_tuples: int,
+    n_features: int,
+    *,
+    separation: float = 1.5,
+    noise: float = 1.0,
+    positive_fraction: float = 0.5,
+    predictive_features: int | None = None,
+    seed: int | np.random.Generator = 0,
+    name: str = "binary-dense",
+) -> Dataset:
+    """Two Gaussian classes around ±``separation``·u along a random direction.
+
+    ``separation``/``noise`` controls the achievable accuracy: the defaults
+    give a linearly separable-with-overlap problem in the 75–95 % accuracy
+    band, comparable to higgs (64 %) through yfcc (96 %) when tuned.
+
+    ``predictive_features`` concentrates the class direction on that many
+    coordinates (default: spread over all features).  Concentrated signal
+    makes individual features correlate with the label — the regime of the
+    paper's feature-ordered experiments (Section 7.4.3), where sorting by
+    one informative feature partially sorts the labels.
+    """
+    rng = _rng(seed)
+    if predictive_features is None:
+        direction = rng.standard_normal(n_features)
+    else:
+        if not 1 <= predictive_features <= n_features:
+            raise ValueError("predictive_features must be in [1, n_features]")
+        direction = np.zeros(n_features)
+        support = rng.choice(n_features, size=predictive_features, replace=False)
+        direction[support] = rng.standard_normal(predictive_features)
+    direction /= np.linalg.norm(direction)
+    y = np.where(rng.random(n_tuples) < positive_fraction, 1.0, -1.0)
+    X = rng.standard_normal((n_tuples, n_features)) * noise
+    X += np.outer(y * separation, direction)
+    return Dataset(X, y, name=name, task="binary", metadata={"separation": separation})
+
+
+def make_binary_sparse(
+    n_tuples: int,
+    n_features: int,
+    *,
+    nnz_per_row: int = 30,
+    separation: float = 1.2,
+    positive_fraction: float = 0.5,
+    seed: int | np.random.Generator = 0,
+    name: str = "binary-sparse",
+) -> Dataset:
+    """A criteo-like sparse binary dataset.
+
+    Each row activates ``nnz_per_row`` random features; a subset of features
+    is predictive (its value is shifted by the label), the rest is noise.
+    """
+    rng = _rng(seed)
+    y = np.where(rng.random(n_tuples) < positive_fraction, 1.0, -1.0)
+    n_predictive = max(1, n_features // 10)
+    rows = []
+    for i in range(n_tuples):
+        # Half the non-zeros come from the predictive band so the label
+        # signal survives sparsification.
+        k_pred = nnz_per_row // 2
+        k_noise = nnz_per_row - k_pred
+        pred_idx = rng.choice(n_predictive, size=min(k_pred, n_predictive), replace=False)
+        noise_idx = n_predictive + rng.choice(
+            n_features - n_predictive,
+            size=min(k_noise, n_features - n_predictive),
+            replace=False,
+        )
+        indices = np.sort(np.concatenate([pred_idx, noise_idx]))
+        values = rng.standard_normal(indices.size)
+        values[np.isin(indices, pred_idx)] += y[i] * separation
+        rows.append(SparseRow(indices, values, n_features))
+    X = SparseMatrix.from_rows(rows, n_features)
+    return Dataset(X, y, name=name, task="binary", metadata={"nnz_per_row": nnz_per_row})
+
+
+def make_multiclass_dense(
+    n_tuples: int,
+    n_features: int,
+    n_classes: int,
+    *,
+    separation: float = 2.5,
+    noise: float = 1.0,
+    seed: int | np.random.Generator = 0,
+    name: str = "multiclass-dense",
+) -> Dataset:
+    """Gaussian blobs, one per class — the cifar/ImageNet stand-in.
+
+    Class centroids are random unit vectors scaled by ``separation``; a
+    non-convex model (MLP) reaches high accuracy while a badly ordered SGD
+    run collapses to predicting the last-seen classes, reproducing the
+    near-zero No-Shuffle accuracy of Figure 7.
+    """
+    rng = _rng(seed)
+    centroids = rng.standard_normal((n_classes, n_features))
+    centroids /= np.linalg.norm(centroids, axis=1, keepdims=True)
+    centroids *= separation
+    y = rng.integers(0, n_classes, size=n_tuples)
+    X = centroids[y] + rng.standard_normal((n_tuples, n_features)) * noise
+    return Dataset(
+        X,
+        y.astype(np.int64),
+        name=name,
+        task="multiclass",
+        metadata={"n_classes": n_classes},
+    )
+
+
+def make_multiclass_sparse(
+    n_tuples: int,
+    vocabulary: int,
+    n_classes: int,
+    *,
+    tokens_per_doc: int = 40,
+    topic_sharpness: float = 0.7,
+    seed: int | np.random.Generator = 0,
+    name: str = "multiclass-sparse",
+) -> Dataset:
+    """A yelp-review-like bag-of-words corpus.
+
+    Each class owns a topic distribution over the vocabulary; documents mix
+    ``topic_sharpness`` of their class topic with uniform background noise.
+    """
+    rng = _rng(seed)
+    if not 0.0 < topic_sharpness <= 1.0:
+        raise ValueError("topic_sharpness must be in (0, 1]")
+    words_per_class = max(1, vocabulary // (2 * n_classes))
+    class_words = [
+        rng.choice(vocabulary, size=words_per_class, replace=False)
+        for _ in range(n_classes)
+    ]
+    y = rng.integers(0, n_classes, size=n_tuples)
+    rows = []
+    for i in range(n_tuples):
+        n_topic = rng.binomial(tokens_per_doc, topic_sharpness)
+        topic_tokens = rng.choice(class_words[y[i]], size=n_topic, replace=True)
+        noise_tokens = rng.integers(0, vocabulary, size=tokens_per_doc - n_topic)
+        tokens = np.concatenate([topic_tokens, noise_tokens])
+        indices, counts = np.unique(tokens, return_counts=True)
+        rows.append(SparseRow(indices, counts.astype(np.float64), vocabulary))
+    X = SparseMatrix.from_rows(rows, vocabulary)
+    return Dataset(
+        X,
+        y.astype(np.int64),
+        name=name,
+        task="multiclass",
+        metadata={"n_classes": n_classes, "vocabulary": vocabulary},
+    )
+
+
+def make_regression(
+    n_tuples: int,
+    n_features: int,
+    *,
+    noise: float = 0.5,
+    seed: int | np.random.Generator = 0,
+    name: str = "regression",
+) -> Dataset:
+    """A linear regression problem (the YearPredictionMSD stand-in)."""
+    rng = _rng(seed)
+    w = rng.standard_normal(n_features)
+    X = rng.standard_normal((n_tuples, n_features))
+    y = X @ w + rng.standard_normal(n_tuples) * noise
+    return Dataset(X, y, name=name, task="regression", metadata={"noise": noise})

@@ -1,0 +1,142 @@
+"""Dataset file I/O: the LIBSVM text format and dense CSV.
+
+The paper's GLM datasets (higgs, susy, epsilon, criteo, yfcc) ship as
+LIBSVM files — ``label idx:value idx:value ...`` with 1-based feature
+indices.  These readers/writers let the reproduction ingest real LIBSVM
+dumps when available and export its synthetic stand-ins in the same format
+(useful for cross-checking against the authors' released code).
+
+CSV support covers the dense case: one row per tuple, the label in the
+last column.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .dataset import Dataset
+from .sparse import SparseMatrix, SparseRow
+
+__all__ = ["read_libsvm", "write_libsvm", "read_csv", "write_csv"]
+
+
+def write_libsvm(dataset: Dataset, path: str | Path) -> None:
+    """Write ``dataset`` in LIBSVM format (1-based feature indices)."""
+    path = Path(path)
+    labels = np.asarray(dataset.y)
+    with open(path, "w") as f:
+        if isinstance(dataset.X, SparseMatrix):
+            for i, row in enumerate(dataset.X.iter_rows()):
+                feats = " ".join(
+                    f"{int(j) + 1}:{v:.17g}" for j, v in zip(row.indices, row.values)
+                )
+                f.write(f"{_format_label(labels[i], dataset.task)} {feats}\n")
+        else:
+            for i in range(dataset.n_tuples):
+                row = dataset.X[i]
+                nz = np.nonzero(row)[0]
+                feats = " ".join(f"{int(j) + 1}:{row[j]:.17g}" for j in nz)
+                f.write(f"{_format_label(labels[i], dataset.task)} {feats}\n")
+
+
+def _format_label(label, task: str) -> str:
+    if task == "multiclass":
+        return str(int(label))
+    value = float(label)
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.17g}"
+
+
+def read_libsvm(
+    path: str | Path,
+    n_features: int | None = None,
+    task: str = "binary",
+    dense: bool = False,
+    name: str | None = None,
+) -> Dataset:
+    """Parse a LIBSVM file into a :class:`Dataset`.
+
+    ``n_features`` defaults to the largest index seen.  ``dense=True``
+    materialises a dense matrix (for low-dimensional data); otherwise the
+    result is sparse.  Raises ``ValueError`` on malformed lines.
+    """
+    path = Path(path)
+    labels: list[float] = []
+    rows: list[tuple[np.ndarray, np.ndarray]] = []
+    max_index = 0
+    with open(path) as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            try:
+                labels.append(float(parts[0]))
+            except ValueError:
+                raise ValueError(f"{path}:{lineno}: bad label {parts[0]!r}") from None
+            indices: list[int] = []
+            values: list[float] = []
+            for token in parts[1:]:
+                if ":" not in token:
+                    raise ValueError(f"{path}:{lineno}: bad feature token {token!r}")
+                idx_text, val_text = token.split(":", 1)
+                try:
+                    idx = int(idx_text)
+                    val = float(val_text)
+                except ValueError:
+                    raise ValueError(f"{path}:{lineno}: bad feature token {token!r}") from None
+                if idx < 1:
+                    raise ValueError(f"{path}:{lineno}: LIBSVM indices are 1-based")
+                indices.append(idx - 1)
+                values.append(val)
+            if indices and any(indices[i] >= indices[i + 1] for i in range(len(indices) - 1)):
+                order = np.argsort(indices)
+                indices = [indices[i] for i in order]
+                values = [values[i] for i in order]
+            rows.append((np.asarray(indices, dtype=np.int64), np.asarray(values)))
+            if indices:
+                max_index = max(max_index, indices[-1] + 1)
+
+    if not rows:
+        raise ValueError(f"{path}: no examples found")
+    d = n_features if n_features is not None else max_index
+    if d < max_index:
+        raise ValueError(f"n_features={d} but file contains index {max_index}")
+    y = np.asarray(labels)
+    if task == "multiclass":
+        y = y.astype(np.int64)
+
+    if dense:
+        X: np.ndarray | SparseMatrix = np.zeros((len(rows), d))
+        for i, (indices, values) in enumerate(rows):
+            X[i, indices] = values
+    else:
+        X = SparseMatrix.from_rows(
+            [SparseRow(indices, values, d) for indices, values in rows], d
+        )
+    return Dataset(X, y, name=name or path.stem, task=task)
+
+
+def write_csv(dataset: Dataset, path: str | Path) -> None:
+    """Write a dense dataset as CSV: feature columns then a label column."""
+    if dataset.is_sparse:
+        raise ValueError("CSV export supports dense datasets only; use write_libsvm")
+    path = Path(path)
+    header = ",".join([f"f{j}" for j in range(dataset.n_features)] + ["label"])
+    table = np.column_stack([dataset.X, np.asarray(dataset.y, dtype=np.float64)])
+    np.savetxt(path, table, delimiter=",", header=header, comments="", fmt="%.17g")
+
+
+def read_csv(path: str | Path, task: str = "binary", name: str | None = None) -> Dataset:
+    """Read a dense CSV written by :func:`write_csv` (label in last column)."""
+    path = Path(path)
+    table = np.loadtxt(path, delimiter=",", skiprows=1, ndmin=2)
+    if table.shape[1] < 2:
+        raise ValueError(f"{path}: need at least one feature column and a label")
+    y = table[:, -1]
+    if task == "multiclass":
+        y = y.astype(np.int64)
+    return Dataset(table[:, :-1], y, name=name or path.stem, task=task)

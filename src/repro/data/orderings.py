@@ -1,0 +1,98 @@
+"""Physical row orderings used throughout the paper's evaluation.
+
+The evaluation distinguishes three layouts of the same logical dataset:
+
+* *shuffled* — rows in uniformly random order (the easy case; every strategy
+  converges, Figure 2 right column);
+* *clustered by label* — all ``-1`` rows before all ``+1`` rows (the paper's
+  worst case, modelled after Bismarck's setup; Section 3);
+* *ordered by feature* — rows sorted by the value of one feature column
+  (Section 7.4.3, Figure 19), which also breaks No-Shuffle when the feature
+  correlates with the label.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dataset import Dataset
+from .sparse import SparseMatrix
+
+__all__ = [
+    "clustered_by_label",
+    "ordered_by_feature",
+    "interleaved_by_label",
+    "feature_label_correlations",
+]
+
+
+def clustered_by_label(dataset: Dataset, seed: int = 0) -> Dataset:
+    """Sort rows by label; ties broken randomly (stable worst case).
+
+    For binary data this puts every negative tuple before every positive
+    tuple, matching the clustered criteo/higgs layout of Section 3.  For
+    multiclass data the classes appear in increasing label order, matching
+    the clustered cifar-10 layout of Section 7.2.
+    """
+    rng = np.random.default_rng(seed)
+    jitter = rng.random(dataset.n_tuples)
+    order = np.lexsort((jitter, np.asarray(dataset.y, dtype=np.float64)))
+    return dataset.reorder(order, suffix="clustered")
+
+
+def ordered_by_feature(dataset: Dataset, feature: int, seed: int = 0) -> Dataset:
+    """Sort rows by the value of ``feature`` (Section 7.4.3)."""
+    if not 0 <= feature < dataset.n_features:
+        raise IndexError(f"feature {feature} out of range [0, {dataset.n_features})")
+    if isinstance(dataset.X, SparseMatrix):
+        column = dataset.X.to_dense()[:, feature]
+    else:
+        column = dataset.X[:, feature]
+    rng = np.random.default_rng(seed)
+    jitter = rng.random(dataset.n_tuples)
+    order = np.lexsort((jitter, column))
+    return dataset.reorder(order, suffix=f"by-feature-{feature}")
+
+
+def interleaved_by_label(dataset: Dataset, run_length: int, seed: int = 0) -> Dataset:
+    """Alternate runs of each class — a partially clustered layout.
+
+    Useful for sweeping the degree of clustering (and therefore the ``h_D``
+    factor of Section 4.2) between fully shuffled and fully clustered.
+    """
+    if run_length <= 0:
+        raise ValueError("run_length must be positive")
+    rng = np.random.default_rng(seed)
+    labels = np.asarray(dataset.y)
+    classes = np.unique(labels)
+    pools = [rng.permutation(np.nonzero(labels == c)[0]) for c in classes]
+    cursors = [0] * len(pools)
+    order: list[np.ndarray] = []
+    turn = 0
+    remaining = dataset.n_tuples
+    while remaining > 0:
+        pool = pools[turn % len(pools)]
+        cursor = cursors[turn % len(pools)]
+        take = pool[cursor : cursor + run_length]
+        if take.size:
+            order.append(take)
+            cursors[turn % len(pools)] += take.size
+            remaining -= take.size
+        turn += 1
+    return dataset.reorder(np.concatenate(order), suffix=f"runs-{run_length}")
+
+
+def feature_label_correlations(dataset: Dataset) -> np.ndarray:
+    """Pearson correlation of each feature with the label.
+
+    Section 7.4.3 selects features with the highest / lowest / median label
+    correlation to order by; this helper reproduces that selection.
+    """
+    X = dataset.X.to_dense() if isinstance(dataset.X, SparseMatrix) else dataset.X
+    y = np.asarray(dataset.y, dtype=np.float64)
+    xc = X - X.mean(axis=0)
+    yc = y - y.mean()
+    denom = np.sqrt((xc**2).sum(axis=0) * (yc**2).sum())
+    with np.errstate(invalid="ignore", divide="ignore"):
+        corr = np.where(denom > 0, xc.T @ yc / np.where(denom == 0, 1, denom), 0.0)
+    return corr

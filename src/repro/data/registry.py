@@ -1,0 +1,140 @@
+"""Scaled-down registry of the paper's datasets (Table 2).
+
+Each entry maps one of the paper's datasets to a synthetic, laptop-scale
+stand-in with the same *shape class* (dense low-dimensional, dense
+high-dimensional, sparse, multiclass image-like, multiclass text-like) and a
+comparable achievable accuracy so that the evaluation's accuracy tables keep
+their relative structure.  Sizes are scaled down by roughly 10³; the paper's
+original sizes are preserved in the entry metadata so benchmark reports can
+print both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .dataset import Dataset
+from .generators import (
+    make_binary_dense,
+    make_binary_sparse,
+    make_multiclass_dense,
+    make_multiclass_sparse,
+    make_regression,
+)
+
+__all__ = ["DatasetSpec", "DATASETS", "load", "names"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of (scaled) Table 2."""
+
+    name: str
+    kind: str  # dense | sparse | image | text | regression
+    n_tuples: int
+    n_features: int
+    paper_tuples: str
+    paper_features: str
+    paper_size: str
+    factory: Callable[[int], Dataset] = field(repr=False)
+    train_fraction: float = 0.9
+
+    def build(self, seed: int = 0) -> Dataset:
+        dataset = self.factory(seed)
+        dataset.name = self.name
+        dataset.metadata.update(
+            paper_tuples=self.paper_tuples,
+            paper_features=self.paper_features,
+            paper_size=self.paper_size,
+        )
+        return dataset
+
+    def build_split(self, seed: int = 0) -> tuple[Dataset, Dataset]:
+        return self.build(seed).split(self.train_fraction, seed=seed + 1)
+
+
+def _spec(
+    name: str,
+    kind: str,
+    n: int,
+    d: int,
+    paper_tuples: str,
+    paper_features: str,
+    paper_size: str,
+    factory: Callable[[int], Dataset],
+    train_fraction: float = 0.9,
+) -> DatasetSpec:
+    return DatasetSpec(
+        name=name,
+        kind=kind,
+        n_tuples=n,
+        n_features=d,
+        paper_tuples=paper_tuples,
+        paper_features=paper_features,
+        paper_size=paper_size,
+        factory=factory,
+        train_fraction=train_fraction,
+    )
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    # LIBSVM-style GLM datasets (Table 2).  Separations are tuned so the
+    # converged accuracies land in the same band as the paper's Table 3
+    # (higgs ~64 %, susy ~79 %, epsilon ~90 %, criteo ~79 %, yfcc ~96 %).
+    "higgs": _spec(
+        "higgs", "dense", 8000, 28, "10.0/1.0M", "28", "2.8 GB",
+        lambda seed: make_binary_dense(8000, 28, separation=0.45, noise=1.0, seed=seed),
+    ),
+    "susy": _spec(
+        "susy", "dense", 6000, 18, "4.5/0.5M", "18", "0.9 GB",
+        lambda seed: make_binary_dense(6000, 18, separation=0.85, noise=1.0, seed=seed),
+    ),
+    "epsilon": _spec(
+        "epsilon", "dense", 2000, 400, "0.4/0.1M", "2,000", "6.3 GB",
+        lambda seed: make_binary_dense(2000, 400, separation=1.5, noise=1.0, seed=seed),
+    ),
+    "criteo": _spec(
+        "criteo", "sparse", 8000, 5000, "92/6.0M", "1,000,000", "50 GB",
+        lambda seed: make_binary_sparse(8000, 5000, nnz_per_row=30, separation=0.25, seed=seed),
+    ),
+    "yfcc": _spec(
+        "yfcc", "dense", 3000, 512, "3.3/0.3M", "4,096", "55 GB",
+        lambda seed: make_binary_dense(3000, 512, separation=2.2, noise=1.0, seed=seed),
+    ),
+    # Deep-learning datasets.
+    "imagenet-like": _spec(
+        "imagenet-like", "image", 6000, 64, "1.3/0.05M", "224*224*3", "150 GB",
+        lambda seed: make_multiclass_dense(6000, 64, 20, separation=2.2, seed=seed),
+    ),
+    "cifar10-like": _spec(
+        "cifar10-like", "image", 4000, 48, "0.05/0.01M", "3,072", "178 MB",
+        lambda seed: make_multiclass_dense(4000, 48, 10, separation=2.4, seed=seed),
+    ),
+    "yelp-like": _spec(
+        "yelp-like", "text", 3000, 2000, "0.65/0.05M", "-", "600 MB",
+        lambda seed: make_multiclass_sparse(3000, 2000, 5, tokens_per_doc=30, topic_sharpness=0.2, seed=seed),
+    ),
+    # Section 7.4.2 datasets.
+    "yearpred-like": _spec(
+        "yearpred-like", "regression", 5000, 90, "0.46/0.05M", "90", "0.6 GB",
+        lambda seed: make_regression(5000, 90, noise=0.5, seed=seed),
+    ),
+    "mnist8m-like": _spec(
+        "mnist8m-like", "image", 5000, 64, "8.1/0.01M", "784", "19 GB",
+        lambda seed: make_multiclass_dense(5000, 64, 10, separation=3.6, seed=seed),
+    ),
+}
+
+
+def names() -> list[str]:
+    return list(DATASETS)
+
+
+def load(name: str, seed: int = 0) -> Dataset:
+    """Build the scaled stand-in for the paper dataset ``name``."""
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; available: {', '.join(DATASETS)}") from None
+    return spec.build(seed)

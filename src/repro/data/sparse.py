@@ -1,0 +1,189 @@
+"""A minimal CSR sparse matrix for high-dimensional linear models.
+
+The paper stores sparse datasets (e.g. criteo, one million features) in
+PostgreSQL as ``<id, features_k[], features_v[], label>`` rows, where
+``features_k`` holds the indices of non-zero dimensions and ``features_v``
+their values.  This module provides the in-memory analogue: a compressed
+sparse row matrix supporting exactly the operations the SGD kernels need
+(row extraction, row-times-vector, scaled row-into-vector accumulation, and
+matrix-vector products for vectorised loss evaluation).
+
+We implement it from scratch rather than depending on ``scipy.sparse`` so the
+storage codec (``repro.storage.codec``) and the DB tuple layout can share the
+same index/value representation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["SparseMatrix", "SparseRow"]
+
+
+class SparseRow:
+    """A single sparse example: parallel index and value arrays."""
+
+    __slots__ = ("indices", "values", "n_features")
+
+    def __init__(self, indices: np.ndarray, values: np.ndarray, n_features: int):
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.values = np.asarray(values, dtype=np.float64)
+        if self.indices.shape != self.values.shape:
+            raise ValueError(
+                f"indices/values length mismatch: {self.indices.shape} vs {self.values.shape}"
+            )
+        self.n_features = int(n_features)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    def dot(self, w: np.ndarray) -> float:
+        """Inner product with a dense weight vector."""
+        return float(self.values @ w[self.indices])
+
+    def add_into(self, out: np.ndarray, scale: float) -> None:
+        """``out[indices] += scale * values`` (scatter-add)."""
+        np.add.at(out, self.indices, scale * self.values)
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.n_features, dtype=np.float64)
+        dense[self.indices] = self.values
+        return dense
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SparseRow(nnz={self.nnz}, n_features={self.n_features})"
+
+
+class SparseMatrix:
+    """Compressed sparse row matrix over float64 data.
+
+    Parameters
+    ----------
+    indptr:
+        Row pointer array of length ``n_rows + 1``.
+    indices:
+        Column index array of length ``nnz``.
+    data:
+        Value array of length ``nnz``.
+    shape:
+        ``(n_rows, n_cols)``.
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: tuple[int, int],
+    ):
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+        self.shape = (int(shape[0]), int(shape[1]))
+        if self.indptr.size != self.shape[0] + 1:
+            raise ValueError("indptr must have n_rows + 1 entries")
+        if self.indices.size != self.data.size:
+            raise ValueError("indices and data must have equal length")
+        if self.indptr[-1] != self.indices.size:
+            raise ValueError("indptr[-1] must equal nnz")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, rows: Sequence[SparseRow], n_features: int) -> "SparseMatrix":
+        indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        for i, row in enumerate(rows):
+            indptr[i + 1] = indptr[i] + row.nnz
+        nnz = int(indptr[-1])
+        indices = np.empty(nnz, dtype=np.int64)
+        data = np.empty(nnz, dtype=np.float64)
+        for i, row in enumerate(rows):
+            indices[indptr[i] : indptr[i + 1]] = row.indices
+            data[indptr[i] : indptr[i + 1]] = row.values
+        return cls(indptr, indices, data, (len(rows), n_features))
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "SparseMatrix":
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError("from_dense expects a 2-D array")
+        rows = []
+        for i in range(dense.shape[0]):
+            nz = np.nonzero(dense[i])[0]
+            rows.append(SparseRow(nz, dense[i, nz], dense.shape[1]))
+        return cls.from_rows(rows, dense.shape[1])
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        return int(self.data.size)
+
+    def row(self, i: int) -> SparseRow:
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return SparseRow(self.indices[lo:hi], self.data[lo:hi], self.n_cols)
+
+    def iter_rows(self) -> Iterable[SparseRow]:
+        for i in range(self.n_rows):
+            yield self.row(i)
+
+    # ------------------------------------------------------------------
+    # Linear algebra
+    # ------------------------------------------------------------------
+    def dot(self, w: np.ndarray) -> np.ndarray:
+        """Matrix-vector product ``X @ w`` returning a dense vector."""
+        w = np.asarray(w, dtype=np.float64)
+        products = self.data * w[self.indices]
+        if not products.size:
+            return np.zeros(self.n_rows, dtype=np.float64)
+        # Segment-sum by row; bincount handles empty rows correctly.
+        row_ids = np.repeat(np.arange(self.n_rows), np.diff(self.indptr))
+        return np.bincount(row_ids, weights=products, minlength=self.n_rows)
+
+    def t_dot(self, v: np.ndarray) -> np.ndarray:
+        """Transposed product ``X.T @ v`` returning a dense vector."""
+        v = np.asarray(v, dtype=np.float64)
+        row_ids = np.repeat(np.arange(self.n_rows), np.diff(self.indptr))
+        out = np.zeros(self.n_cols, dtype=np.float64)
+        np.add.at(out, self.indices, self.data * v[row_ids])
+        return out
+
+    def take_rows(self, order: np.ndarray) -> "SparseMatrix":
+        """Return a new matrix with rows permuted/selected by ``order``."""
+        order = np.asarray(order, dtype=np.int64)
+        counts = np.diff(self.indptr)[order]
+        indptr = np.zeros(order.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        data = np.empty(int(indptr[-1]), dtype=np.float64)
+        for new_i, old_i in enumerate(order):
+            lo, hi = self.indptr[old_i], self.indptr[old_i + 1]
+            nlo, nhi = indptr[new_i], indptr[new_i + 1]
+            indices[nlo:nhi] = self.indices[lo:hi]
+            data[nlo:nhi] = self.data[lo:hi]
+        return SparseMatrix(indptr, indices, data, (order.size, self.n_cols))
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.float64)
+        row_ids = np.repeat(np.arange(self.n_rows), np.diff(self.indptr))
+        dense[row_ids, self.indices] = self.data
+        return dense
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SparseMatrix(shape={self.shape}, nnz={self.nnz})"

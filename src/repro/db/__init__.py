@@ -1,0 +1,84 @@
+"""The miniature in-DB ML engine: catalog, Volcano operators, query interface."""
+
+from .advisor import PhysicalDesign, advise, recommend_block_size, recommend_buffer
+from .catalog import Catalog, TableInfo
+from .distributed import DistributedTrainResult, SegmentedMiniDB
+from .engine import ENGINE_PROFILE, MiniDB, ResourceUsage, TrainResult
+from .errors import EngineError, ParseError, UnknownModelError, UnknownTableError
+from .operators import (
+    BlockShuffleOperator,
+    MultiplexedReservoirOperator,
+    PassThroughAccountingOperator,
+    PermutedScanOperator,
+    PhysicalOperator,
+    SeqScanOperator,
+    SGDOperator,
+    SlidingWindowOperator,
+    TupleShuffleOperator,
+)
+from .explain import explain_train_plan
+from .planner import AccessPathChoice, choose_access_path
+from .query import EvaluateQuery, ExplainQuery, PredictQuery, TrainQuery, parse_query, parse_size
+from .systems import (
+    BISMARCK_PROFILE,
+    DL_FRAMEWORK_PROFILE,
+    MADLIB_PROFILE,
+    PYTORCH_PROFILE,
+    SYSTEM_PROFILES,
+    madlib_supports,
+    run_framework,
+    run_in_db_system,
+)
+from .threaded import ThreadedTupleShuffleOperator
+from .timeline import Timeline, TimelinePoint
+from .timing import ComputeProfile, RuntimeContext
+
+__all__ = [
+    "Catalog",
+    "TableInfo",
+    "MiniDB",
+    "SegmentedMiniDB",
+    "DistributedTrainResult",
+    "TrainResult",
+    "ResourceUsage",
+    "ENGINE_PROFILE",
+    "EngineError",
+    "ParseError",
+    "UnknownTableError",
+    "UnknownModelError",
+    "PhysicalOperator",
+    "SeqScanOperator",
+    "BlockShuffleOperator",
+    "TupleShuffleOperator",
+    "PassThroughAccountingOperator",
+    "SGDOperator",
+    "PermutedScanOperator",
+    "SlidingWindowOperator",
+    "MultiplexedReservoirOperator",
+    "ThreadedTupleShuffleOperator",
+    "PhysicalDesign",
+    "advise",
+    "recommend_block_size",
+    "recommend_buffer",
+    "AccessPathChoice",
+    "choose_access_path",
+    "TrainQuery",
+    "PredictQuery",
+    "ExplainQuery",
+    "EvaluateQuery",
+    "explain_train_plan",
+    "parse_query",
+    "parse_size",
+    "Timeline",
+    "TimelinePoint",
+    "ComputeProfile",
+    "RuntimeContext",
+    "MADLIB_PROFILE",
+    "BISMARCK_PROFILE",
+    "PYTORCH_PROFILE",
+    "DL_FRAMEWORK_PROFILE",
+    "SYSTEM_PROFILES",
+    "run_in_db_system",
+    "run_framework",
+    "madlib_supports",
+]

@@ -1,0 +1,138 @@
+"""Physical-design advisor: block size and buffer size recommendations.
+
+Section 7.3.4 ends with practical guidance: *"we recommend users to choose
+the smallest block size that can achieve high-enough I/O throughput"* and
+shows that a 2 % buffer already matches Shuffle Once.  This module turns
+that guidance into code: given a device model and table statistics, it
+computes
+
+* the smallest block size whose random-access throughput reaches a target
+  fraction of sequential bandwidth (the Figure 20 knee), and
+* a buffer size that holds enough blocks for the tuple-level shuffle to mix
+  well, subject to a memory budget.
+
+The advisor is purely analytic — it reads no data — so it can run at
+``CREATE TABLE`` time or inside a query planner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..storage.iomodel import DeviceModel
+
+__all__ = ["PhysicalDesign", "recommend_block_size", "recommend_buffer", "advise"]
+
+# Defaults mirroring the paper's setup: ~90 % of sequential bandwidth is
+# "high-enough", buffers of ~10 % of the data with at least 8 blocks per
+# fill mix clustered data well (Figures 14a and our ablations).
+DEFAULT_THROUGHPUT_FRACTION = 0.9
+DEFAULT_BUFFER_FRACTION = 0.1
+MIN_BLOCKS_PER_BUFFER = 8
+
+
+@dataclass(frozen=True)
+class PhysicalDesign:
+    """The advisor's output."""
+
+    block_bytes: int
+    buffer_bytes: int
+    buffer_fraction: float
+    blocks_per_buffer: int
+    expected_random_throughput_fraction: float
+
+    def describe(self) -> str:
+        return (
+            f"block={self.block_bytes / 1024:.0f}KB "
+            f"({self.expected_random_throughput_fraction:.0%} of sequential bw), "
+            f"buffer={self.buffer_bytes / 1024:.0f}KB "
+            f"({self.buffer_fraction:.1%} of table, "
+            f"{self.blocks_per_buffer} blocks/fill)"
+        )
+
+
+def recommend_block_size(
+    device: DeviceModel,
+    page_bytes: int,
+    throughput_fraction: float = DEFAULT_THROUGHPUT_FRACTION,
+    max_block_bytes: int = 1 << 30,
+) -> int:
+    """Smallest page-aligned block reaching the target random throughput.
+
+    Solves ``block / (t_lat + block/bw) >= fraction * bw`` for the block
+    size: ``block >= fraction/(1-fraction) * t_lat * bw``, rounded up to a
+    whole number of pages.
+    """
+    if not 0.0 < throughput_fraction < 1.0:
+        raise ValueError("throughput_fraction must be in (0, 1)")
+    if page_bytes <= 0:
+        raise ValueError("page_bytes must be positive")
+    needed = (
+        throughput_fraction
+        / (1.0 - throughput_fraction)
+        * device.access_latency_s
+        * device.bandwidth_bytes_per_s
+    )
+    pages = max(1, -(-int(needed) // page_bytes))
+    block = pages * page_bytes
+    if block > max_block_bytes:
+        raise ValueError(
+            f"device needs {block} byte blocks to reach "
+            f"{throughput_fraction:.0%} of bandwidth (cap {max_block_bytes})"
+        )
+    return block
+
+
+def recommend_buffer(
+    table_bytes: float,
+    block_bytes: int,
+    memory_budget_bytes: float | None = None,
+    buffer_fraction: float = DEFAULT_BUFFER_FRACTION,
+) -> tuple[int, int]:
+    """Buffer bytes and blocks-per-fill under the paper's sizing rules.
+
+    Starts from ``buffer_fraction`` of the table, raises it to hold at
+    least :data:`MIN_BLOCKS_PER_BUFFER` blocks (tuple-level mixing needs
+    several blocks per fill — our block-size ablation), and caps it at the
+    memory budget and the table size.  Returns ``(buffer_bytes, blocks)``.
+    """
+    if table_bytes <= 0 or block_bytes <= 0:
+        raise ValueError("table_bytes and block_bytes must be positive")
+    target = buffer_fraction * table_bytes
+    target = max(target, MIN_BLOCKS_PER_BUFFER * block_bytes)
+    target = min(target, table_bytes)
+    if memory_budget_bytes is not None:
+        if memory_budget_bytes < block_bytes:
+            raise ValueError("memory budget smaller than a single block")
+        target = min(target, memory_budget_bytes)
+    blocks = max(1, int(target // block_bytes))
+    return blocks * block_bytes, blocks
+
+
+def advise(
+    device: DeviceModel,
+    table_bytes: float,
+    page_bytes: int,
+    memory_budget_bytes: float | None = None,
+    throughput_fraction: float = DEFAULT_THROUGHPUT_FRACTION,
+    buffer_fraction: float = DEFAULT_BUFFER_FRACTION,
+) -> PhysicalDesign:
+    """Full physical-design recommendation for one table on one device."""
+    block = recommend_block_size(device, page_bytes, throughput_fraction)
+    if block > table_bytes:
+        # Tiny table: a single block would swallow it; fall back to
+        # table_bytes / MIN_BLOCKS so CorgiPile still has blocks to shuffle.
+        pages = max(1, int(table_bytes / MIN_BLOCKS_PER_BUFFER) // page_bytes)
+        block = max(page_bytes, pages * page_bytes)
+    buffer_bytes, blocks = recommend_buffer(
+        table_bytes, block, memory_budget_bytes, buffer_fraction
+    )
+    return PhysicalDesign(
+        block_bytes=block,
+        buffer_bytes=buffer_bytes,
+        buffer_fraction=buffer_bytes / table_bytes,
+        blocks_per_buffer=blocks,
+        expected_random_throughput_fraction=(
+            device.random_throughput(block) / device.bandwidth_bytes_per_s
+        ),
+    )

@@ -1,0 +1,98 @@
+"""Catalog: named tables backed by heap files.
+
+``CREATE TABLE``-ing a dataset materialises it into a
+:class:`~repro.storage.heapfile.HeapFile` (pages of encoded tuples) and
+keeps the logical dataset alongside for end-of-epoch evaluation.  Average
+tuple size and values-per-tuple are computed once at load time; the timing
+model uses them for I/O and compute charging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..data.sparse import SparseMatrix
+from ..storage.bufferpool import BufferPool
+from ..storage.heapfile import HeapFile
+from ..storage.page import DEFAULT_PAGE_BYTES
+from .errors import UnknownTableError
+
+__all__ = ["TableInfo", "Catalog"]
+
+
+@dataclass
+class TableInfo:
+    """One catalog entry."""
+
+    name: str
+    dataset: Dataset
+    heap: HeapFile
+    pool: BufferPool
+
+    @property
+    def n_tuples(self) -> int:
+        return self.dataset.n_tuples
+
+    @property
+    def tuple_bytes(self) -> float:
+        """Average on-disk bytes per tuple (payload, not page padding)."""
+        return self.heap.payload_bytes / max(1, self.heap.n_tuples)
+
+    @property
+    def values_per_tuple(self) -> float:
+        """Average feature values per tuple (nnz for sparse, d for dense)."""
+        if isinstance(self.dataset.X, SparseMatrix):
+            return self.dataset.X.nnz / max(1, self.dataset.n_tuples)
+        return float(self.dataset.n_features)
+
+    @property
+    def table_bytes(self) -> int:
+        return self.heap.total_bytes
+
+
+class Catalog:
+    """Name → table mapping with heap materialisation."""
+
+    def __init__(self, page_bytes: int = DEFAULT_PAGE_BYTES, pool_pages: int = 4096):
+        self.page_bytes = int(page_bytes)
+        self.pool_pages = int(pool_pages)
+        self._tables: dict[str, TableInfo] = {}
+
+    def create_table(
+        self, name: str, dataset: Dataset, compress: bool = False
+    ) -> TableInfo:
+        """Materialise ``dataset`` as a heap table named ``name``."""
+        if name in self._tables:
+            raise ValueError(f"table {name!r} already exists")
+        heap = HeapFile.from_dataset(dataset, page_bytes=self.page_bytes, compress=compress)
+        info = TableInfo(
+            name=name,
+            dataset=dataset,
+            heap=heap,
+            pool=BufferPool(heap, capacity_pages=self.pool_pages),
+        )
+        self._tables[name] = info
+        return info
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise UnknownTableError(name)
+        del self._tables[name]
+
+    def get(self, name: str) -> TableInfo:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def names(self) -> list[str]:
+        return list(self._tables)
+
+    def labels(self, name: str) -> np.ndarray:
+        return np.asarray(self.get(name).dataset.y)

@@ -1,0 +1,343 @@
+"""MiniDB — the in-database ML engine (Section 6).
+
+Glues the catalog, the Volcano operators, the timing model, and the query
+interface together::
+
+    db = MiniDB(device=SSD)
+    db.create_table("higgs", clustered_train)
+    result = db.execute(
+        "SELECT * FROM higgs TRAIN BY svm WITH learning_rate = 0.1, "
+        "max_epoch_num = 5, block_size = 10MB, buffer_fraction = 0.1",
+        test=test_set,
+    )
+    result.timeline  # accuracy vs simulated seconds
+    db.execute(f"SELECT * FROM higgs PREDICT BY {result.model_id}")
+
+Access-path selection by ``strategy``:
+
+* ``corgipile`` — BlockShuffle → TupleShuffle → SGD (double-buffered);
+* ``corgipile_single_buffer`` — same plan, single-buffered TupleShuffle;
+* ``block_only`` — BlockShuffle → SGD (the Section 7.3 ablation);
+* ``no_shuffle`` — SeqScan → SGD;
+* ``shuffle_once`` — an offline full shuffle materialises a second copy
+  (charged as an external sort and 2× disk), then SeqScan → SGD over it.
+
+Trained models are kept in the engine's model store as in-memory objects
+with ids, as the paper describes (a C struct with an ID in the kernel).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..ml.models.base import SupervisedModel
+from ..ml.models.linear import LinearRegression, LinearSVM, LogisticRegression
+from ..ml.models.softmax import SoftmaxRegression
+from ..ml.optim import SGD
+from ..ml.schedules import ExponentialDecay
+from ..ml.trainer import ConvergenceHistory, EpochRecord
+from ..shuffle.base import EXTERNAL_SORT_PASSES
+from ..storage.iomodel import SSD, DeviceModel
+from ..storage.page import DEFAULT_PAGE_BYTES
+from .catalog import Catalog, TableInfo
+from .errors import EngineError, UnknownModelError
+from .operators import (
+    BlockShuffleOperator,
+    MultiplexedReservoirOperator,
+    PassThroughAccountingOperator,
+    PermutedScanOperator,
+    SeqScanOperator,
+    SGDOperator,
+    SlidingWindowOperator,
+    TupleShuffleOperator,
+)
+from .explain import explain_train_plan
+from .query import EvaluateQuery, ExplainQuery, PredictQuery, TrainQuery, parse_query
+from .timeline import Timeline
+from .timing import ComputeProfile, RuntimeContext
+
+__all__ = ["MiniDB", "TrainResult", "ResourceUsage", "ENGINE_PROFILE"]
+
+# Per-tuple SGD cost of the native (C-level) CorgiPile operators: a slot
+# extraction plus a dot product / axpy over the feature values.
+ENGINE_PROFILE = ComputeProfile(
+    "corgipile-engine",
+    per_tuple_s=1.5e-6,
+    per_value_s=4e-9,
+    decompress_per_byte_s=3e-8,
+)
+
+STRATEGIES = (
+    "corgipile",
+    "corgipile_single_buffer",
+    "block_only",
+    "no_shuffle",
+    "shuffle_once",
+    "epoch_shuffle",
+    "random_access",
+    "sliding_window",
+    "mrs",
+)
+
+
+@dataclass
+class ResourceUsage:
+    """Appendix B resource accounting for one training query."""
+
+    buffer_memory_bytes: float
+    extra_disk_bytes: float
+    io_seconds: float
+    compute_seconds: float
+    wall_seconds: float
+
+    @property
+    def cpu_utilisation(self) -> float:
+        """Compute seconds per wall second (can exceed 1 with two threads)."""
+        if self.wall_seconds == 0:
+            return 0.0
+        return self.compute_seconds / self.wall_seconds
+
+
+@dataclass
+class TrainResult:
+    """Everything a ``TRAIN BY`` query produces."""
+
+    model_id: str
+    model: SupervisedModel
+    history: ConvergenceHistory
+    timeline: Timeline
+    resources: ResourceUsage
+    query: TrainQuery
+
+
+class MiniDB:
+    """A miniature database engine with in-DB SGD."""
+
+    def __init__(
+        self,
+        device: DeviceModel = SSD,
+        compute: ComputeProfile = ENGINE_PROFILE,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+        pool_pages: int = 1 << 30,
+        cold_cache_per_query: bool = True,
+    ):
+        self.device = device
+        self.compute = compute
+        self.catalog = Catalog(page_bytes=page_bytes, pool_pages=pool_pages)
+        self.cold_cache_per_query = cold_cache_per_query
+        self._models: dict[str, SupervisedModel] = {}
+        self._model_counter = 0
+
+    # ------------------------------------------------------------------
+    def create_table(self, name: str, dataset: Dataset, compress: bool = False) -> TableInfo:
+        return self.catalog.create_table(name, dataset, compress=compress)
+
+    def execute(self, sql: str, test: Dataset | None = None):
+        """Run one statement.
+
+        ``TRAIN BY`` returns a :class:`TrainResult`, ``PREDICT BY`` a
+        prediction array, and ``EXPLAIN`` the plan text without training.
+        """
+        query = parse_query(sql)
+        if isinstance(query, ExplainQuery):
+            return self.explain(query.inner)
+        if isinstance(query, PredictQuery):
+            return self.predict(query)
+        if isinstance(query, EvaluateQuery):
+            return self.evaluate(query)
+        return self.train(query, test=test)
+
+    def explain(self, query: TrainQuery) -> str:
+        """Render the physical plan a TRAIN query would execute."""
+        return explain_train_plan(query, self.catalog.get(query.table))
+
+    # ------------------------------------------------------------------
+    def _build_model(self, query: TrainQuery, table: TableInfo) -> SupervisedModel:
+        d = table.dataset.n_features
+        task = table.dataset.task
+        if query.model in ("lr", "svm") and task != "binary":
+            raise EngineError(
+                f"model {query.model!r} needs a binary table; "
+                f"{table.name!r} is {task}"
+            )
+        if query.model == "linreg" and task != "regression":
+            raise EngineError(
+                f"model 'linreg' needs a regression table; {table.name!r} is {task}"
+            )
+        if query.model == "softmax" and task != "multiclass":
+            raise EngineError(
+                f"model 'softmax' needs a multiclass table; {table.name!r} is {task}"
+            )
+        if query.model == "lr":
+            return LogisticRegression(d)
+        if query.model == "svm":
+            return LinearSVM(d)
+        if query.model == "linreg":
+            return LinearRegression(d)
+        if query.model == "softmax":
+            return SoftmaxRegression(d, table.dataset.n_classes)
+        raise EngineError(f"unknown model {query.model!r}")
+
+    def _build_pipeline(self, query: TrainQuery, table: TableInfo, ctx: RuntimeContext):
+        buffer_tuples = max(1, round(query.buffer_fraction * table.n_tuples))
+        strategy = query.strategy
+        if strategy in ("corgipile", "corgipile_single_buffer"):
+            scan = BlockShuffleOperator(table, ctx, query.block_size, seed=query.seed)
+            return TupleShuffleOperator(scan, ctx, buffer_tuples, seed=query.seed)
+        if strategy == "block_only":
+            scan = BlockShuffleOperator(table, ctx, query.block_size, seed=query.seed)
+            return PassThroughAccountingOperator(scan, ctx, buffer_tuples)
+        if strategy in ("no_shuffle", "shuffle_once"):
+            scan = SeqScanOperator(table, ctx)
+            return PassThroughAccountingOperator(scan, ctx, buffer_tuples)
+        if strategy == "epoch_shuffle":
+            scan = PermutedScanOperator(table, ctx, seed=query.seed, charge="sort")
+            return PassThroughAccountingOperator(scan, ctx, buffer_tuples)
+        if strategy == "random_access":
+            scan = PermutedScanOperator(table, ctx, seed=query.seed, charge="random_tuple")
+            return PassThroughAccountingOperator(scan, ctx, buffer_tuples)
+        if strategy == "sliding_window":
+            scan = SeqScanOperator(table, ctx)
+            window = SlidingWindowOperator(scan, buffer_tuples, seed=query.seed)
+            return PassThroughAccountingOperator(window, ctx, buffer_tuples)
+        if strategy == "mrs":
+            scan = SeqScanOperator(table, ctx)
+            mrs = MultiplexedReservoirOperator(scan, buffer_tuples, seed=query.seed)
+            return PassThroughAccountingOperator(mrs, ctx, buffer_tuples)
+        raise EngineError(
+            f"unknown strategy {strategy!r}; supported: {', '.join(STRATEGIES)}"
+        )
+
+    def _shuffled_copy(self, table: TableInfo, seed: int) -> TableInfo:
+        """Materialise the Shuffle-Once copy (ORDER BY RANDOM equivalent)."""
+        rng = np.random.default_rng(seed)
+        shuffled = table.dataset.reorder(rng.permutation(table.n_tuples), suffix="so")
+        copy_name = f"{table.name}__shuffled_{seed}"
+        if copy_name in self.catalog:
+            self.catalog.drop_table(copy_name)
+        return self.catalog.create_table(copy_name, shuffled, compress=table.heap.compress)
+
+    def train(self, query: TrainQuery, test: Dataset | None = None) -> TrainResult:
+        table = self.catalog.get(query.table)
+        if query.strategy == "auto":
+            from .planner import choose_access_path
+
+            choice = choose_access_path(table, query.block_size)
+            query = replace(query, strategy=choice.strategy)
+            query.extra["planner"] = choice.describe()
+        if self.cold_cache_per_query:
+            table.pool.clear()
+
+        setup_s = 0.0
+        setup_note = ""
+        extra_disk = 0.0
+        train_table = table
+        if query.strategy == "shuffle_once":
+            train_table = self._shuffled_copy(table, query.seed)
+            bytes_total = float(table.heap.payload_bytes)
+            # External sort: alternating sequential read/write passes plus
+            # the n·log2(n) comparison/copy CPU of ORDER BY RANDOM().
+            setup_s = EXTERNAL_SORT_PASSES * self.device.sequential_time(bytes_total)
+            comparisons = table.n_tuples * max(1.0, math.log2(table.n_tuples))
+            setup_s += 0.25 * comparisons * self.compute.per_tuple_s
+            setup_note = f"offline full shuffle ({EXTERNAL_SORT_PASSES} passes)"
+            extra_disk = float(train_table.heap.total_bytes)
+
+        ctx = RuntimeContext(
+            device=self.device,
+            compute=self.compute,
+            double_buffer=query.strategy != "corgipile_single_buffer"
+            and bool(query.double_buffer),
+            values_per_tuple=train_table.values_per_tuple,
+            compressed_bytes_per_tuple=(
+                train_table.tuple_bytes if train_table.heap.compress else 0.0
+            ),
+        )
+        model = self._build_model(query, train_table)
+        pipeline = self._build_pipeline(query, train_table, ctx)
+        optimizer = SGD(model) if query.batch_size > 1 else None
+        sgd = SGDOperator(
+            pipeline,
+            ctx,
+            model,
+            ExponentialDecay(query.learning_rate, query.decay),
+            epochs=query.max_epoch_num,
+            batch_size=query.batch_size,
+            optimizer=optimizer,
+        )
+
+        timeline = Timeline(
+            system=f"minidb/{query.strategy}", setup_s=setup_s, setup_note=setup_note
+        )
+        eval_set = train_table.dataset
+
+        def evaluate(epoch: int, lr: float, tuples_seen: int) -> EpochRecord:
+            record = EpochRecord(
+                epoch=epoch,
+                lr=lr,
+                train_loss=model.loss(eval_set.X, eval_set.y),
+                train_score=model.score(eval_set.X, eval_set.y),
+                test_score=model.score(test.X, test.y) if test is not None else None,
+                tuples_seen=tuples_seen,
+            )
+            timeline.append(
+                sgd.epoch_wall_times[-1],
+                epoch,
+                record.train_loss,
+                record.train_score,
+                record.test_score,
+            )
+            return record
+
+        history = sgd.execute(evaluate)
+
+        buffer_tuples = max(1, round(query.buffer_fraction * train_table.n_tuples))
+        buffer_copies = 2 if ctx.double_buffer and query.strategy.startswith("corgipile") else 1
+        needs_buffer = query.strategy.startswith("corgipile")
+        resources = ResourceUsage(
+            buffer_memory_bytes=(
+                buffer_copies * buffer_tuples * train_table.tuple_bytes if needs_buffer else 0.0
+            ),
+            extra_disk_bytes=extra_disk,
+            io_seconds=ctx.total_io_s,
+            compute_seconds=ctx.total_compute_s,
+            wall_seconds=timeline.total_time_s,
+        )
+
+        self._model_counter += 1
+        model_id = f"model_{self._model_counter}"
+        self._models[model_id] = model
+        return TrainResult(model_id, model, history, timeline, resources, query)
+
+    # ------------------------------------------------------------------
+    def predict(self, query: PredictQuery) -> np.ndarray:
+        table = self.catalog.get(query.table)
+        try:
+            model = self._models[query.model_id]
+        except KeyError:
+            raise UnknownModelError(query.model_id) from None
+        return model.predict(table.dataset.X)
+
+    def evaluate(self, query: EvaluateQuery) -> dict:
+        """Score a stored model against a table's labels."""
+        table = self.catalog.get(query.table)
+        model = self.get_model(query.model_id)
+        dataset = table.dataset
+        metric = "r2" if dataset.task == "regression" else "accuracy"
+        return {
+            "model_id": query.model_id,
+            "table": query.table,
+            "metric": metric,
+            "value": model.score(dataset.X, dataset.y),
+            "n_tuples": dataset.n_tuples,
+        }
+
+    def get_model(self, model_id: str) -> SupervisedModel:
+        try:
+            return self._models[model_id]
+        except KeyError:
+            raise UnknownModelError(model_id) from None

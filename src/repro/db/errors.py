@@ -1,0 +1,21 @@
+"""Exception hierarchy for the mini database engine."""
+
+from __future__ import annotations
+
+__all__ = ["EngineError", "ParseError", "UnknownTableError", "UnknownModelError"]
+
+
+class EngineError(Exception):
+    """Base class for engine failures."""
+
+
+class ParseError(EngineError):
+    """The query text could not be parsed."""
+
+
+class UnknownTableError(EngineError):
+    """The query references a table that is not in the catalog."""
+
+
+class UnknownModelError(EngineError):
+    """The query references a model id that was never trained."""

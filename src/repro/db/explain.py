@@ -1,0 +1,92 @@
+"""EXPLAIN for TRAIN queries: render the physical operator tree.
+
+Mirrors PostgreSQL's ``EXPLAIN``: given a parsed :class:`TrainQuery` and
+the catalog entry it targets, produce the pipeline the executor would run,
+with the physical parameters (block count, buffer tuples, double
+buffering) resolved against the actual table.
+"""
+
+from __future__ import annotations
+
+from .catalog import TableInfo
+from .errors import EngineError
+from .query import TrainQuery
+
+__all__ = ["explain_train_plan"]
+
+
+def _fmt_bytes(n: float) -> str:
+    if n >= 1024**2:
+        return f"{n / 1024**2:.1f}MB"
+    if n >= 1024:
+        return f"{n / 1024:.1f}KB"
+    return f"{n:.0f}B"
+
+
+def explain_train_plan(query: TrainQuery, table: TableInfo) -> str:
+    """The operator tree for ``query`` over ``table``, as EXPLAIN text."""
+    buffer_tuples = max(1, round(query.buffer_fraction * table.n_tuples))
+    heap = table.heap
+    n_blocks = heap.n_blocks(query.block_size) if query.block_size >= heap.page_bytes else None
+
+    heap_line = (
+        f"Heap {table.name!r}  ({table.n_tuples} tuples, {heap.n_pages} pages, "
+        f"{_fmt_bytes(heap.total_bytes)}"
+        + (", TOAST-compressed" if heap.compress else "")
+        + ")"
+    )
+
+    lines = [
+        f"SGD  (model={query.model}, epochs={query.max_epoch_num}, "
+        f"batch_size={query.batch_size}, lr={query.learning_rate}, "
+        f"decay={query.decay})"
+    ]
+    strategy = query.strategy
+    if strategy in ("corgipile", "corgipile_single_buffer"):
+        buffering = (
+            "double-buffered"
+            if strategy == "corgipile" and query.double_buffer
+            else "single-buffered"
+        )
+        lines.append(
+            f"  -> TupleShuffle  (buffer={buffer_tuples} tuples, {buffering})"
+        )
+        lines.append(
+            f"    -> BlockShuffle  (blocks={n_blocks}, "
+            f"block_size={_fmt_bytes(query.block_size)}, "
+            f"{heap.pages_per_block(query.block_size)} pages/block)"
+        )
+        lines.append(f"      -> {heap_line}")
+    elif strategy == "block_only":
+        lines.append(
+            f"  -> BlockShuffle  (blocks={n_blocks}, "
+            f"block_size={_fmt_bytes(query.block_size)})"
+        )
+        lines.append(f"    -> {heap_line}")
+    elif strategy == "no_shuffle":
+        lines.append("  -> SeqScan")
+        lines.append(f"    -> {heap_line}")
+    elif strategy == "epoch_shuffle":
+        lines.append("  -> PermutedScan  (fresh permutation per epoch; re-sort charged per epoch)")
+        lines.append(f"    -> {heap_line}")
+    elif strategy == "random_access":
+        lines.append("  -> PermutedScan  (random tuple access — vanilla SGD path)")
+        lines.append(f"    -> {heap_line}")
+    elif strategy == "sliding_window":
+        lines.append(f"  -> SlidingWindow  (window={buffer_tuples} tuples)")
+        lines.append("    -> SeqScan")
+        lines.append(f"      -> {heap_line}")
+    elif strategy == "mrs":
+        lines.append(f"  -> MultiplexedReservoir  (reservoir={buffer_tuples} tuples)")
+        lines.append("    -> SeqScan")
+        lines.append(f"      -> {heap_line}")
+    elif strategy == "shuffle_once":
+        lines.append("  -> SeqScan  (over pre-shuffled copy)")
+        lines.append(f"    -> {heap_line}")
+        lines.append(
+            "  [setup: offline full shuffle — external sort, "
+            f"writes a {_fmt_bytes(heap.total_bytes)} second copy]"
+        )
+    else:
+        raise EngineError(f"cannot explain unknown strategy {strategy!r}")
+    return "\n".join(lines)

@@ -1,0 +1,570 @@
+"""Volcano-style physical operators (Section 6.2).
+
+The paper adds three operators to PostgreSQL and chains them into a
+pull-based pipeline::
+
+    SGDOperator  ←pull←  TupleShuffleOperator  ←pull←  BlockShuffleOperator
+
+Each operator implements ``open() / next() / close() / rescan()``.
+``rescan`` is the re-scan mechanism the SGD operator invokes between epochs
+(resetting buffers and re-shuffling block ids, like PostgreSQL's
+NestedLoopJoin re-scans its inner).
+
+Operators log their physical reads into a
+:class:`~repro.db.timing.RuntimeContext`: the BlockShuffle operator charges
+page reads (device-speed on buffer-pool misses, memory-speed on hits) and
+the TupleShuffle operator marks buffer-fill boundaries so double buffering
+can overlap fill I/O with SGD compute.
+
+``SeqScanOperator`` is the No-Shuffle access path (MADlib/Bismarck without a
+pre-shuffled copy) and is also used to scan a pre-shuffled table.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..core.buffer import ShuffleBuffer
+from ..ml.models.base import SupervisedModel
+from ..ml.trainer import ConvergenceHistory
+from ..storage.codec import TrainingTuple
+from .catalog import TableInfo
+from .timing import RuntimeContext
+
+__all__ = [
+    "PhysicalOperator",
+    "SeqScanOperator",
+    "BlockShuffleOperator",
+    "TupleShuffleOperator",
+    "PassThroughAccountingOperator",
+    "PermutedScanOperator",
+    "SlidingWindowOperator",
+    "MultiplexedReservoirOperator",
+    "SGDOperator",
+]
+
+
+class PhysicalOperator(ABC):
+    """The Volcano iterator interface."""
+
+    def open(self) -> None:  # noqa: B027 - optional hook
+        """Initialise operator state (ExecInit)."""
+
+    @abstractmethod
+    def next(self) -> TrainingTuple | None:
+        """Return the next tuple, or ``None`` at end of stream (getNext)."""
+
+    def rescan(self) -> None:  # noqa: B027 - optional hook
+        """Reset for another pass (ExecReScan)."""
+
+    def close(self) -> None:  # noqa: B027 - optional hook
+        """Release resources."""
+
+    def __iter__(self):
+        while True:
+            record = self.next()
+            if record is None:
+                return
+            yield record
+
+
+class SeqScanOperator(PhysicalOperator):
+    """Sequential heap scan in page order (the No Shuffle access path)."""
+
+    def __init__(self, table: TableInfo, ctx: RuntimeContext):
+        self.table = table
+        self.ctx = ctx
+        self._page = 0
+        self._slot = 0
+        self._current: list[TrainingTuple] = []
+
+    def open(self) -> None:
+        self._page = 0
+        self._slot = 0
+        self._current = []
+
+    def next(self) -> TrainingTuple | None:
+        while self._slot >= len(self._current):
+            if self._page >= self.table.heap.n_pages:
+                return None
+            tuples, hit = self.table.pool.get_page_traced(self._page)
+            page_bytes = self.table.heap.pages[self._page].used_bytes
+            if hit:
+                self.ctx.charge_memory_read(page_bytes)
+            else:
+                # Sequential page reads: no per-page positioning cost beyond
+                # the stream itself; charge as sequential transfer.
+                self.ctx.charge_device_read(page_bytes, random=False)
+            self._current = tuples
+            self._slot = 0
+            self._page += 1
+        record = self._current[self._slot]
+        self._slot += 1
+        return record
+
+    def rescan(self) -> None:
+        self.open()
+
+
+class BlockShuffleOperator(PhysicalOperator):
+    """Random block-order scan (Section 6.2 operator 1).
+
+    Computes ``BN = page_num · page_size / block_size``, shuffles the block
+    ids, and streams the tuples of each block's pages.  A fresh shuffle is
+    drawn on every ``rescan`` (one per epoch).
+    """
+
+    def __init__(
+        self,
+        table: TableInfo,
+        ctx: RuntimeContext,
+        block_bytes: int,
+        seed: int = 0,
+    ):
+        self.table = table
+        self.ctx = ctx
+        self.block_bytes = int(block_bytes)
+        self.seed = int(seed)
+        self._epoch = 0
+        self._block_order: np.ndarray = np.empty(0, dtype=np.int64)
+        self._block_pos = 0
+        self._pending: list[TrainingTuple] = []
+        self._slot = 0
+
+    @property
+    def n_blocks(self) -> int:
+        return self.table.heap.n_blocks(self.block_bytes)
+
+    def open(self) -> None:
+        rng = np.random.default_rng(np.random.SeedSequence([self.seed, self._epoch]))
+        self._block_order = rng.permutation(self.n_blocks)
+        self._block_pos = 0
+        self._pending = []
+        self._slot = 0
+
+    def _load_next_block(self) -> bool:
+        if self._block_pos >= self._block_order.size:
+            return False
+        block_id = int(self._block_order[self._block_pos])
+        self._block_pos += 1
+        tuples: list[TrainingTuple] = []
+        device_bytes = 0.0
+        memory_bytes = 0.0
+        for page_id in self.table.heap.block_pages(block_id, self.block_bytes):
+            page_tuples, hit = self.table.pool.get_page_traced(page_id)
+            page_bytes = self.table.heap.pages[page_id].used_bytes
+            if hit:
+                memory_bytes += page_bytes
+            else:
+                device_bytes += page_bytes
+            tuples.extend(page_tuples)
+        # One random positioning per block; the pages inside a block are
+        # contiguous, so they transfer at sequential bandwidth.
+        if device_bytes:
+            self.ctx.charge_device_read(device_bytes, random=True)
+        if memory_bytes:
+            self.ctx.charge_memory_read(memory_bytes)
+        self._pending = tuples
+        self._slot = 0
+        return True
+
+    def next(self) -> TrainingTuple | None:
+        while self._slot >= len(self._pending):
+            if not self._load_next_block():
+                return None
+        record = self._pending[self._slot]
+        self._slot += 1
+        return record
+
+    def rescan(self) -> None:
+        self._epoch += 1
+        self.open()
+
+
+class TupleShuffleOperator(PhysicalOperator):
+    """Buffer a batch of blocks' tuples and shuffle them (operator 2).
+
+    Pulls from its child until the buffer holds ``buffer_tuples`` tuples,
+    shuffles the buffer, then emits the shuffled tuples one by one.  Each
+    completed fill is reported to the runtime context so the executor can
+    overlap the next fill with SGD compute (double buffering, Section 6.3).
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        ctx: RuntimeContext,
+        buffer_tuples: int,
+        seed: int = 0,
+    ):
+        if buffer_tuples <= 0:
+            raise ValueError("buffer_tuples must be positive")
+        self.child = child
+        self.ctx = ctx
+        self.buffer_tuples = int(buffer_tuples)
+        self.seed = int(seed)
+        self._epoch = 0
+        self._rng = np.random.default_rng(np.random.SeedSequence([seed, 0, 7]))
+        self._drained: list[TrainingTuple] = []
+        self._slot = 0
+        self._exhausted = False
+
+    def open(self) -> None:
+        self.child.open()
+        self._drained = []
+        self._slot = 0
+        self._exhausted = False
+
+    def _refill(self) -> bool:
+        if self._exhausted:
+            return False
+        buffer: ShuffleBuffer[TrainingTuple] = ShuffleBuffer(self.buffer_tuples, self._rng)
+        while not buffer.full:
+            record = self.child.next()
+            if record is None:
+                self._exhausted = True
+                break
+            buffer.add(record)
+        n = len(buffer)
+        if n == 0:
+            return False
+        self._drained = buffer.shuffle_and_drain()
+        self._slot = 0
+        self.ctx.end_fill(n)
+        return True
+
+    def next(self) -> TrainingTuple | None:
+        while self._slot >= len(self._drained):
+            if not self._refill():
+                return None
+        record = self._drained[self._slot]
+        self._slot += 1
+        return record
+
+    def rescan(self) -> None:
+        self._epoch += 1
+        self._rng = np.random.default_rng(np.random.SeedSequence([self.seed, self._epoch, 7]))
+        self.child.rescan()
+        self._drained = []
+        self._slot = 0
+        self._exhausted = False
+
+
+class PassThroughAccountingOperator(PhysicalOperator):
+    """Counts tuples into fills without shuffling (for No-Shuffle plans).
+
+    No-Shuffle pipelines have no TupleShuffle, but the timing model still
+    needs fill boundaries to pair I/O with compute; this wraps the scan and
+    closes a "fill" every ``chunk_tuples`` tuples.
+    """
+
+    def __init__(self, child: PhysicalOperator, ctx: RuntimeContext, chunk_tuples: int):
+        if chunk_tuples <= 0:
+            raise ValueError("chunk_tuples must be positive")
+        self.child = child
+        self.ctx = ctx
+        self.chunk_tuples = int(chunk_tuples)
+        self._since_fill = 0
+
+    def open(self) -> None:
+        self.child.open()
+        self._since_fill = 0
+
+    def next(self) -> TrainingTuple | None:
+        record = self.child.next()
+        if record is None:
+            if self._since_fill:
+                self.ctx.end_fill(self._since_fill)
+                self._since_fill = 0
+            return None
+        self._since_fill += 1
+        if self._since_fill >= self.chunk_tuples:
+            self.ctx.end_fill(self._since_fill)
+            self._since_fill = 0
+        return record
+
+    def rescan(self) -> None:
+        self.child.rescan()
+        self._since_fill = 0
+
+
+class SGDOperator:
+    """The root operator: runs SGD epochs by pulling tuples (operator 3).
+
+    Not a tuple-producing iterator — like the paper's SGD operator it drives
+    the pipeline, updates the model per tuple (or per mini-batch), and uses
+    ``rescan`` on its child between epochs.
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        ctx: RuntimeContext,
+        model: SupervisedModel,
+        schedule,
+        epochs: int,
+        batch_size: int = 1,
+        optimizer=None,
+    ):
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.child = child
+        self.ctx = ctx
+        self.model = model
+        self.schedule = schedule
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.optimizer = optimizer
+        self.epoch_wall_times: list[float] = []
+
+    def _run_epoch(self, lr: float) -> int:
+        from ..core.dataloader import collate
+
+        count = 0
+        if self.batch_size == 1 and self.optimizer is None:
+            for record in self.child:
+                self.model.step_example(record.features, record.label, lr)
+                count += 1
+            return count
+        pending: list[TrainingTuple] = []
+        for record in self.child:
+            pending.append(record)
+            count += 1
+            if len(pending) == self.batch_size:
+                batch = collate(pending)
+                grads = self.model.gradient(batch.X, batch.y)
+                self.optimizer.step(grads, lr)
+                pending = []
+        if pending:
+            batch = collate(pending)
+            grads = self.model.gradient(batch.X, batch.y)
+            self.optimizer.step(grads, lr)
+        return count
+
+    def execute(self, evaluate) -> ConvergenceHistory:
+        """Run all epochs; ``evaluate(epoch, lr, tuples_seen)`` records metrics."""
+        history = ConvergenceHistory(strategy="in-db", model=type(self.model).__name__)
+        self.child.open()
+        tuples_seen = 0
+        for epoch in range(self.epochs):
+            lr = float(self.schedule(epoch))
+            tuples_seen += self._run_epoch(lr)
+            self.epoch_wall_times.append(self.ctx.epoch_wall_time())
+            history.append(evaluate(epoch, lr, tuples_seen))
+            if epoch + 1 < self.epochs:
+                self.child.rescan()
+        self.child.close()
+        return history
+
+
+class PermutedScanOperator(PhysicalOperator):
+    """Scan tuples in a fresh random permutation per pass.
+
+    Two uses, selected by ``charge``:
+
+    * ``"sort"`` — the Epoch Shuffle access path: the realistic
+      implementation re-sorts the table before each epoch, so the operator
+      charges an external-sort pass (sequential read + write passes over
+      the whole table) at the start of every pass and then emits tuples at
+      the buffer pool's speed;
+    * ``"random_tuple"`` — the vanilla-SGD access path of Section 4.2: one
+      random device access per tuple on a buffer-pool miss, the
+      catastrophic left end of Figure 20.
+    """
+
+    SORT_PASSES = 4
+
+    def __init__(self, table, ctx, seed: int = 0, charge: str = "sort"):
+        if charge not in ("sort", "random_tuple"):
+            raise ValueError(f"unknown charge mode {charge!r}")
+        self.table = table
+        self.ctx = ctx
+        self.seed = int(seed)
+        self.charge = charge
+        self._epoch = 0
+        self._perm = np.empty(0, dtype=np.int64)
+        self._pos = 0
+        # position -> (page_id, slot) resolved once from the heap layout.
+        self._page_of: list[int] = []
+        self._slot_of: list[int] = []
+        for page in table.heap.pages:
+            for slot in range(page.n_tuples):
+                self._page_of.append(page.page_id)
+                self._slot_of.append(slot)
+
+    def open(self) -> None:
+        rng = np.random.default_rng(np.random.SeedSequence([self.seed, self._epoch]))
+        self._perm = rng.permutation(self.table.n_tuples)
+        self._pos = 0
+        if self.charge == "sort":
+            total = float(self.table.heap.payload_bytes)
+            for p in range(self.SORT_PASSES):
+                self.ctx.charge_device_read(total, random=False)
+
+    def next(self) -> TrainingTuple | None:
+        if self._pos >= self._perm.size:
+            return None
+        position = int(self._perm[self._pos])
+        self._pos += 1
+        page_id = self._page_of[position]
+        tuples, hit = self.table.pool.get_page_traced(page_id)
+        page_bytes = self.table.heap.pages[page_id].used_bytes
+        if self.charge == "random_tuple":
+            if hit:
+                self.ctx.charge_memory_read(self.table.tuple_bytes)
+            else:
+                self.ctx.charge_device_read(page_bytes, random=True)
+        else:
+            self.ctx.charge_memory_read(self.table.tuple_bytes)
+        return tuples[self._slot_of[position]]
+
+    def rescan(self) -> None:
+        self._epoch += 1
+        self.open()
+
+
+class SlidingWindowOperator(PhysicalOperator):
+    """TensorFlow's sliding-window sampling as a Volcano operator.
+
+    Keeps a window of tuples pulled from the child; each ``next()`` returns
+    a uniformly random window slot and refills the slot from the child;
+    when the child is exhausted the window drains in random order.  Pure
+    sequential I/O underneath — and, exactly as in Section 3.3, a clustered
+    child stream stays essentially clustered.
+    """
+
+    def __init__(self, child: PhysicalOperator, window_tuples: int, seed: int = 0):
+        if window_tuples <= 0:
+            raise ValueError("window_tuples must be positive")
+        self.child = child
+        self.window_tuples = int(window_tuples)
+        self.seed = int(seed)
+        self._epoch = 0
+        self._rng = np.random.default_rng(np.random.SeedSequence([seed, 0, 11]))
+        self._window: list[TrainingTuple] = []
+        self._primed = False
+
+    def open(self) -> None:
+        self.child.open()
+        self._window = []
+        self._primed = False
+
+    def _prime(self) -> None:
+        while len(self._window) < self.window_tuples:
+            record = self.child.next()
+            if record is None:
+                break
+            self._window.append(record)
+        self._primed = True
+
+    def next(self) -> TrainingTuple | None:
+        if not self._primed:
+            self._prime()
+        if not self._window:
+            return None
+        slot = int(self._rng.integers(len(self._window)))
+        record = self._window[slot]
+        incoming = self.child.next()
+        if incoming is None:
+            # Drain phase: remove the emitted slot.
+            self._window[slot] = self._window[-1]
+            self._window.pop()
+        else:
+            self._window[slot] = incoming
+        return record
+
+    def rescan(self) -> None:
+        self._epoch += 1
+        self._rng = np.random.default_rng(np.random.SeedSequence([self.seed, self._epoch, 11]))
+        self.child.rescan()
+        self._window = []
+        self._primed = False
+
+
+class MultiplexedReservoirOperator(PhysicalOperator):
+    """Bismarck's MRS shuffle as a Volcano operator (Section 3.4).
+
+    One logical thread scans the child with reservoir sampling (selected
+    tuples enter buffer B1, dropped tuples flow to SGD); the other loops
+    over a snapshot buffer B2, interleaved every ``mix_interval`` dropped
+    tuples.  The epoch emits exactly one tuple per child tuple, so buffered
+    tuples can repeat — the data-skew caveat the paper notes.
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        buffer_tuples: int,
+        seed: int = 0,
+        mix_interval: int = 2,
+    ):
+        if buffer_tuples <= 0:
+            raise ValueError("buffer_tuples must be positive")
+        if mix_interval <= 0:
+            raise ValueError("mix_interval must be positive")
+        self.child = child
+        self.buffer_tuples = int(buffer_tuples)
+        self.mix_interval = int(mix_interval)
+        self.seed = int(seed)
+        self._epoch = 0
+        self._reset_state()
+
+    def _reset_state(self) -> None:
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, self._epoch, 13])
+        )
+        self._reservoir: list[TrainingTuple] = []
+        self._loop_buffer: list[TrainingTuple] = []
+        self._scanned = 0
+        self._emitted = 0
+        self._dropped_since_mix = 0
+        self._scan_done = False
+
+    def open(self) -> None:
+        self.child.open()
+        self._reset_state()
+
+    def _emit_from_loop(self) -> TrainingTuple:
+        if not self._loop_buffer:
+            self._loop_buffer = list(self._reservoir)
+        self._emitted += 1
+        return self._loop_buffer[int(self._rng.integers(len(self._loop_buffer)))]
+
+    def next(self) -> TrainingTuple | None:
+        while True:
+            if self._scan_done:
+                if self._emitted >= self._scanned:
+                    return None
+                return self._emit_from_loop()
+            if self._dropped_since_mix >= self.mix_interval:
+                self._dropped_since_mix = 0
+                # One SGD step per scanned tuple: thread 2 only fills the
+                # quota the scan has earned so far.
+                if self._reservoir and self._emitted < self._scanned:
+                    return self._emit_from_loop()
+            record = self.child.next()
+            if record is None:
+                self._scan_done = True
+                continue
+            self._scanned += 1
+            if len(self._reservoir) < self.buffer_tuples:
+                self._reservoir.append(record)
+                continue
+            j = int(self._rng.integers(self._scanned))
+            if j < self.buffer_tuples:
+                dropped = self._reservoir[j]
+                self._reservoir[j] = record
+            else:
+                dropped = record
+            self._dropped_since_mix += 1
+            self._emitted += 1
+            return dropped
+
+    def rescan(self) -> None:
+        self._epoch += 1
+        self.child.rescan()
+        self._reset_state()

@@ -1,0 +1,150 @@
+"""The SQL-ish query interface (Section 6):
+
+    SELECT * FROM table TRAIN BY model WITH param = value, ...
+    SELECT * FROM table PREDICT BY model_id
+
+Supported model names: ``lr`` (logistic regression), ``svm``, ``linreg``
+(linear regression), ``softmax``.  Parameters mirror the paper's examples
+(``learning_rate = 0.1``, ``max_epoch_num = 20``, ``block_size = 10MB``)
+plus the knobs the experiments sweep (``buffer_fraction``, ``batch_size``,
+``strategy``, ``decay``, ``seed``, ``double_buffer``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .errors import ParseError
+
+__all__ = ["TrainQuery", "PredictQuery", "EvaluateQuery", "ExplainQuery", "parse_query", "parse_size"]
+
+_SIZE_RE = re.compile(r"^(\d+(?:\.\d+)?)\s*(B|KB|MB|GB)$", re.IGNORECASE)
+_TRAIN_RE = re.compile(
+    r"^\s*SELECT\s+\*\s+FROM\s+(\w+)\s+TRAIN\s+BY\s+(\w+)(?:\s+WITH\s+(.*))?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_PREDICT_RE = re.compile(
+    r"^\s*SELECT\s+\*\s+FROM\s+(\w+)\s+PREDICT\s+BY\s+(\w+)\s*$",
+    re.IGNORECASE,
+)
+_EVALUATE_RE = re.compile(
+    r"^\s*SELECT\s+\*\s+FROM\s+(\w+)\s+EVALUATE\s+BY\s+(\w+)\s*$",
+    re.IGNORECASE,
+)
+
+_UNITS = {"B": 1, "KB": 1024, "MB": 1024**2, "GB": 1024**3}
+
+MODEL_NAMES = ("lr", "svm", "linreg", "softmax")
+
+
+def parse_size(text: str) -> int:
+    """``"10MB" -> 10 * 1024**2``; bare integers are bytes."""
+    text = text.strip()
+    match = _SIZE_RE.match(text)
+    if match:
+        return int(float(match.group(1)) * _UNITS[match.group(2).upper()])
+    if text.isdigit():
+        return int(text)
+    raise ParseError(f"cannot parse size {text!r}")
+
+
+@dataclass
+class TrainQuery:
+    """A parsed ``TRAIN BY`` statement."""
+
+    table: str
+    model: str
+    learning_rate: float = 0.1
+    decay: float = 0.95
+    max_epoch_num: int = 20
+    block_size: int = 10 * 1024**2
+    buffer_fraction: float = 0.1
+    batch_size: int = 1
+    strategy: str = "corgipile"
+    seed: int = 0
+    double_buffer: bool = True
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class PredictQuery:
+    """A parsed ``PREDICT BY`` statement."""
+
+    table: str
+    model_id: str
+
+
+@dataclass(frozen=True)
+class EvaluateQuery:
+    """A parsed ``EVALUATE BY`` statement (score a model on a table)."""
+
+    table: str
+    model_id: str
+
+
+@dataclass(frozen=True)
+class ExplainQuery:
+    """An ``EXPLAIN`` wrapper around a training statement."""
+
+    inner: TrainQuery
+
+
+def _parse_value(raw: str):
+    raw = raw.strip()
+    if _SIZE_RE.match(raw):
+        return parse_size(raw)
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    return raw.strip("'\"")
+
+
+def parse_query(sql: str) -> TrainQuery | PredictQuery | EvaluateQuery | ExplainQuery:
+    """Parse one statement; raises :class:`ParseError` on malformed input."""
+    stripped = sql.lstrip()
+    if stripped[:8].upper() == "EXPLAIN ":
+        inner = parse_query(stripped[8:])
+        if not isinstance(inner, TrainQuery):
+            raise ParseError("EXPLAIN is only supported for TRAIN BY statements")
+        return ExplainQuery(inner)
+    match = _PREDICT_RE.match(sql)
+    if match:
+        return PredictQuery(table=match.group(1), model_id=match.group(2))
+    match = _EVALUATE_RE.match(sql)
+    if match:
+        return EvaluateQuery(table=match.group(1), model_id=match.group(2))
+    match = _TRAIN_RE.match(sql)
+    if not match:
+        raise ParseError(f"cannot parse query: {sql!r}")
+    table, model, params_text = match.group(1), match.group(2).lower(), match.group(3)
+    if model not in MODEL_NAMES:
+        raise ParseError(f"unknown model {model!r}; supported: {', '.join(MODEL_NAMES)}")
+    query = TrainQuery(table=table, model=model)
+    if not params_text:
+        return query
+    for assignment in params_text.split(","):
+        if not assignment.strip():
+            continue
+        if "=" not in assignment:
+            raise ParseError(f"malformed parameter {assignment.strip()!r}")
+        key, raw = assignment.split("=", 1)
+        key = key.strip().lower()
+        value = _parse_value(raw)
+        if hasattr(query, key) and key not in ("table", "model", "extra"):
+            expected = type(getattr(query, key))
+            try:
+                setattr(query, key, expected(value))
+            except (TypeError, ValueError) as exc:
+                raise ParseError(f"bad value for {key}: {raw.strip()!r}") from exc
+        else:
+            query.extra[key] = value
+    return query

@@ -1,0 +1,114 @@
+"""Simulated-time accounting for the mini in-DB ML engine.
+
+Wall-clock on the paper's testbed is dominated by two quantities that this
+environment cannot measure but *can* model precisely:
+
+* storage I/O — charged through :mod:`repro.storage.iomodel` device models;
+* per-tuple SGD compute — charged through a per-system
+  :class:`ComputeProfile` (systems differ enormously here: MADlib computes
+  extra per-tuple statistics, PyTorch pays a Python↔C++ boundary crossing
+  per tuple, our engine does a dot product and an axpy).
+
+The :class:`RuntimeContext` is threaded through the Volcano operators.  The
+TupleShuffle operator marks *buffer fill* boundaries; I/O accumulated while
+producing a fill and compute spent consuming it are paired up so the epoch
+wall-clock can honour double buffering (fills overlap consumption —
+Section 6.3) or single buffering (they serialise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.buffer import pipelined_time, serial_time
+from ..storage.iomodel import MEMORY, DeviceModel
+
+__all__ = ["ComputeProfile", "RuntimeContext"]
+
+
+@dataclass(frozen=True)
+class ComputeProfile:
+    """Per-tuple CPU cost of one SGD update in a given system.
+
+    ``per_tuple_s`` is the fixed cost of touching a tuple (function-call,
+    slot extraction, UDA transition); ``per_value_s`` scales with the number
+    of feature values processed (the dot product / axpy).
+    ``decompress_per_byte_s`` applies only to TOAST-compressed tables.
+    """
+
+    name: str
+    per_tuple_s: float
+    per_value_s: float
+    decompress_per_byte_s: float = 0.0
+
+    def tuple_compute_s(self, n_values: int, compressed_bytes: float = 0.0) -> float:
+        return (
+            self.per_tuple_s
+            + n_values * self.per_value_s
+            + compressed_bytes * self.decompress_per_byte_s
+        )
+
+
+@dataclass
+class RuntimeContext:
+    """Mutable execution state shared by the operators of one query."""
+
+    device: DeviceModel
+    compute: ComputeProfile
+    double_buffer: bool = True
+    values_per_tuple: float = 1.0
+    compressed_bytes_per_tuple: float = 0.0
+
+    # Per-epoch pairing of buffer fills (I/O) and their consumption (CPU).
+    _fill_io: list[float] = field(default_factory=list)
+    _fill_compute: list[float] = field(default_factory=list)
+    _pending_io_s: float = 0.0
+
+    # Cumulative counters (Appendix B resource accounting).
+    total_io_s: float = 0.0
+    total_compute_s: float = 0.0
+    tuples_processed: int = 0
+
+    # ------------------------------------------------------------------
+    def charge_device_read(self, n_bytes: float, random: bool, count: int = 1) -> None:
+        """I/O for reading ``count`` chunks of ``n_bytes`` from the device."""
+        if random:
+            t = self.device.random_time(n_bytes, count)
+        else:
+            t = self.device.sequential_time(n_bytes * count)
+        self._pending_io_s += t
+        self.total_io_s += t
+
+    def charge_memory_read(self, n_bytes: float) -> None:
+        """I/O for a buffer-pool hit (memory-speed transfer)."""
+        t = MEMORY.sequential_time(n_bytes)
+        self._pending_io_s += t
+        self.total_io_s += t
+
+    def end_fill(self, n_tuples: int) -> None:
+        """Close one buffer fill: pair its I/O with its SGD compute."""
+        compute = n_tuples * self.compute.tuple_compute_s(
+            self.values_per_tuple, self.compressed_bytes_per_tuple
+        )
+        self._fill_io.append(self._pending_io_s)
+        self._fill_compute.append(compute)
+        self._pending_io_s = 0.0
+        self.total_compute_s += compute
+        self.tuples_processed += n_tuples
+
+    # ------------------------------------------------------------------
+    def epoch_wall_time(self) -> float:
+        """Combine this epoch's fills into wall-clock and reset them."""
+        if self._pending_io_s:
+            # Trailing I/O with no consumer (e.g. a scan that found no
+            # tuples) still costs time.
+            self._fill_io.append(self._pending_io_s)
+            self._fill_compute.append(0.0)
+            self._pending_io_s = 0.0
+        if self.double_buffer:
+            wall = pipelined_time(self._fill_io, self._fill_compute)
+        else:
+            wall = serial_time(self._fill_io, self._fill_compute)
+        self._fill_io.clear()
+        self._fill_compute.clear()
+        return wall

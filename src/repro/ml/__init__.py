@@ -1,0 +1,59 @@
+"""From-scratch NumPy machine learning: losses, models, optimisers, trainer."""
+
+from .losses import HingeLoss, LogisticLoss, ScalarLoss, SquaredLoss
+from .metrics import accuracy, r_squared, top_k_accuracy
+from .models import (
+    GeneralizedLinearModel,
+    LinearRegression,
+    LinearSVM,
+    LogisticRegression,
+    MLPClassifier,
+    SoftmaxRegression,
+    SupervisedModel,
+)
+from .optim import SGD, AdaGrad, Adam, Optimizer, RMSprop
+from .schedules import ConstantLR, ExponentialDecay, InverseEpochDecay, StepDecay
+from .persistence import load_model, model_from_bytes, model_to_bytes, save_model
+from .streaming import train_streaming
+from .tuning import GridResult, SeedStats, grid_search, multi_seed
+from .trainer import ConvergenceHistory, EarlyStopping, EpochRecord, Trainer, fixed_order_source
+
+__all__ = [
+    "ScalarLoss",
+    "LogisticLoss",
+    "HingeLoss",
+    "SquaredLoss",
+    "accuracy",
+    "top_k_accuracy",
+    "r_squared",
+    "SupervisedModel",
+    "GeneralizedLinearModel",
+    "LogisticRegression",
+    "LinearSVM",
+    "LinearRegression",
+    "SoftmaxRegression",
+    "MLPClassifier",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdaGrad",
+    "RMSprop",
+    "ConstantLR",
+    "ExponentialDecay",
+    "StepDecay",
+    "InverseEpochDecay",
+    "Trainer",
+    "EarlyStopping",
+    "ConvergenceHistory",
+    "EpochRecord",
+    "fixed_order_source",
+    "save_model",
+    "load_model",
+    "model_to_bytes",
+    "model_from_bytes",
+    "grid_search",
+    "GridResult",
+    "multi_seed",
+    "SeedStats",
+    "train_streaming",
+]

@@ -1,0 +1,86 @@
+"""Loss functions for the generalized linear models.
+
+Each loss operates on the raw linear score ``z = w·x + b`` and a label, and
+exposes the value and the derivative ``dL/dz`` — everything a GLM needs for
+both per-tuple SGD (scalar ``z``) and vectorised evaluation (array ``z``).
+Binary losses expect labels in ``{-1, +1}`` (the paper's convention for
+higgs/criteo-style data).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["ScalarLoss", "LogisticLoss", "HingeLoss", "SquaredLoss"]
+
+
+def _sigmoid(t: np.ndarray | float) -> np.ndarray | float:
+    # Numerically stable logistic function.
+    return np.where(
+        np.asarray(t) >= 0,
+        1.0 / (1.0 + np.exp(-np.clip(t, -500, 500))),
+        np.exp(np.clip(t, -500, 500)) / (1.0 + np.exp(np.clip(t, -500, 500))),
+    )
+
+
+class ScalarLoss(ABC):
+    """A loss of the raw score ``z`` and label ``y``."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def value(self, z: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Element-wise loss values."""
+
+    @abstractmethod
+    def dloss_dz(self, z: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Element-wise derivative with respect to ``z``."""
+
+    def mean_value(self, z: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.value(np.asarray(z), np.asarray(y))))
+
+
+class LogisticLoss(ScalarLoss):
+    """``log(1 + exp(-y z))`` for labels in {-1, +1} (logistic regression)."""
+
+    name = "logistic"
+
+    def value(self, z, y):
+        margin = np.asarray(y) * np.asarray(z)
+        # log(1 + exp(-m)) computed stably via logaddexp.
+        return np.logaddexp(0.0, -margin)
+
+    def dloss_dz(self, z, y):
+        y = np.asarray(y, dtype=np.float64)
+        margin = y * np.asarray(z)
+        return -y * _sigmoid(-margin)
+
+
+class HingeLoss(ScalarLoss):
+    """``max(0, 1 - y z)`` for labels in {-1, +1} (linear SVM)."""
+
+    name = "hinge"
+
+    def value(self, z, y):
+        margin = np.asarray(y) * np.asarray(z)
+        return np.maximum(0.0, 1.0 - margin)
+
+    def dloss_dz(self, z, y):
+        y = np.asarray(y, dtype=np.float64)
+        margin = y * np.asarray(z)
+        return np.where(margin < 1.0, -y, 0.0)
+
+
+class SquaredLoss(ScalarLoss):
+    """``0.5 (z - y)²`` (linear regression)."""
+
+    name = "squared"
+
+    def value(self, z, y):
+        diff = np.asarray(z) - np.asarray(y)
+        return 0.5 * diff * diff
+
+    def dloss_dz(self, z, y):
+        return np.asarray(z) - np.asarray(y)

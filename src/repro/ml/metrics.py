@@ -1,0 +1,42 @@
+"""Evaluation metrics used across the benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "top_k_accuracy", "r_squared"]
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    if predictions.size == 0:
+        raise ValueError("cannot compute accuracy of an empty batch")
+    return float(np.mean(predictions == labels))
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int) -> float:
+    """Fraction of rows whose true label is among the top-k logits."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2 or logits.shape[0] != labels.shape[0]:
+        raise ValueError("logits must be (n, classes) aligned with labels")
+    if not 1 <= k <= logits.shape[1]:
+        raise ValueError("k must be in [1, n_classes]")
+    top = np.argsort(logits, axis=1)[:, -k:]
+    return float(np.mean((top == labels[:, None]).any(axis=1)))
+
+
+def r_squared(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Coefficient of determination R²."""
+    predictions = np.asarray(predictions, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    residual = targets - predictions
+    ss_res = float(residual @ residual)
+    centred = targets - targets.mean()
+    ss_tot = float(centred @ centred)
+    if ss_tot == 0.0:
+        return 0.0 if ss_res > 0 else 1.0
+    return 1.0 - ss_res / ss_tot

@@ -1,0 +1,19 @@
+"""Models: GLMs (LR, SVM, linear regression), softmax regression, MLP."""
+
+from .base import Params, SupervisedModel
+from .linear import GeneralizedLinearModel, LinearRegression, LinearSVM, LogisticRegression
+from .mlp import MLPClassifier
+from .softmax import SoftmaxRegression, log_softmax, softmax
+
+__all__ = [
+    "Params",
+    "SupervisedModel",
+    "GeneralizedLinearModel",
+    "LogisticRegression",
+    "LinearSVM",
+    "LinearRegression",
+    "SoftmaxRegression",
+    "MLPClassifier",
+    "softmax",
+    "log_softmax",
+]

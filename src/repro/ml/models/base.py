@@ -1,0 +1,77 @@
+"""Model interface shared by the GLMs and the MLP.
+
+Models hold their parameters as a flat ``dict[str, np.ndarray]`` so generic
+optimisers (mini-batch SGD, Adam) can update any model uniformly.  GLMs
+additionally expose a fast in-place :meth:`SupervisedModel.step_example`
+path used by the per-tuple standard-SGD loop (the dominant mode of the
+paper's in-DB experiments).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ...data.dataset import FeatureMatrix
+from ...data.sparse import SparseRow
+
+__all__ = ["SupervisedModel", "Params"]
+
+Params = dict[str, np.ndarray]
+
+
+class SupervisedModel(ABC):
+    """A trainable model with dict-of-arrays parameters."""
+
+    @property
+    @abstractmethod
+    def params(self) -> Params:
+        """The live parameter arrays (mutating them mutates the model)."""
+
+    @abstractmethod
+    def loss(self, X: FeatureMatrix, y: np.ndarray) -> float:
+        """Mean loss over a batch."""
+
+    @abstractmethod
+    def gradient(self, X: FeatureMatrix, y: np.ndarray) -> Params:
+        """Mean gradient over a batch, keyed like :attr:`params`."""
+
+    @abstractmethod
+    def predict(self, X: FeatureMatrix) -> np.ndarray:
+        """Task-level predictions (labels or regression values)."""
+
+    @abstractmethod
+    def score(self, X: FeatureMatrix, y: np.ndarray) -> float:
+        """The task metric: accuracy for classifiers, R² for regression."""
+
+    def step_example(
+        self, features: np.ndarray | SparseRow, label: float, lr: float
+    ) -> None:
+        """One in-place SGD step on a single example (fast path).
+
+        The default routes through :meth:`gradient`; GLMs override this with
+        a specialised update to keep the per-tuple loop cheap.
+        """
+        X, y = _as_batch(features, label)
+        grads = self.gradient(X, y)
+        for key, grad in grads.items():
+            self.params[key] -= lr * grad
+
+    def apply_gradient(self, grads: Params, lr: float) -> None:
+        for key, grad in grads.items():
+            self.params[key] -= lr * grad
+
+    def parameter_vector(self) -> np.ndarray:
+        """All parameters flattened into one vector (for theory evaluations)."""
+        return np.concatenate([p.ravel() for p in self.params.values()])
+
+
+def _as_batch(features: np.ndarray | SparseRow, label: float):
+    from ...data.sparse import SparseMatrix
+
+    if isinstance(features, SparseRow):
+        X = SparseMatrix.from_rows([features], features.n_features)
+    else:
+        X = np.asarray(features, dtype=np.float64).reshape(1, -1)
+    return X, np.array([label], dtype=np.float64)

@@ -1,0 +1,103 @@
+"""Softmax (multinomial logistic) regression — Section 7.4.2's multiclass GLM."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...data.dataset import FeatureMatrix
+from ...data.sparse import SparseMatrix, SparseRow
+from .base import Params, SupervisedModel
+
+__all__ = ["SoftmaxRegression", "softmax", "log_softmax"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise stable softmax."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+class SoftmaxRegression(SupervisedModel):
+    """Linear multiclass classifier with cross-entropy loss."""
+
+    def __init__(self, n_features: int, n_classes: int, l2: float = 0.0, seed: int = 0):
+        if n_classes < 2:
+            raise ValueError("need at least two classes")
+        self.n_features = int(n_features)
+        self.n_classes = int(n_classes)
+        self.l2 = float(l2)
+        self._params: Params = {
+            "W": np.zeros((n_features, n_classes)),
+            "b": np.zeros(n_classes),
+        }
+        del seed  # deterministic zero init; kept for interface symmetry
+
+    @property
+    def params(self) -> Params:
+        return self._params
+
+    # ------------------------------------------------------------------
+    def logits(self, X: FeatureMatrix) -> np.ndarray:
+        W, b = self._params["W"], self._params["b"]
+        if isinstance(X, SparseMatrix):
+            out = np.empty((X.n_rows, self.n_classes))
+            for i, row in enumerate(X.iter_rows()):
+                out[i] = row.values @ W[row.indices]
+            return out + b
+        return np.asarray(X, dtype=np.float64) @ W + b
+
+    def loss(self, X: FeatureMatrix, y: np.ndarray) -> float:
+        y = np.asarray(y, dtype=np.int64)
+        logp = log_softmax(self.logits(X))
+        nll = -float(np.mean(logp[np.arange(len(y)), y]))
+        if self.l2:
+            W = self._params["W"]
+            nll += 0.5 * self.l2 * float((W * W).sum())
+        return nll
+
+    def gradient(self, X: FeatureMatrix, y: np.ndarray) -> Params:
+        y = np.asarray(y, dtype=np.int64)
+        probs = softmax(self.logits(X))
+        probs[np.arange(len(y)), y] -= 1.0
+        probs /= len(y)
+        if isinstance(X, SparseMatrix):
+            gW = np.zeros_like(self._params["W"])
+            for i, row in enumerate(X.iter_rows()):
+                gW[row.indices] += np.outer(row.values, probs[i])
+        else:
+            gW = np.asarray(X).T @ probs
+        if self.l2:
+            gW = gW + self.l2 * self._params["W"]
+        return {"W": gW, "b": probs.sum(axis=0)}
+
+    def step_example(self, features: np.ndarray | SparseRow, label: float, lr: float) -> None:
+        W, b = self._params["W"], self._params["b"]
+        y = int(label)
+        if isinstance(features, SparseRow):
+            logits = features.values @ W[features.indices] + b
+            probs = softmax(logits)
+            probs[y] -= 1.0
+            if self.l2:
+                W *= 1.0 - lr * self.l2
+            W[features.indices] -= lr * np.outer(features.values, probs)
+        else:
+            x = np.asarray(features, dtype=np.float64)
+            probs = softmax(x @ W + b)
+            probs[y] -= 1.0
+            if self.l2:
+                W *= 1.0 - lr * self.l2
+            W -= lr * np.outer(x, probs)
+        b -= lr * probs
+
+    # ------------------------------------------------------------------
+    def predict(self, X: FeatureMatrix) -> np.ndarray:
+        return self.logits(X).argmax(axis=1)
+
+    def score(self, X: FeatureMatrix, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(X) == np.asarray(y, dtype=np.int64)))

@@ -1,0 +1,134 @@
+"""Optimisers: plain SGD and Adam over dict-of-arrays parameters.
+
+The per-tuple standard-SGD loop bypasses these (it uses the models'
+``step_example`` fast path); the optimisers here drive the mini-batch modes
+(Sections 7.2 and 7.4) and the Adam experiments (Figure 10).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .models.base import Params, SupervisedModel
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdaGrad", "RMSprop"]
+
+
+class Optimizer(ABC):
+    """Applies batch gradients to a model's parameters."""
+
+    def __init__(self, model: SupervisedModel):
+        self.model = model
+
+    @abstractmethod
+    def step(self, grads: Params, lr: float) -> None:
+        """Consume one batch gradient at learning rate ``lr``."""
+
+
+class SGD(Optimizer):
+    """Vanilla (optionally momentum) stochastic gradient descent."""
+
+    def __init__(self, model: SupervisedModel, momentum: float = 0.0):
+        super().__init__(model)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = float(momentum)
+        self._velocity: Params = {}
+
+    def step(self, grads: Params, lr: float) -> None:
+        params = self.model.params
+        if self.momentum == 0.0:
+            for key, grad in grads.items():
+                params[key] -= lr * grad
+            return
+        for key, grad in grads.items():
+            vel = self._velocity.get(key)
+            if vel is None:
+                vel = np.zeros_like(grad)
+            vel = self.momentum * vel + grad
+            self._velocity[key] = vel
+            params[key] -= lr * vel
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) — Figure 10's beyond-SGD optimiser."""
+
+    def __init__(
+        self,
+        model: SupervisedModel,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        super().__init__(model)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._m: Params = {}
+        self._v: Params = {}
+        self._t = 0
+
+    def step(self, grads: Params, lr: float) -> None:
+        self._t += 1
+        params = self.model.params
+        for key, grad in grads.items():
+            m = self._m.get(key)
+            v = self._v.get(key)
+            if m is None:
+                m = np.zeros_like(grad)
+                v = np.zeros_like(grad)
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad * grad
+            self._m[key] = m
+            self._v[key] = v
+            m_hat = m / (1 - self.beta1**self._t)
+            v_hat = v / (1 - self.beta2**self._t)
+            params[key] -= lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdaGrad(Optimizer):
+    """AdaGrad — per-coordinate learning rates from accumulated squares.
+
+    One of the first-order optimiser variants the paper's Section 7.2.3
+    groups with Adam ("we are confident that CorgiPile can also be used in
+    other optimizers").
+    """
+
+    def __init__(self, model: SupervisedModel, eps: float = 1e-10):
+        super().__init__(model)
+        self.eps = float(eps)
+        self._accum: Params = {}
+
+    def step(self, grads: Params, lr: float) -> None:
+        params = self.model.params
+        for key, grad in grads.items():
+            accum = self._accum.get(key)
+            if accum is None:
+                accum = np.zeros_like(grad)
+            accum = accum + grad * grad
+            self._accum[key] = accum
+            params[key] -= lr * grad / (np.sqrt(accum) + self.eps)
+
+
+class RMSprop(Optimizer):
+    """RMSprop — exponentially decayed squared-gradient normalisation."""
+
+    def __init__(self, model: SupervisedModel, rho: float = 0.9, eps: float = 1e-8):
+        super().__init__(model)
+        if not 0.0 <= rho < 1.0:
+            raise ValueError("rho must be in [0, 1)")
+        self.rho = float(rho)
+        self.eps = float(eps)
+        self._mean_square: Params = {}
+
+    def step(self, grads: Params, lr: float) -> None:
+        params = self.model.params
+        for key, grad in grads.items():
+            ms = self._mean_square.get(key)
+            if ms is None:
+                ms = np.zeros_like(grad)
+            ms = self.rho * ms + (1 - self.rho) * grad * grad
+            self._mean_square[key] = ms
+            params[key] -= lr * grad / (np.sqrt(ms) + self.eps)

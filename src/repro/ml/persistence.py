@@ -1,0 +1,119 @@
+"""Model persistence: save/load trained models.
+
+The paper keeps trained models as in-kernel objects addressed by an id; a
+deployable system also needs them on disk.  Models serialise to a single
+``.npz`` file holding the parameter arrays plus a JSON header with the
+model class and its constructor configuration, so ``load_model`` rebuilds
+an identical, immediately usable model.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .models.base import SupervisedModel
+from .models.linear import LinearRegression, LinearSVM, LogisticRegression
+from .models.mlp import MLPClassifier
+from .models.softmax import SoftmaxRegression
+
+__all__ = ["save_model", "load_model", "model_to_bytes", "model_from_bytes"]
+
+_FORMAT_VERSION = 1
+
+
+def _config_of(model: SupervisedModel) -> dict:
+    if isinstance(model, (LogisticRegression, LinearSVM, LinearRegression)):
+        return {
+            "n_features": model.n_features,
+            "l2": model.l2,
+            "fit_intercept": model.fit_intercept,
+        }
+    if isinstance(model, SoftmaxRegression):
+        return {
+            "n_features": model.n_features,
+            "n_classes": model.n_classes,
+            "l2": model.l2,
+        }
+    if isinstance(model, MLPClassifier):
+        return {
+            "n_features": model.n_features,
+            "n_hidden": model.n_hidden,
+            "n_classes": model.n_classes,
+            "l2": model.l2,
+        }
+    raise TypeError(f"cannot serialise model type {type(model).__name__}")
+
+
+_CONSTRUCTORS = {
+    "LogisticRegression": LogisticRegression,
+    "LinearSVM": LinearSVM,
+    "LinearRegression": LinearRegression,
+    "SoftmaxRegression": SoftmaxRegression,
+    "MLPClassifier": MLPClassifier,
+}
+
+
+def model_to_bytes(model: SupervisedModel) -> bytes:
+    """Serialise a model (parameters + reconstruction header) to bytes."""
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "model_class": type(model).__name__,
+        "config": _config_of(model),
+    }
+    buffer = io.BytesIO()
+    arrays = {f"param__{key}": value for key, value in model.params.items()}
+    arrays["__header__"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
+    np.savez(buffer, **arrays)
+    return buffer.getvalue()
+
+
+def model_from_bytes(blob: bytes) -> SupervisedModel:
+    """Rebuild a model serialised by :func:`model_to_bytes`.
+
+    Raises ``ValueError`` for corrupt or foreign blobs.
+    """
+    import zipfile
+
+    try:
+        archive_ctx = np.load(io.BytesIO(blob))
+    except (zipfile.BadZipFile, OSError, ValueError) as exc:
+        raise ValueError(f"corrupt model blob: {exc}") from exc
+    with archive_ctx as archive:
+        try:
+            header_bytes = bytes(archive["__header__"].tobytes())
+        except (KeyError, zipfile.BadZipFile) as exc:
+            raise ValueError(f"corrupt model blob: {exc}") from exc
+        header = json.loads(header_bytes.decode())
+        if header.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(f"unsupported model format {header.get('format_version')!r}")
+        class_name = header["model_class"]
+        try:
+            constructor = _CONSTRUCTORS[class_name]
+        except KeyError:
+            raise ValueError(f"unknown model class {class_name!r}") from None
+        model = constructor(**header["config"])
+        for key in model.params:
+            stored = archive[f"param__{key}"]
+            if stored.shape != model.params[key].shape:
+                raise ValueError(
+                    f"shape mismatch for parameter {key!r}: "
+                    f"{stored.shape} vs {model.params[key].shape}"
+                )
+            model.params[key][...] = stored
+    return model
+
+
+def save_model(model: SupervisedModel, path: str | Path) -> Path:
+    """Save a model to ``path`` (conventionally ``*.npz``)."""
+    path = Path(path)
+    path.write_bytes(model_to_bytes(model))
+    return path
+
+
+def load_model(path: str | Path) -> SupervisedModel:
+    """Load a model saved by :func:`save_model`."""
+    return model_from_bytes(Path(path).read_bytes())

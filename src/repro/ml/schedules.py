@@ -1,0 +1,64 @@
+"""Learning-rate schedules.
+
+The paper uses an exponential decay of 0.95 per epoch by default, a step
+decay (×0.1 every 30 epochs) for ResNet50/ImageNet, and the theory section
+analyses the ``η_s = c / (s + a)`` schedule of Theorem 1.  A schedule is a
+callable ``epoch -> learning rate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ConstantLR", "ExponentialDecay", "StepDecay", "InverseEpochDecay"]
+
+
+@dataclass(frozen=True)
+class ConstantLR:
+    """``lr`` at every epoch."""
+
+    lr: float
+
+    def __call__(self, epoch: int) -> float:
+        return self.lr
+
+
+@dataclass(frozen=True)
+class ExponentialDecay:
+    """``lr * decay**epoch`` — the paper's default (decay = 0.95)."""
+
+    lr: float
+    decay: float = 0.95
+
+    def __call__(self, epoch: int) -> float:
+        return self.lr * self.decay**epoch
+
+
+@dataclass(frozen=True)
+class StepDecay:
+    """``lr * factor**(epoch // step)`` — the ImageNet schedule (×0.1 / 30)."""
+
+    lr: float
+    step: int = 30
+    factor: float = 0.1
+
+    def __call__(self, epoch: int) -> float:
+        return self.lr * self.factor ** (epoch // self.step)
+
+
+@dataclass(frozen=True)
+class InverseEpochDecay:
+    """``scale / (epoch + offset)`` — the Theorem 1 schedule ``6/(bnμ(s+a))``.
+
+    ``scale`` plays the role of ``6/(bnμ)`` and ``offset`` the role of ``a``.
+    """
+
+    scale: float
+    offset: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.offset < 1.0:
+            raise ValueError("offset must be at least 1 (Theorem 1 requires a >= 1)")
+
+    def __call__(self, epoch: int) -> float:
+        return self.scale / (epoch + self.offset)

@@ -1,0 +1,105 @@
+"""Streaming training: drive SGD from a data loader instead of arrays.
+
+The PyTorch-side integration (Section 5) never materialises the dataset —
+``train()`` pulls batches from the ``DataLoader`` wrapped around a
+``CorgiPileDataset``.  :func:`train_streaming` is that loop as library
+code: one loader pass per epoch, per-tuple or mini-batch updates, optional
+evaluation sets, optional prefetching (real double buffering) — so training
+from an on-disk block file needs no custom loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..core.dataloader import Batch
+from ..data.dataset import Dataset
+from .optim import Optimizer, SGD
+from .models.base import SupervisedModel
+from .schedules import ExponentialDecay
+from .trainer import ConvergenceHistory, EpochRecord
+
+__all__ = ["train_streaming"]
+
+
+def train_streaming(
+    model: SupervisedModel,
+    loader_factory: Callable[[int], Iterable[Batch]],
+    *,
+    epochs: int,
+    schedule=None,
+    optimizer: Optimizer | None = None,
+    per_tuple: bool = False,
+    train_eval: Dataset | None = None,
+    test: Dataset | None = None,
+    prefetch_depth: int = 0,
+    classification_int_labels: bool = True,
+) -> ConvergenceHistory:
+    """Train ``model`` from ``loader_factory(epoch)`` batch streams.
+
+    ``per_tuple=True`` applies one update per tuple inside each batch (the
+    standard-SGD mode); otherwise each batch is one (mini-batch) step via
+    ``optimizer`` (plain SGD by default).  ``prefetch_depth > 0`` wraps the
+    loader in a background :class:`~repro.core.prefetch.PrefetchLoader`.
+    Loss/score are evaluated on ``train_eval``/``test`` when given; without
+    ``train_eval`` the loss column is NaN (nothing is materialised).
+    """
+    if epochs <= 0:
+        raise ValueError("epochs must be positive")
+    schedule = schedule if schedule is not None else ExponentialDecay(0.01)
+    if optimizer is None and not per_tuple:
+        optimizer = SGD(model)
+
+    history = ConvergenceHistory(strategy="streaming", model=type(model).__name__)
+    tuples_seen = 0
+    for epoch in range(epochs):
+        lr = float(schedule(epoch))
+        loader: Iterable[Batch] = loader_factory(epoch)
+        if prefetch_depth > 0:
+            from ..core.prefetch import PrefetchLoader
+
+            loader = PrefetchLoader(loader, depth=prefetch_depth)
+        for batch in loader:
+            y = batch.y
+            if classification_int_labels and not per_tuple and _looks_multiclass(model):
+                y = y.astype(np.int64)
+            if per_tuple:
+                from ..data.sparse import SparseMatrix
+
+                for i in range(len(batch)):
+                    features = (
+                        batch.X.row(i) if isinstance(batch.X, SparseMatrix) else batch.X[i]
+                    )
+                    model.step_example(features, float(batch.y[i]), lr)
+            else:
+                grads = model.gradient(batch.X, y)
+                optimizer.step(grads, lr)
+            tuples_seen += len(batch)
+        history.append(
+            EpochRecord(
+                epoch=epoch,
+                lr=lr,
+                train_loss=(
+                    model.loss(train_eval.X, train_eval.y)
+                    if train_eval is not None
+                    else float("nan")
+                ),
+                train_score=(
+                    model.score(train_eval.X, train_eval.y)
+                    if train_eval is not None
+                    else float("nan")
+                ),
+                test_score=model.score(test.X, test.y) if test is not None else None,
+                tuples_seen=tuples_seen,
+            )
+        )
+    return history
+
+
+def _looks_multiclass(model: SupervisedModel) -> bool:
+    from .models.mlp import MLPClassifier
+    from .models.softmax import SoftmaxRegression
+
+    return isinstance(model, (MLPClassifier, SoftmaxRegression))

@@ -1,0 +1,20 @@
+"""Data shuffling strategies for SGD (Section 3 baselines + CorgiPile ablation)."""
+
+from .base import ShuffleStrategy, StrategyTraits, epoch_rng
+from .baselines import EpochShuffle, MRSShuffle, NoShuffle, ShuffleOnce, SlidingWindowShuffle
+from .block_only import BlockOnlyShuffle
+from .registry import STRATEGY_NAMES, make_strategy
+
+__all__ = [
+    "ShuffleStrategy",
+    "StrategyTraits",
+    "epoch_rng",
+    "NoShuffle",
+    "ShuffleOnce",
+    "EpochShuffle",
+    "SlidingWindowShuffle",
+    "MRSShuffle",
+    "BlockOnlyShuffle",
+    "STRATEGY_NAMES",
+    "make_strategy",
+]

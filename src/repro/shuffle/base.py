@@ -1,0 +1,114 @@
+"""Base class and shared machinery for data shuffling strategies.
+
+A shuffle strategy answers two questions per epoch:
+
+1. *Statistical*: in what order does SGD visit tuple indices?
+   (:meth:`ShuffleStrategy.epoch_indices`)
+2. *Physical*: what reads/writes hit storage to produce that order?
+   (:meth:`ShuffleStrategy.epoch_trace`, plus a one-time
+   :meth:`ShuffleStrategy.setup_trace` for strategies that materialise a
+   shuffled copy first)
+
+Keeping the two separate is what lets the reproduction evaluate the paper's
+two axes — convergence rate and I/O efficiency — independently: the trainer
+consumes the index stream, the device models consume the traces.
+
+All randomness is derived from ``(seed, epoch)`` so a strategy replays
+identically, which the multi-process CorgiPile of Section 5 depends on.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.dataset import BlockLayout
+from ..storage.iomodel import AccessTrace
+
+__all__ = ["ShuffleStrategy", "StrategyTraits", "epoch_rng"]
+
+# Number of sequential passes charged for an external-sort full shuffle
+# (run generation: read + write, merge: read + write).  Calibrated so a full
+# shuffle costs ~4-5 epochs of sequential I/O, matching Figure 11 where
+# Shuffle Once is still shuffling when CorgiPile has already converged.
+EXTERNAL_SORT_PASSES = 4
+
+
+def epoch_rng(seed: int, epoch: int) -> np.random.Generator:
+    """Deterministic per-epoch random generator."""
+    return np.random.default_rng(np.random.SeedSequence([seed, epoch]))
+
+
+@dataclass(frozen=True)
+class StrategyTraits:
+    """The qualitative Table 1 row for a strategy."""
+
+    needs_buffer: bool
+    extra_disk_copies: int  # 1 => "2x data size" in Table 1
+    io_pattern: str  # "sequential" | "random-block" | "random-tuple"
+
+
+class ShuffleStrategy(ABC):
+    """Produces per-epoch tuple orders and the physical access traces."""
+
+    name: str = "abstract"
+    traits = StrategyTraits(needs_buffer=False, extra_disk_copies=0, io_pattern="sequential")
+
+    def __init__(self, n_tuples: int, seed: int = 0):
+        if n_tuples <= 0:
+            raise ValueError("n_tuples must be positive")
+        self.n_tuples = int(n_tuples)
+        self.seed = int(seed)
+
+    # -- statistical side -------------------------------------------------
+    @abstractmethod
+    def epoch_indices(self, epoch: int) -> np.ndarray:
+        """The tuple visit order for ``epoch`` (values in ``[0, n_tuples)``).
+
+        The returned array has length ``n_tuples`` for strategies that visit
+        every tuple once; MRS-style strategies may repeat or omit tuples but
+        still return ``n_tuples`` entries (one SGD step per scanned tuple).
+        """
+
+    # -- physical side -----------------------------------------------------
+    def setup_trace(self, tuple_bytes: float) -> AccessTrace:
+        """One-time physical work before the first epoch (default: none)."""
+        return AccessTrace()
+
+    def epoch_trace(self, tuple_bytes: float) -> AccessTrace:
+        """Physical reads for one epoch (default: one sequential scan)."""
+        trace = AccessTrace()
+        trace.add("seq", 1, self.n_tuples * tuple_bytes, note=f"{self.name} scan")
+        return trace
+
+    # -- helpers ------------------------------------------------------------
+    def _rng(self, epoch: int) -> np.random.Generator:
+        return epoch_rng(self.seed, epoch)
+
+    def _check_epoch(self, epoch: int) -> None:
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+
+    def describe(self) -> dict:
+        return {
+            "strategy": self.name,
+            "needs_buffer": self.traits.needs_buffer,
+            "extra_disk_copies": self.traits.extra_disk_copies,
+            "io_pattern": self.traits.io_pattern,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(n_tuples={self.n_tuples}, seed={self.seed})"
+
+
+class BlockAwareStrategy(ShuffleStrategy):
+    """Base for strategies that operate on a block layout."""
+
+    def __init__(self, layout: BlockLayout, seed: int = 0):
+        super().__init__(layout.n_tuples, seed=seed)
+        self.layout = layout
+
+    def block_bytes(self, tuple_bytes: float) -> float:
+        return self.layout.tuples_per_block * tuple_bytes

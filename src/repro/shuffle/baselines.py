@@ -1,0 +1,187 @@
+"""The paper's baseline shuffling strategies (Section 3).
+
+* :class:`NoShuffle` — scan in stored order (MADlib default, PyTorch
+  ``IterableDataset``).
+* :class:`ShuffleOnce` — materialise one shuffled copy offline, then scan it
+  (Bismarck's pre-shuffle; 2x disk, expensive setup).
+* :class:`EpochShuffle` — re-shuffle before every epoch (the statistical
+  gold standard; pays the shuffle cost every epoch).
+* :class:`SlidingWindowShuffle` — TensorFlow's windowed sampling.
+* :class:`MRSShuffle` — Bismarck's multiplexed reservoir sampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..storage.iomodel import AccessTrace
+from .base import EXTERNAL_SORT_PASSES, ShuffleStrategy, StrategyTraits
+
+__all__ = [
+    "NoShuffle",
+    "ShuffleOnce",
+    "EpochShuffle",
+    "SlidingWindowShuffle",
+    "MRSShuffle",
+]
+
+
+class NoShuffle(ShuffleStrategy):
+    """Visit tuples in their stored physical order every epoch."""
+
+    name = "no_shuffle"
+    traits = StrategyTraits(needs_buffer=False, extra_disk_copies=0, io_pattern="sequential")
+
+    def epoch_indices(self, epoch: int) -> np.ndarray:
+        self._check_epoch(epoch)
+        return np.arange(self.n_tuples, dtype=np.int64)
+
+
+class ShuffleOnce(ShuffleStrategy):
+    """One offline full shuffle; every epoch scans the shuffled copy.
+
+    The setup trace models PostgreSQL's ``ORDER BY RANDOM()`` materialisation
+    as an external sort (:data:`~repro.shuffle.base.EXTERNAL_SORT_PASSES`
+    sequential passes over the data) writing a second copy of the table —
+    hence ``extra_disk_copies = 1`` (the paper's "2x data size").
+    """
+
+    name = "shuffle_once"
+    traits = StrategyTraits(needs_buffer=True, extra_disk_copies=1, io_pattern="sequential")
+
+    def __init__(self, n_tuples: int, seed: int = 0):
+        super().__init__(n_tuples, seed=seed)
+        self._perm = self._rng(0).permutation(self.n_tuples)
+
+    def epoch_indices(self, epoch: int) -> np.ndarray:
+        self._check_epoch(epoch)
+        return self._perm.copy()
+
+    def setup_trace(self, tuple_bytes: float) -> AccessTrace:
+        trace = AccessTrace()
+        total = self.n_tuples * tuple_bytes
+        for p in range(EXTERNAL_SORT_PASSES):
+            kind = "seq" if p % 2 == 0 else "seq_write"
+            trace.add(kind, 1, total, note=f"shuffle-once sort pass {p}")
+        return trace
+
+
+class EpochShuffle(ShuffleOnce):
+    """A fresh full shuffle before *every* epoch.
+
+    Statistically ideal, physically worst: the external-sort cost of
+    :class:`ShuffleOnce` recurs every epoch.
+    """
+
+    name = "epoch_shuffle"
+    traits = StrategyTraits(needs_buffer=True, extra_disk_copies=1, io_pattern="sequential")
+
+    def epoch_indices(self, epoch: int) -> np.ndarray:
+        self._check_epoch(epoch)
+        return self._rng(epoch).permutation(self.n_tuples)
+
+    def setup_trace(self, tuple_bytes: float) -> AccessTrace:
+        return AccessTrace()
+
+    def epoch_trace(self, tuple_bytes: float) -> AccessTrace:
+        trace = ShuffleOnce.setup_trace(self, tuple_bytes)
+        trace.add("seq", 1, self.n_tuples * tuple_bytes, note="epoch-shuffle scan")
+        return trace
+
+
+class SlidingWindowShuffle(ShuffleStrategy):
+    """TensorFlow's sliding-window (shuffle-buffer) sampling.
+
+    Fill a window with the first ``window`` tuples; repeatedly emit a random
+    window slot and refill it with the next incoming tuple; drain the window
+    randomly at end-of-scan.  Purely sequential I/O, but tuples can only move
+    ~``window`` positions, so a clustered order stays clustered (Figure 3b).
+    """
+
+    name = "sliding_window"
+    traits = StrategyTraits(needs_buffer=True, extra_disk_copies=0, io_pattern="sequential")
+
+    def __init__(self, n_tuples: int, window: int, seed: int = 0):
+        super().__init__(n_tuples, seed=seed)
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = min(int(window), self.n_tuples)
+
+    def epoch_indices(self, epoch: int) -> np.ndarray:
+        self._check_epoch(epoch)
+        rng = self._rng(epoch)
+        out = np.empty(self.n_tuples, dtype=np.int64)
+        window = list(range(self.window))
+        pos = 0
+        for incoming in range(self.window, self.n_tuples):
+            slot = int(rng.integers(len(window)))
+            out[pos] = window[slot]
+            window[slot] = incoming
+            pos += 1
+        drain = rng.permutation(len(window))
+        for slot in drain:
+            out[pos] = window[slot]
+            pos += 1
+        return out
+
+
+class MRSShuffle(ShuffleStrategy):
+    """Bismarck's multiplexed reservoir sampling (Section 3.4).
+
+    One thread scans sequentially, performing reservoir sampling into a
+    buffer ``B1``; tuples *dropped* by the reservoir go to SGD immediately.
+    A second thread loops over a snapshot buffer ``B2`` of previously
+    sampled tuples, feeding them to SGD interleaved with the scan.  We
+    emulate the two threads with a deterministic interleave: after every
+    ``mix_interval`` dropped tuples, one tuple is drawn from the loop
+    buffer.  The epoch emits exactly ``n_tuples`` SGD steps; buffered tuples
+    may repeat (the paper's "data skew" caveat) and some scanned tuples end
+    the epoch still sitting in the buffer.
+    """
+
+    name = "mrs"
+    traits = StrategyTraits(needs_buffer=True, extra_disk_copies=0, io_pattern="sequential")
+
+    def __init__(self, n_tuples: int, buffer_tuples: int, seed: int = 0, mix_interval: int = 2):
+        super().__init__(n_tuples, seed=seed)
+        if buffer_tuples <= 0:
+            raise ValueError("buffer_tuples must be positive")
+        if mix_interval <= 0:
+            raise ValueError("mix_interval must be positive")
+        self.buffer_tuples = min(int(buffer_tuples), self.n_tuples)
+        self.mix_interval = int(mix_interval)
+
+    def epoch_indices(self, epoch: int) -> np.ndarray:
+        self._check_epoch(epoch)
+        rng = self._rng(epoch)
+        reservoir: list[int] = []
+        loop_buffer: list[int] = []
+        out: list[int] = []
+        dropped_since_mix = 0
+        for i in range(self.n_tuples):
+            if len(reservoir) < self.buffer_tuples:
+                reservoir.append(i)
+                continue
+            # Classic reservoir decision for the i-th element.
+            j = int(rng.integers(i + 1))
+            if j < self.buffer_tuples:
+                evicted = reservoir[j]
+                reservoir[j] = i
+                dropped = evicted
+            else:
+                dropped = i
+            out.append(dropped)
+            dropped_since_mix += 1
+            if dropped_since_mix >= self.mix_interval:
+                dropped_since_mix = 0
+                # Thread 2: one step over the loop buffer (B2 snapshots B1).
+                if not loop_buffer:
+                    loop_buffer = list(reservoir)
+                out.append(loop_buffer[int(rng.integers(len(loop_buffer)))])
+        # Thread 2 keeps looping over the buffer until the epoch has emitted
+        # one SGD step per scanned tuple.
+        if not loop_buffer:
+            loop_buffer = list(reservoir)
+        while len(out) < self.n_tuples:
+            out.append(loop_buffer[int(rng.integers(len(loop_buffer)))])
+        return np.asarray(out[: self.n_tuples], dtype=np.int64)

@@ -1,0 +1,76 @@
+"""Factory for shuffle strategies by name.
+
+Benchmarks sweep strategies by name with a single buffer budget, mirroring
+the paper's setup ("we always use the same buffer size for Sliding-Window,
+MRS and CorgiPile", Section 7.1.4).  The registry converts a buffer
+*fraction* of the dataset into each strategy's native parameter (window
+tuples, reservoir tuples, buffered blocks).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..data.dataset import BlockLayout
+from .base import ShuffleStrategy
+from .baselines import EpochShuffle, MRSShuffle, NoShuffle, ShuffleOnce, SlidingWindowShuffle
+from .block_only import BlockOnlyShuffle
+
+__all__ = ["STRATEGY_NAMES", "make_strategy"]
+
+STRATEGY_NAMES = (
+    "no_shuffle",
+    "shuffle_once",
+    "epoch_shuffle",
+    "sliding_window",
+    "mrs",
+    "block_only",
+    "corgipile",
+)
+
+
+def _buffer_tuples(layout: BlockLayout, buffer_fraction: float) -> int:
+    return max(1, round(buffer_fraction * layout.n_tuples))
+
+
+def make_strategy(
+    name: str,
+    layout: BlockLayout,
+    buffer_fraction: float = 0.1,
+    seed: int = 0,
+    **kwargs,
+) -> ShuffleStrategy:
+    """Build the named strategy over ``layout`` with the given buffer budget.
+
+    ``buffer_fraction`` is the in-memory buffer size as a fraction of the
+    dataset, applied to every buffered strategy; extra ``kwargs`` are passed
+    to the strategy constructor (e.g. ``mode="sampled"`` for CorgiPile).
+    """
+    if not 0.0 < buffer_fraction <= 1.0:
+        raise ValueError("buffer_fraction must be in (0, 1]")
+    # Imported here (not at module top) to break the package import cycle:
+    # repro.core.corgipile itself builds on repro.shuffle.base.
+    from ..core.corgipile import CorgiPileShuffle
+
+    builders: dict[str, Callable[[], ShuffleStrategy]] = {
+        "no_shuffle": lambda: NoShuffle(layout.n_tuples, seed=seed, **kwargs),
+        "shuffle_once": lambda: ShuffleOnce(layout.n_tuples, seed=seed, **kwargs),
+        "epoch_shuffle": lambda: EpochShuffle(layout.n_tuples, seed=seed, **kwargs),
+        "sliding_window": lambda: SlidingWindowShuffle(
+            layout.n_tuples, _buffer_tuples(layout, buffer_fraction), seed=seed, **kwargs
+        ),
+        "mrs": lambda: MRSShuffle(
+            layout.n_tuples, _buffer_tuples(layout, buffer_fraction), seed=seed, **kwargs
+        ),
+        "block_only": lambda: BlockOnlyShuffle(layout, seed=seed, **kwargs),
+        "corgipile": lambda: CorgiPileShuffle.from_buffer_fraction(
+            layout, buffer_fraction, seed=seed, **kwargs
+        ),
+    }
+    try:
+        builder = builders[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown strategy {name!r}; available: {', '.join(STRATEGY_NAMES)}"
+        ) from None
+    return builder()

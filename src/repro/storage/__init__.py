@@ -1,0 +1,46 @@
+"""Storage substrate: tuple codec, pages, heap/block files, buffer pool, I/O models."""
+
+from .blockfile import BlockFileReader, BlockIndexEntry, write_block_file
+from .bufferpool import BufferPool
+from .codec import TrainingTuple, TupleSchema, decode_tuple, encode_tuple
+from .filestore import load_heap, save_heap
+from .heapfile import HeapFile
+from .iomodel import (
+    HDD,
+    HDD_SCALED,
+    MEMORY,
+    SSD,
+    SSD_SCALED,
+    AccessEvent,
+    StripedDevice,
+    AccessTrace,
+    DeviceModel,
+    random_vs_sequential_curve,
+)
+from .page import DEFAULT_PAGE_BYTES, Page
+
+__all__ = [
+    "TrainingTuple",
+    "TupleSchema",
+    "encode_tuple",
+    "decode_tuple",
+    "Page",
+    "DEFAULT_PAGE_BYTES",
+    "HeapFile",
+    "save_heap",
+    "load_heap",
+    "BufferPool",
+    "BlockFileReader",
+    "BlockIndexEntry",
+    "write_block_file",
+    "DeviceModel",
+    "HDD",
+    "HDD_SCALED",
+    "SSD",
+    "SSD_SCALED",
+    "MEMORY",
+    "StripedDevice",
+    "AccessEvent",
+    "AccessTrace",
+    "random_vs_sequential_curve",
+]

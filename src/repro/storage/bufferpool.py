@@ -1,0 +1,70 @@
+"""An LRU buffer pool over heap-file pages.
+
+PostgreSQL reads pages through its buffer manager; CorgiPile's deep
+integration sits below the UDA layer precisely so it can drive block-granular
+page reads through this component.  The pool here caches decoded pages with
+an LRU policy and counts hits/misses, so experiments can report OS-cache-like
+effects (small datasets become memory-resident after the first epoch —
+Section 7.3.4's observation about higgs/susy/epsilon per-epoch times).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .codec import TrainingTuple
+from .heapfile import HeapFile
+
+__all__ = ["BufferPool"]
+
+
+class BufferPool:
+    """Caches decoded pages of a single heap file."""
+
+    def __init__(self, heap: HeapFile, capacity_pages: int):
+        if capacity_pages <= 0:
+            raise ValueError("capacity_pages must be positive")
+        self.heap = heap
+        self.capacity_pages = capacity_pages
+        self._cache: OrderedDict[int, list[TrainingTuple]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get_page(self, page_id: int) -> list[TrainingTuple]:
+        """Return the decoded tuples of ``page_id``, via the cache."""
+        return self.get_page_traced(page_id)[0]
+
+    def get_page_traced(self, page_id: int) -> tuple[list[TrainingTuple], bool]:
+        """Like :meth:`get_page`, also reporting whether it was a cache hit.
+
+        The hit flag lets callers charge the read at memory speed instead of
+        device speed (the experiments' "cached after the first epoch"
+        behaviour on small datasets).
+        """
+        if page_id in self._cache:
+            self._cache.move_to_end(page_id)
+            self.hits += 1
+            return self._cache[page_id], True
+        self.misses += 1
+        tuples = self.heap.read_page(page_id)
+        self._cache[page_id] = tuples
+        if len(self._cache) > self.capacity_pages:
+            self._cache.popitem(last=False)
+        return tuples, False
+
+    @property
+    def cached_pages(self) -> int:
+        return len(self._cache)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop all cached pages (the experiments clear the OS cache)."""
+        self._cache.clear()
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,86 @@
+"""Binary tuple codec.
+
+Serialises training tuples to bytes using the paper's storage schema
+``<id, features_k[], features_v[], label>`` (Section 6): dense tuples store
+only ``features_v``, sparse tuples store parallel index/value arrays.  The
+codec is shared by the heap-file pages of the mini database engine and the
+on-disk block files of the PyTorch-style integration, so both sides measure
+identical tuple sizes.
+
+Wire format (little-endian):
+
+* header: ``tuple_id:int64, label:float64, nnz:int32`` where ``nnz < 0``
+  marks a dense tuple of ``-nnz`` values;
+* dense payload: ``-nnz`` float64 feature values;
+* sparse payload: ``nnz`` int32 indices followed by ``nnz`` float64 values.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.sparse import SparseRow
+
+__all__ = ["TupleSchema", "TrainingTuple", "encode_tuple", "decode_tuple"]
+
+_HEADER = struct.Struct("<qdi")
+
+
+@dataclass(frozen=True)
+class TupleSchema:
+    """Static description of a table's tuples."""
+
+    n_features: int
+    sparse: bool = False
+
+    def dense_tuple_bytes(self) -> int:
+        """Size of one dense tuple under this schema."""
+        return _HEADER.size + 8 * self.n_features
+
+    def sparse_tuple_bytes(self, nnz: int) -> int:
+        return _HEADER.size + 12 * nnz
+
+
+@dataclass
+class TrainingTuple:
+    """A decoded training tuple."""
+
+    tuple_id: int
+    label: float
+    features: np.ndarray | SparseRow
+
+    @property
+    def is_sparse(self) -> bool:
+        return isinstance(self.features, SparseRow)
+
+
+def encode_tuple(tuple_id: int, label: float, features: np.ndarray | SparseRow) -> bytes:
+    """Serialise one tuple to bytes."""
+    if isinstance(features, SparseRow):
+        header = _HEADER.pack(tuple_id, float(label), features.nnz)
+        idx = features.indices.astype("<i4").tobytes()
+        val = features.values.astype("<f8").tobytes()
+        return header + idx + val
+    dense = np.asarray(features, dtype="<f8")
+    header = _HEADER.pack(tuple_id, float(label), -dense.size)
+    return header + dense.tobytes()
+
+
+def decode_tuple(buffer: bytes, offset: int, schema: TupleSchema) -> tuple[TrainingTuple, int]:
+    """Deserialise one tuple starting at ``offset``; return (tuple, next offset)."""
+    tuple_id, label, nnz = _HEADER.unpack_from(buffer, offset)
+    offset += _HEADER.size
+    if nnz < 0:
+        n = -nnz
+        values = np.frombuffer(buffer, dtype="<f8", count=n, offset=offset).copy()
+        offset += 8 * n
+        return TrainingTuple(tuple_id, label, values), offset
+    indices = np.frombuffer(buffer, dtype="<i4", count=nnz, offset=offset).astype(np.int64)
+    offset += 4 * nnz
+    values = np.frombuffer(buffer, dtype="<f8", count=nnz, offset=offset).copy()
+    offset += 8 * nnz
+    row = SparseRow(indices, values, schema.n_features)
+    return TrainingTuple(tuple_id, label, row), offset

@@ -1,0 +1,225 @@
+"""Analytic I/O device models and access-trace costing.
+
+The paper's hardware efficiency claims all reduce to one device property:
+a random access pays a latency ``t_lat`` that a sequential scan does not, so
+random *tuple* access is catastrophically slow while random *block* access
+approaches sequential bandwidth once blocks are ~10 MB (Appendix A,
+Figure 20).  Real disks are not available (or reproducible) here, so every
+experiment charges its physical reads/writes through these models.
+
+Devices are calibrated to the paper's testbed: the Alibaba-cloud HDD with a
+maximum 140 MB/s bandwidth and ~8 ms seek+rotate, the SSD with 1 GB/s and
+~0.12 ms access latency, and an in-memory device for cached data.
+
+An :class:`AccessTrace` is the bridge between the shuffle strategies (which
+record what they physically touch) and the device models (which convert the
+trace to seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = [
+    "DeviceModel",
+    "HDD",
+    "SSD",
+    "MEMORY",
+    "HDD_SCALED",
+    "SSD_SCALED",
+    "StripedDevice",
+    "AccessEvent",
+    "AccessTrace",
+    "random_vs_sequential_curve",
+]
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """A storage device characterised by access latency and bandwidth."""
+
+    name: str
+    access_latency_s: float
+    bandwidth_bytes_per_s: float
+
+    def sequential_time(self, n_bytes: float) -> float:
+        """Time to scan ``n_bytes`` sequentially (one initial positioning)."""
+        if n_bytes <= 0:
+            return 0.0
+        return self.access_latency_s + n_bytes / self.bandwidth_bytes_per_s
+
+    def random_time(self, n_bytes_each: float, count: int) -> float:
+        """Time for ``count`` independent random accesses of ``n_bytes_each``."""
+        if count <= 0:
+            return 0.0
+        return count * (self.access_latency_s + n_bytes_each / self.bandwidth_bytes_per_s)
+
+    def random_throughput(self, chunk_bytes: float) -> float:
+        """Effective bytes/s for random accesses of ``chunk_bytes`` (Fig. 20)."""
+        if chunk_bytes <= 0:
+            return 0.0
+        return chunk_bytes / (self.access_latency_s + chunk_bytes / self.bandwidth_bytes_per_s)
+
+
+# Calibrated to the paper's Section 7.1.1 hardware.
+HDD = DeviceModel("hdd", access_latency_s=8e-3, bandwidth_bytes_per_s=140e6)
+SSD = DeviceModel("ssd", access_latency_s=1.2e-4, bandwidth_bytes_per_s=1e9)
+MEMORY = DeviceModel("memory", access_latency_s=1e-7, bandwidth_bytes_per_s=20e9)
+
+# Scale-consistent devices for the ~10^3-scaled-down benchmark datasets.
+#
+# The paper's regime is "10 MB blocks amortise an 8 ms seek" — the latency
+# is ~10 % of the block transfer time.  Our benchmark tables are ~10^3
+# smaller, so blocks are ~10 KB; charging a full 8 ms per 10 KB block would
+# put the experiments in a latency regime the paper never ran in.  Scaling
+# the access latency by the same 10^3 factor (bandwidths unchanged) keeps
+# every ratio the paper reports — latency/transfer per block, shuffle cost
+# in units of epochs, HDD/SSD gap — while letting the experiments run on
+# kilobyte-scale tables.  Use HDD/SSD for full-size byte counts and
+# HDD_SCALED/SSD_SCALED whenever the data itself was scaled down.
+HDD_SCALED = DeviceModel("hdd-scaled", access_latency_s=8e-6, bandwidth_bytes_per_s=140e6)
+SSD_SCALED = DeviceModel("ssd-scaled", access_latency_s=1.2e-7, bandwidth_bytes_per_s=1e9)
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One homogeneous batch of physical accesses.
+
+    ``kind`` is ``"seq"`` for a sequential scan of ``count * n_bytes_each``
+    bytes, ``"rand"`` for ``count`` independent random reads, and
+    ``"rand_write"``/``"seq_write"`` for the corresponding writes (writes
+    share the read cost model — adequate for the shuffle-copy accounting the
+    paper needs).
+    """
+
+    kind: str
+    count: int
+    n_bytes_each: float
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("seq", "rand", "seq_write", "rand_write"):
+            raise ValueError(f"unknown access kind {self.kind!r}")
+        if self.count < 0 or self.n_bytes_each < 0:
+            raise ValueError("count and n_bytes_each must be non-negative")
+
+    @property
+    def total_bytes(self) -> float:
+        return self.count * self.n_bytes_each
+
+    def time_on(self, device: DeviceModel) -> float:
+        if self.kind in ("seq", "seq_write"):
+            return device.sequential_time(self.total_bytes)
+        return device.random_time(self.n_bytes_each, self.count)
+
+
+@dataclass
+class AccessTrace:
+    """An ordered collection of access events with costing helpers."""
+
+    events: list[AccessEvent] = field(default_factory=list)
+
+    def add(self, kind: str, count: int, n_bytes_each: float, note: str = "") -> None:
+        self.events.append(AccessEvent(kind, count, n_bytes_each, note))
+
+    def extend(self, other: "AccessTrace") -> None:
+        self.events.extend(other.events)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(e.total_bytes for e in self.events)
+
+    @property
+    def read_bytes(self) -> float:
+        return sum(e.total_bytes for e in self.events if e.kind in ("seq", "rand"))
+
+    @property
+    def write_bytes(self) -> float:
+        return sum(e.total_bytes for e in self.events if e.kind.endswith("write"))
+
+    def time_on(self, device: DeviceModel) -> float:
+        return sum(e.time_on(device) for e in self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def random_vs_sequential_curve(
+    device: DeviceModel,
+    block_sizes_bytes: Iterable[float],
+) -> list[dict]:
+    """Reproduce Figure 20: random-block throughput vs block size.
+
+    Returns one record per block size with the random throughput, the
+    sequential (dashed-line) throughput, and their ratio.
+    """
+    records = []
+    for size in block_sizes_bytes:
+        rand = device.random_throughput(size)
+        records.append(
+            {
+                "device": device.name,
+                "block_bytes": float(size),
+                "random_mb_per_s": rand / 1e6,
+                "sequential_mb_per_s": device.bandwidth_bytes_per_s / 1e6,
+                "ratio": rand / device.bandwidth_bytes_per_s,
+            }
+        )
+    return records
+
+
+@dataclass(frozen=True)
+class StripedDevice(DeviceModel):
+    """A Lustre-style striped parallel file system (Section 5's substrate).
+
+    Data is striped across ``n_stripes`` object storage targets of
+    ``stripe_bytes`` each; a read touching multiple stripes transfers from
+    the targets in parallel, capped by the client's network bandwidth.
+    ``bandwidth_bytes_per_s`` is the per-target bandwidth and
+    ``access_latency_s`` the per-request positioning cost.
+
+    For accesses within one stripe this behaves like the base device; large
+    sequential scans approach ``min(n_stripes x target bw, client bw)`` —
+    which is why the paper's cluster reads "4 MB+ blocks" efficiently.
+    """
+
+    n_stripes: int = 4
+    stripe_bytes: int = 4 * 1024**2
+    client_bandwidth_bytes_per_s: float = 10e9
+
+    def __post_init__(self) -> None:
+        if self.n_stripes < 1:
+            raise ValueError("n_stripes must be at least 1")
+        if self.stripe_bytes <= 0:
+            raise ValueError("stripe_bytes must be positive")
+
+    def _effective_bandwidth(self, n_bytes: float) -> float:
+        stripes_touched = min(self.n_stripes, max(1, -(-int(n_bytes) // self.stripe_bytes)))
+        return min(
+            stripes_touched * self.bandwidth_bytes_per_s,
+            self.client_bandwidth_bytes_per_s,
+        )
+
+    def sequential_time(self, n_bytes: float) -> float:
+        if n_bytes <= 0:
+            return 0.0
+        return self.access_latency_s + n_bytes / self._effective_bandwidth(n_bytes)
+
+    def random_time(self, n_bytes_each: float, count: int) -> float:
+        if count <= 0:
+            return 0.0
+        per_access = self.access_latency_s + (
+            n_bytes_each / self._effective_bandwidth(n_bytes_each)
+            if n_bytes_each > 0
+            else 0.0
+        )
+        return count * per_access
+
+    def random_throughput(self, chunk_bytes: float) -> float:
+        if chunk_bytes <= 0:
+            return 0.0
+        return chunk_bytes / self.random_time(chunk_bytes, 1)

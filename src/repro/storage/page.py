@@ -1,0 +1,58 @@
+"""Heap-file pages.
+
+A :class:`Page` is a fixed-capacity byte container holding a run of encoded
+tuples, mirroring PostgreSQL's 8 KB heap pages.  Pages only know byte
+offsets; decoding is the caller's job (via :mod:`repro.storage.codec`), which
+keeps the page layer reusable for compressed (TOAST-like) payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Page", "DEFAULT_PAGE_BYTES"]
+
+DEFAULT_PAGE_BYTES = 8192
+
+
+@dataclass
+class Page:
+    """One fixed-size page of encoded tuples."""
+
+    page_id: int
+    capacity: int = DEFAULT_PAGE_BYTES
+    _chunks: list[bytes] = field(default_factory=list, repr=False)
+    _used: int = 0
+
+    def fits(self, n_bytes: int) -> bool:
+        return self._used + n_bytes <= self.capacity
+
+    def append(self, payload: bytes) -> None:
+        """Add one encoded tuple; raises if it does not fit."""
+        if len(payload) > self.capacity:
+            raise ValueError(
+                f"tuple of {len(payload)} bytes exceeds page capacity {self.capacity}"
+            )
+        if not self.fits(len(payload)):
+            raise ValueError("page full")
+        self._chunks.append(payload)
+        self._used += len(payload)
+
+    @property
+    def n_tuples(self) -> int:
+        return len(self._chunks)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self._used
+
+    def raw(self) -> bytes:
+        """The concatenated tuple payloads (without padding)."""
+        return b"".join(self._chunks)
+
+    def tuple_payloads(self) -> list[bytes]:
+        return list(self._chunks)

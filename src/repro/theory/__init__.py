@@ -1,0 +1,58 @@
+"""Theory: the h_D clustering factor, Theorem 1/2 bounds, order diagnostics."""
+
+from .bounds import (
+    PhysicalCost,
+    RateFactors,
+    alpha_factor,
+    corgipile_physical_time,
+    nonconvex_factors,
+    strongly_convex_factors,
+    theorem1_bound,
+    theorem2_bound,
+    vanilla_sgd_physical_time,
+)
+from .distributions import (
+    distribution_report,
+    label_mixing_deviation,
+    label_window_counts,
+    position_rank_correlation,
+)
+from .tracking import GradientStats, GradientStatsTracker
+from .verification import (
+    SamplingMomentCheck,
+    buffered_gradient_sum_samples,
+    verify_expectation_identity,
+    verify_variance_identity,
+)
+from .hd import (
+    block_gradient_variance,
+    gradient_variance,
+    hd_factor,
+    per_example_gradients,
+)
+
+__all__ = [
+    "alpha_factor",
+    "RateFactors",
+    "strongly_convex_factors",
+    "theorem1_bound",
+    "nonconvex_factors",
+    "theorem2_bound",
+    "PhysicalCost",
+    "vanilla_sgd_physical_time",
+    "corgipile_physical_time",
+    "label_window_counts",
+    "position_rank_correlation",
+    "label_mixing_deviation",
+    "distribution_report",
+    "per_example_gradients",
+    "gradient_variance",
+    "block_gradient_variance",
+    "hd_factor",
+    "GradientStats",
+    "GradientStatsTracker",
+    "SamplingMomentCheck",
+    "buffered_gradient_sum_samples",
+    "verify_expectation_identity",
+    "verify_variance_identity",
+]

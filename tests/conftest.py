@@ -1,0 +1,49 @@
+"""Shared fixtures: small, fast datasets and layouts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BlockLayout,
+    Dataset,
+    clustered_by_label,
+    make_binary_dense,
+    make_binary_sparse,
+    make_multiclass_dense,
+)
+
+
+@pytest.fixture(scope="session")
+def dense_binary() -> Dataset:
+    """600 tuples, 12 features, learnable, shuffled order."""
+    return make_binary_dense(600, 12, separation=1.2, seed=11)
+
+
+@pytest.fixture(scope="session")
+def sparse_binary() -> Dataset:
+    """300 sparse tuples over 150 features."""
+    return make_binary_sparse(300, 150, nnz_per_row=12, separation=1.0, seed=13)
+
+
+@pytest.fixture(scope="session")
+def multiclass_dense() -> Dataset:
+    """500 tuples, 4 classes."""
+    return make_multiclass_dense(500, 16, 4, separation=2.5, seed=17)
+
+
+@pytest.fixture()
+def clustered_binary(dense_binary: Dataset) -> Dataset:
+    return clustered_by_label(dense_binary, seed=1)
+
+
+@pytest.fixture()
+def layout_600() -> BlockLayout:
+    """600 tuples in 30 blocks of 20."""
+    return BlockLayout(600, 20)
+
+
+def assert_is_permutation(order: np.ndarray, n: int) -> None:
+    assert order.shape == (n,)
+    assert sorted(order.tolist()) == list(range(n))

@@ -1,0 +1,177 @@
+"""Tests for the physical-design advisor and hyper-parameter tuning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_binary_dense
+from repro.db.advisor import (
+    MIN_BLOCKS_PER_BUFFER,
+    PhysicalDesign,
+    advise,
+    recommend_block_size,
+    recommend_buffer,
+)
+from repro.ml import LogisticRegression
+from repro.ml.tuning import SeedStats, grid_search, multi_seed
+from repro.shuffle import ShuffleOnce
+from repro.storage import HDD, SSD
+
+
+class TestBlockSizeRecommendation:
+    def test_hdd_needs_multi_megabyte_blocks(self):
+        block = recommend_block_size(HDD, page_bytes=8192)
+        # 0.9/(0.1) * 8ms * 140MB/s ~= 10MB: the paper's own rule of thumb.
+        assert 5 * 1024**2 <= block <= 16 * 1024**2
+
+    def test_ssd_needs_much_smaller_blocks(self):
+        assert recommend_block_size(SSD, 8192) < recommend_block_size(HDD, 8192) / 5
+
+    def test_block_meets_target_throughput(self):
+        for device in (HDD, SSD):
+            block = recommend_block_size(device, 8192, throughput_fraction=0.9)
+            assert device.random_throughput(block) >= 0.9 * device.bandwidth_bytes_per_s
+
+    def test_page_aligned(self):
+        block = recommend_block_size(HDD, page_bytes=8192)
+        assert block % 8192 == 0
+
+    def test_higher_fraction_larger_block(self):
+        lo = recommend_block_size(HDD, 8192, throughput_fraction=0.8)
+        hi = recommend_block_size(HDD, 8192, throughput_fraction=0.95)
+        assert hi > lo
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recommend_block_size(HDD, 8192, throughput_fraction=1.0)
+        with pytest.raises(ValueError):
+            recommend_block_size(HDD, 0)
+        with pytest.raises(ValueError):
+            recommend_block_size(HDD, 8192, max_block_bytes=1024)
+
+
+class TestBufferRecommendation:
+    def test_default_fraction(self):
+        buffer_bytes, blocks = recommend_buffer(100 * 1024**2, 1024**2)
+        assert buffer_bytes == 10 * 1024**2
+        assert blocks == 10
+
+    def test_minimum_blocks_enforced(self):
+        buffer_bytes, blocks = recommend_buffer(100 * 1024**2, 10 * 1024**2)
+        assert blocks >= MIN_BLOCKS_PER_BUFFER or buffer_bytes == 100 * 1024**2
+
+    def test_memory_budget_caps(self):
+        buffer_bytes, _ = recommend_buffer(
+            100 * 1024**2, 1024**2, memory_budget_bytes=3 * 1024**2
+        )
+        assert buffer_bytes <= 3 * 1024**2
+
+    def test_budget_smaller_than_block_rejected(self):
+        with pytest.raises(ValueError):
+            recommend_buffer(1024**2, 1024**2, memory_budget_bytes=1024)
+
+    def test_never_exceeds_table(self):
+        buffer_bytes, _ = recommend_buffer(5 * 1024**2, 1024**2)
+        assert buffer_bytes <= 5 * 1024**2
+
+
+class TestAdvise:
+    def test_full_recommendation(self):
+        design = advise(HDD, table_bytes=1e9, page_bytes=8192)
+        assert isinstance(design, PhysicalDesign)
+        assert design.expected_random_throughput_fraction >= 0.9
+        assert design.blocks_per_buffer >= 1
+        assert "block=" in design.describe()
+
+    def test_tiny_table_fallback(self):
+        design = advise(HDD, table_bytes=512 * 1024, page_bytes=8192)
+        # Recommended HDD block (~10MB) exceeds the table; advisor falls
+        # back so the table still has multiple blocks.
+        assert design.block_bytes < 512 * 1024
+
+
+class TestGridSearch:
+    @pytest.fixture()
+    def problem(self):
+        ds = make_binary_dense(600, 8, separation=1.5, seed=0)
+        return ds.split(0.8, seed=1)
+
+    def test_picks_reasonable_lr(self, problem):
+        train, val = problem
+        result = grid_search(
+            lambda: LogisticRegression(8),
+            train,
+            val,
+            lambda trial: ShuffleOnce(train.n_tuples, seed=trial),
+            {"learning_rate": [0.05, 80.0]},
+            epochs=5,
+        )
+        # The divergently large lr oscillates; grid search must reject it.
+        assert result.best_params["learning_rate"] == 0.05
+        assert len(result.trials) == 2
+        assert result.best_score > 0.8
+
+    def test_cross_product(self, problem):
+        train, val = problem
+        result = grid_search(
+            lambda: LogisticRegression(8),
+            train,
+            val,
+            lambda trial: ShuffleOnce(train.n_tuples, seed=trial),
+            {"learning_rate": [0.01, 0.05], "decay": [0.9, 0.99]},
+            epochs=3,
+        )
+        assert len(result.trials) == 4
+        assert set(result.best_params) == {"learning_rate", "decay"}
+
+    def test_unknown_param_rejected(self, problem):
+        train, val = problem
+        with pytest.raises(ValueError, match="unknown grid"):
+            grid_search(
+                lambda: LogisticRegression(8), train, val,
+                lambda t: ShuffleOnce(train.n_tuples, seed=t),
+                {"temperature": [1.0]}, epochs=1,
+            )
+
+    def test_empty_grid_rejected(self, problem):
+        train, val = problem
+        with pytest.raises(ValueError):
+            grid_search(
+                lambda: LogisticRegression(8), train, val,
+                lambda t: ShuffleOnce(train.n_tuples, seed=t), {}, epochs=1,
+            )
+
+
+class TestMultiSeed:
+    def test_stats(self):
+        stats = SeedStats(scores=(0.6, 0.7, 0.8))
+        assert stats.mean == pytest.approx(0.7)
+        assert stats.min == 0.6 and stats.max == 0.8
+        assert stats.std == pytest.approx(np.std([0.6, 0.7, 0.8]))
+
+    def test_overlap(self):
+        a = SeedStats(scores=(0.70, 0.72, 0.74))
+        b = SeedStats(scores=(0.71, 0.73, 0.75))
+        c = SeedStats(scores=(0.90, 0.91, 0.92))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_multi_seed_runs(self):
+        ds = make_binary_dense(400, 6, separation=2.0, seed=0)
+        train, test = ds.split(0.8, seed=1)
+        from repro.ml import ExponentialDecay, Trainer
+
+        def run(seed: int):
+            return Trainer(
+                LogisticRegression(6), train, ShuffleOnce(train.n_tuples, seed=seed),
+                epochs=5, schedule=ExponentialDecay(0.1), test=test,
+            ).run()
+
+        stats = multi_seed(run, seeds=[0, 1, 2])
+        assert len(stats.scores) == 3
+        assert stats.mean > 0.9
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            multi_seed(lambda s: None, seeds=[])

@@ -1,0 +1,80 @@
+"""Tests for the on-disk block file format (the PyTorch-side storage)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.storage import BlockFileReader, write_block_file
+
+
+@pytest.fixture()
+def dense_file(tmp_path, dense_binary):
+    path = tmp_path / "dense.blocks"
+    entries = write_block_file(dense_binary, path, tuples_per_block=50)
+    return path, entries
+
+
+class TestWrite:
+    def test_block_count(self, dense_file, dense_binary):
+        _, entries = dense_file
+        assert len(entries) == -(-dense_binary.n_tuples // 50)
+
+    def test_offsets_contiguous(self, dense_file):
+        _, entries = dense_file
+        expected = 0
+        for entry in entries:
+            assert entry.offset == expected
+            expected += entry.length
+
+    def test_index_sidecar_written(self, dense_file):
+        path, _ = dense_file
+        assert (path.parent / (path.name + ".index.json")).exists()
+
+    def test_invalid_block_size(self, tmp_path, dense_binary):
+        with pytest.raises(ValueError):
+            write_block_file(dense_binary, tmp_path / "x", tuples_per_block=0)
+
+
+class TestRead:
+    def test_read_all_blocks_covers_dataset(self, dense_file, dense_binary):
+        path, _ = dense_file
+        with BlockFileReader(path) as reader:
+            ids = []
+            for b in range(reader.n_blocks):
+                ids.extend(t.tuple_id for t in reader.read_block(b))
+        assert sorted(ids) == list(range(dense_binary.n_tuples))
+
+    def test_block_content_matches_dataset(self, dense_file, dense_binary):
+        path, _ = dense_file
+        with BlockFileReader(path) as reader:
+            records = reader.read_block(2)
+        for record in records:
+            np.testing.assert_allclose(record.features, dense_binary.X[record.tuple_id])
+            assert record.label == dense_binary.y[record.tuple_id]
+
+    def test_byte_accounting(self, dense_file):
+        path, entries = dense_file
+        with BlockFileReader(path) as reader:
+            reader.read_block(0)
+            reader.read_block(3)
+            assert reader.blocks_read == 2
+            assert reader.bytes_read == entries[0].length + entries[3].length
+
+    def test_sparse_roundtrip(self, tmp_path, sparse_binary):
+        path = tmp_path / "sparse.blocks"
+        write_block_file(sparse_binary, path, tuples_per_block=32)
+        with BlockFileReader(path) as reader:
+            records = reader.read_block(0)
+            assert records[0].is_sparse
+            np.testing.assert_allclose(
+                records[0].features.to_dense(), sparse_binary.X.to_dense()[0]
+            )
+
+    def test_random_block_access_out_of_order(self, dense_file):
+        path, _ = dense_file
+        with BlockFileReader(path) as reader:
+            last = reader.read_block(reader.n_blocks - 1)
+            first = reader.read_block(0)
+        assert first[0].tuple_id == 0
+        assert last[-1].tuple_id > first[-1].tuple_id

@@ -1,0 +1,78 @@
+"""Tests for the LRU buffer pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import BufferPool, HeapFile
+
+
+@pytest.fixture()
+def heap(dense_binary) -> HeapFile:
+    return HeapFile.from_dataset(dense_binary, page_bytes=1024)
+
+
+class TestBufferPool:
+    def test_miss_then_hit(self, heap):
+        pool = BufferPool(heap, capacity_pages=4)
+        pool.get_page(0)
+        assert (pool.hits, pool.misses) == (0, 1)
+        pool.get_page(0)
+        assert (pool.hits, pool.misses) == (1, 1)
+
+    def test_traced_flags(self, heap):
+        pool = BufferPool(heap, capacity_pages=4)
+        _, hit = pool.get_page_traced(2)
+        assert hit is False
+        _, hit = pool.get_page_traced(2)
+        assert hit is True
+
+    def test_lru_eviction(self, heap):
+        pool = BufferPool(heap, capacity_pages=2)
+        pool.get_page(0)
+        pool.get_page(1)
+        pool.get_page(2)  # evicts page 0
+        assert pool.cached_pages == 2
+        _, hit = pool.get_page_traced(0)
+        assert hit is False
+
+    def test_lru_recency_update(self, heap):
+        pool = BufferPool(heap, capacity_pages=2)
+        pool.get_page(0)
+        pool.get_page(1)
+        pool.get_page(0)  # page 0 becomes most recent
+        pool.get_page(2)  # evicts page 1
+        _, hit = pool.get_page_traced(0)
+        assert hit is True
+
+    def test_clear(self, heap):
+        pool = BufferPool(heap, capacity_pages=4)
+        pool.get_page(0)
+        pool.clear()
+        assert pool.cached_pages == 0
+        _, hit = pool.get_page_traced(0)
+        assert hit is False
+
+    def test_hit_rate(self, heap):
+        pool = BufferPool(heap, capacity_pages=8)
+        assert pool.hit_rate == 0.0
+        pool.get_page(0)
+        pool.get_page(0)
+        pool.get_page(0)
+        assert pool.hit_rate == pytest.approx(2 / 3)
+
+    def test_reset_stats(self, heap):
+        pool = BufferPool(heap, capacity_pages=8)
+        pool.get_page(0)
+        pool.reset_stats()
+        assert (pool.hits, pool.misses) == (0, 0)
+        assert pool.cached_pages == 1  # cache content survives
+
+    def test_invalid_capacity(self, heap):
+        with pytest.raises(ValueError):
+            BufferPool(heap, capacity_pages=0)
+
+    def test_page_content_identity(self, heap):
+        pool = BufferPool(heap, capacity_pages=4)
+        tuples = pool.get_page(1)
+        assert tuples[0].tuple_id == heap.read_page(1)[0].tuple_id

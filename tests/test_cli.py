@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data import make_binary_dense, write_libsvm
+from repro.ml import load_model
+
+
+@pytest.fixture()
+def libsvm_file(tmp_path):
+    ds = make_binary_dense(300, 6, separation=2.0, seed=0)
+    path = tmp_path / "data.libsvm"
+    write_libsvm(ds, path)
+    return path
+
+
+class TestInfo:
+    def test_lists_datasets_and_strategies(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "higgs" in out and "criteo" in out
+        assert "corgipile" in out
+
+
+class TestGenerate:
+    def test_generate_libsvm(self, tmp_path, capsys):
+        out = tmp_path / "g.libsvm"
+        assert main(["generate", "susy", "--out", str(out), "--order", "clustered"]) == 0
+        assert out.exists()
+        assert "6000 tuples" in capsys.readouterr().out
+
+    def test_generate_csv(self, tmp_path):
+        out = tmp_path / "g.csv"
+        assert main(["generate", "higgs", "--out", str(out), "--format", "csv"]) == 0
+        header = out.read_text().splitlines()[0]
+        assert header.endswith("label")
+
+    def test_generate_feature_order(self, tmp_path):
+        out = tmp_path / "g.csv"
+        assert main(
+            ["generate", "higgs", "--out", str(out), "--format", "csv", "--order", "feature:3"]
+        ) == 0
+        col = np.loadtxt(out, delimiter=",", skiprows=1)[:, 3]
+        assert np.all(np.diff(col) >= -1e-9)
+
+    def test_bad_order(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "higgs", "--out", str(tmp_path / "x"), "--order", "zigzag"])
+
+
+class TestTrainPredict:
+    def test_train_prints_history(self, libsvm_file, capsys):
+        assert main(
+            ["train", "--data", str(libsvm_file), "--model", "lr",
+             "--strategy", "shuffle_once", "--epochs", "3", "--block-tuples", "20"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "epoch" in out
+        assert out.count("\n") >= 5
+
+    def test_train_saves_loadable_model(self, libsvm_file, tmp_path, capsys):
+        model_path = tmp_path / "m.npz"
+        assert main(
+            ["train", "--data", str(libsvm_file), "--model", "svm", "--epochs", "4",
+             "--block-tuples", "20", "--save-model", str(model_path)]
+        ) == 0
+        model = load_model(model_path)
+        assert type(model).__name__ == "LinearSVM"
+
+    def test_predict_reports_accuracy(self, libsvm_file, tmp_path, capsys):
+        model_path = tmp_path / "m.npz"
+        main(
+            ["train", "--data", str(libsvm_file), "--model", "lr", "--epochs", "5",
+             "--block-tuples", "20", "--save-model", str(model_path)]
+        )
+        capsys.readouterr()
+        assert main(["predict", "--model", str(model_path), "--data", str(libsvm_file)]) == 0
+        out = capsys.readouterr().out
+        accuracy = float(out.split("=")[-1])
+        assert accuracy > 0.9  # well-separated data
+
+    def test_train_bundled_dataset(self, capsys):
+        assert main(
+            ["train", "--dataset", "epsilon", "--model", "lr", "--epochs", "2"]
+        ) == 0
+
+
+class TestExplainAndBench:
+    def test_explain_shows_plan(self, capsys):
+        assert main(["explain", "--dataset", "susy", "--strategy", "corgipile"]) == 0
+        out = capsys.readouterr().out
+        assert "SGD" in out and "TupleShuffle" in out and "BlockShuffle" in out
+
+    def test_bench_io(self, capsys):
+        assert main(["bench-io", "--device", "ssd"]) == 0
+        out = capsys.readouterr().out
+        assert "random MB/s" in out

@@ -1,0 +1,95 @@
+"""Tests for the binary tuple codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.sparse import SparseRow
+from repro.storage import TupleSchema, decode_tuple, encode_tuple
+
+
+class TestDenseCodec:
+    def test_roundtrip(self):
+        features = np.array([1.5, -2.0, 0.0, 3.25])
+        payload = encode_tuple(7, -1.0, features)
+        decoded, offset = decode_tuple(payload, 0, TupleSchema(4))
+        assert offset == len(payload)
+        assert decoded.tuple_id == 7
+        assert decoded.label == -1.0
+        assert not decoded.is_sparse
+        np.testing.assert_allclose(decoded.features, features)
+
+    def test_size_matches_schema(self):
+        schema = TupleSchema(10)
+        payload = encode_tuple(0, 1.0, np.zeros(10))
+        assert len(payload) == schema.dense_tuple_bytes()
+
+    def test_multiple_tuples_in_buffer(self):
+        buf = encode_tuple(0, 1.0, np.array([1.0])) + encode_tuple(1, -1.0, np.array([2.0]))
+        schema = TupleSchema(1)
+        first, offset = decode_tuple(buf, 0, schema)
+        second, end = decode_tuple(buf, offset, schema)
+        assert first.tuple_id == 0 and second.tuple_id == 1
+        assert end == len(buf)
+
+
+class TestSparseCodec:
+    def test_roundtrip(self):
+        row = SparseRow([2, 9, 40], [0.5, -1.5, 2.0], 100)
+        payload = encode_tuple(3, 1.0, row)
+        decoded, offset = decode_tuple(payload, 0, TupleSchema(100, sparse=True))
+        assert offset == len(payload)
+        assert decoded.is_sparse
+        np.testing.assert_array_equal(decoded.features.indices, row.indices)
+        np.testing.assert_allclose(decoded.features.values, row.values)
+        assert decoded.features.n_features == 100
+
+    def test_empty_row(self):
+        row = SparseRow([], [], 10)
+        payload = encode_tuple(0, -1.0, row)
+        decoded, _ = decode_tuple(payload, 0, TupleSchema(10, sparse=True))
+        assert decoded.features.nnz == 0
+
+    def test_size_matches_schema(self):
+        schema = TupleSchema(100, sparse=True)
+        row = SparseRow([1, 2, 3], [1.0, 2.0, 3.0], 100)
+        assert len(encode_tuple(0, 1.0, row)) == schema.sparse_tuple_bytes(3)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    tuple_id=st.integers(0, 2**40),
+    label=st.floats(-100, 100, allow_nan=False),
+    values=st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=20),
+)
+def test_property_dense_roundtrip(tuple_id, label, values):
+    features = np.array(values, dtype=np.float64)
+    payload = encode_tuple(tuple_id, label, features)
+    decoded, offset = decode_tuple(payload, 0, TupleSchema(len(values)))
+    assert offset == len(payload)
+    assert decoded.tuple_id == tuple_id
+    assert decoded.label == pytest.approx(label)
+    np.testing.assert_allclose(decoded.features, features)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(st.integers(0, 999), st.floats(-10, 10, allow_nan=False)),
+        min_size=0,
+        max_size=15,
+        unique_by=lambda t: t[0],
+    )
+)
+def test_property_sparse_roundtrip(data):
+    data.sort()
+    indices = np.array([d[0] for d in data], dtype=np.int64)
+    values = np.array([d[1] for d in data], dtype=np.float64)
+    row = SparseRow(indices, values, 1000)
+    payload = encode_tuple(5, 1.0, row)
+    decoded, _ = decode_tuple(payload, 0, TupleSchema(1000, sparse=True))
+    np.testing.assert_array_equal(decoded.features.indices, indices)
+    np.testing.assert_allclose(decoded.features.values, values)

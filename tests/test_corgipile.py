@@ -1,0 +1,189 @@
+"""Tests for the CorgiPile shuffle and the Block-Only ablation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CorgiPileShuffle
+from repro.data import BlockLayout
+from repro.shuffle import BlockOnlyShuffle
+from repro.theory import label_mixing_deviation, position_rank_correlation
+
+from .conftest import assert_is_permutation
+
+
+class TestCorgiPileFullPass:
+    def setup_method(self):
+        self.layout = BlockLayout(600, 20)  # 30 blocks
+        self.cp = CorgiPileShuffle(self.layout, buffer_blocks=5, seed=3)
+
+    def test_visits_every_tuple_once(self):
+        assert_is_permutation(self.cp.epoch_indices(0), 600)
+
+    def test_epochs_differ(self):
+        assert not np.array_equal(self.cp.epoch_indices(0), self.cp.epoch_indices(1))
+
+    def test_deterministic_per_epoch(self):
+        np.testing.assert_array_equal(self.cp.epoch_indices(2), self.cp.epoch_indices(2))
+
+    def test_buffer_fills_partition_epoch(self):
+        fills = self.cp.buffer_fills(0)
+        assert len(fills) == 6  # 30 blocks / 5 per fill
+        assert all(f.size == 100 for f in fills)
+        flat = np.concatenate(fills)
+        np.testing.assert_array_equal(flat, self.cp.epoch_indices(0))
+
+    def test_fill_contents_are_whole_blocks(self):
+        fills = self.cp.buffer_fills(0)
+        order = self.cp.epoch_block_order(0)
+        first_fill_blocks = set(order[:5].tolist())
+        expected = set()
+        for b in first_fill_blocks:
+            expected.update(self.layout.block_indices(b).tolist())
+        assert set(fills[0].tolist()) == expected
+
+    def test_tuples_shuffled_within_fill(self):
+        fills = self.cp.buffer_fills(0)
+        # A sorted fill would mean no tuple-level shuffle happened.
+        assert not np.all(np.diff(fills[0]) > 0)
+
+    def test_randomness_close_to_full_shuffle(self):
+        order = self.cp.epoch_indices(0)
+        assert abs(position_rank_correlation(order)) < 0.35
+
+    def test_block_order_matches_buffer_fills(self):
+        order = self.cp.epoch_block_order(1)
+        fills = self.cp.buffer_fills(1)
+        rebuilt = []
+        for fill in fills:
+            blocks = {self.layout.block_of(int(t)) for t in fill}
+            rebuilt.extend(sorted(blocks, key=lambda b: list(order).index(b)))
+        assert sorted(rebuilt) == sorted(order.tolist())
+
+    def test_ragged_last_block(self):
+        layout = BlockLayout(105, 20)  # 6 blocks, last has 5 tuples
+        cp = CorgiPileShuffle(layout, buffer_blocks=2, seed=0)
+        assert_is_permutation(cp.epoch_indices(0), 105)
+
+    def test_buffer_larger_than_table_clamped(self):
+        cp = CorgiPileShuffle(self.layout, buffer_blocks=999, seed=0)
+        assert cp.buffer_blocks == self.layout.n_blocks
+        assert_is_permutation(cp.epoch_indices(0), 600)
+        # With the whole table buffered CorgiPile degenerates to a full
+        # per-epoch shuffle.
+        assert abs(position_rank_correlation(cp.epoch_indices(0))) < 0.15
+
+
+class TestCorgiPileSampled:
+    def test_epoch_covers_only_buffered_blocks(self):
+        layout = BlockLayout(600, 20)
+        cp = CorgiPileShuffle(layout, buffer_blocks=5, seed=1, mode="sampled")
+        order = cp.epoch_indices(0)
+        assert order.size == 100
+        blocks = {layout.block_of(int(t)) for t in order}
+        assert len(blocks) == 5
+
+    def test_without_replacement_within_epoch(self):
+        layout = BlockLayout(200, 10)
+        cp = CorgiPileShuffle(layout, buffer_blocks=8, seed=1, mode="sampled")
+        order = cp.epoch_indices(0)
+        assert len(set(order.tolist())) == order.size
+
+    def test_blocks_visited(self):
+        layout = BlockLayout(600, 20)
+        assert CorgiPileShuffle(layout, 5, mode="sampled").blocks_visited(0) == 5
+        assert CorgiPileShuffle(layout, 5).blocks_visited(0) == 30
+
+
+class TestCorgiPileConstruction:
+    def test_invalid_buffer(self):
+        with pytest.raises(ValueError):
+            CorgiPileShuffle(BlockLayout(10, 2), buffer_blocks=0)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            CorgiPileShuffle(BlockLayout(10, 2), 1, mode="lazy")
+
+    def test_from_buffer_fraction(self):
+        layout = BlockLayout(1000, 10)  # 100 blocks
+        cp = CorgiPileShuffle.from_buffer_fraction(layout, 0.1)
+        assert cp.buffer_blocks == 10
+
+    def test_from_buffer_fraction_minimum_one(self):
+        layout = BlockLayout(100, 50)  # 2 blocks
+        cp = CorgiPileShuffle.from_buffer_fraction(layout, 0.01)
+        assert cp.buffer_blocks == 1
+
+    def test_from_buffer_fraction_invalid(self):
+        with pytest.raises(ValueError):
+            CorgiPileShuffle.from_buffer_fraction(BlockLayout(10, 2), 0.0)
+
+
+class TestCorgiPileTrace:
+    def test_random_block_reads(self):
+        layout = BlockLayout(600, 20)
+        cp = CorgiPileShuffle(layout, 5, seed=0)
+        trace = cp.epoch_trace(tuple_bytes=50.0)
+        (event,) = trace.events
+        assert event.kind == "rand"
+        assert event.count == 30
+        assert event.n_bytes_each == 20 * 50.0
+
+    def test_no_setup_cost(self):
+        cp = CorgiPileShuffle(BlockLayout(100, 10), 2)
+        assert len(cp.setup_trace(8.0)) == 0
+
+
+class TestBlockOnly:
+    def test_is_permutation(self):
+        s = BlockOnlyShuffle(BlockLayout(600, 20), seed=0)
+        assert_is_permutation(s.epoch_indices(0), 600)
+
+    def test_in_block_order_preserved(self):
+        layout = BlockLayout(100, 10)
+        s = BlockOnlyShuffle(layout, seed=0)
+        order = s.epoch_indices(0)
+        for lo in range(0, 100, 10):
+            chunk = order[lo : lo + 10]
+            assert np.all(np.diff(chunk) == 1)  # contiguous ascending run
+
+    def test_label_mixing_worse_than_corgipile(self, clustered_binary):
+        layout = clustered_binary.layout(20)
+        block_only = BlockOnlyShuffle(layout, seed=0).epoch_indices(0)
+        corgipile = CorgiPileShuffle(layout, 6, seed=0).epoch_indices(0)
+        dev_block = label_mixing_deviation(block_only, clustered_binary.y)
+        dev_corgi = label_mixing_deviation(corgipile, clustered_binary.y)
+        assert dev_corgi < dev_block
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(2, 400),
+    per_block=st.integers(1, 50),
+    buffer_blocks=st.integers(1, 20),
+    seed=st.integers(0, 50),
+    epoch=st.integers(0, 3),
+)
+def test_property_full_pass_always_permutation(n, per_block, buffer_blocks, seed, epoch):
+    layout = BlockLayout(n, per_block)
+    cp = CorgiPileShuffle(layout, buffer_blocks, seed=seed)
+    order = cp.epoch_indices(epoch)
+    assert sorted(order.tolist()) == list(range(n))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(10, 300),
+    per_block=st.integers(1, 30),
+    seed=st.integers(0, 50),
+)
+def test_property_sampled_mode_is_subset_without_replacement(n, per_block, seed):
+    layout = BlockLayout(n, per_block)
+    buffer_blocks = max(1, layout.n_blocks // 3)
+    cp = CorgiPileShuffle(layout, buffer_blocks, seed=seed, mode="sampled")
+    order = cp.epoch_indices(0)
+    assert len(set(order.tolist())) == order.size
+    assert set(order.tolist()) <= set(range(n))

@@ -1,0 +1,131 @@
+"""Tests for LIBSVM and CSV dataset I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    make_multiclass_sparse,
+    make_regression,
+    read_csv,
+    read_libsvm,
+    write_csv,
+    write_libsvm,
+)
+
+
+class TestLibsvmRoundtrip:
+    def test_dense_roundtrip(self, dense_binary, tmp_path):
+        path = tmp_path / "d.libsvm"
+        write_libsvm(dense_binary, path)
+        back = read_libsvm(path, n_features=dense_binary.n_features, dense=True)
+        np.testing.assert_allclose(back.X, dense_binary.X, atol=1e-12)
+        np.testing.assert_allclose(back.y, dense_binary.y)
+
+    def test_sparse_roundtrip(self, sparse_binary, tmp_path):
+        path = tmp_path / "s.libsvm"
+        write_libsvm(sparse_binary, path)
+        back = read_libsvm(path, n_features=sparse_binary.n_features)
+        assert back.is_sparse
+        np.testing.assert_allclose(back.X.to_dense(), sparse_binary.X.to_dense(), atol=1e-12)
+
+    def test_multiclass_labels_are_ints(self, tmp_path):
+        ds = make_multiclass_sparse(20, 50, 3, seed=0)
+        path = tmp_path / "m.libsvm"
+        write_libsvm(ds, path)
+        back = read_libsvm(path, n_features=50, task="multiclass")
+        assert back.y.dtype == np.int64
+        np.testing.assert_array_equal(back.y, ds.y)
+
+    def test_infers_feature_count(self, sparse_binary, tmp_path):
+        path = tmp_path / "s.libsvm"
+        write_libsvm(sparse_binary, path)
+        back = read_libsvm(path)
+        # Inferred dimensionality = highest index present (may be below the
+        # declared schema when trailing features are never active).
+        assert back.n_features <= sparse_binary.n_features
+        assert back.n_tuples == sparse_binary.n_tuples
+
+    def test_one_based_indices_on_disk(self, sparse_binary, tmp_path):
+        path = tmp_path / "s.libsvm"
+        write_libsvm(sparse_binary, path)
+        first = path.read_text().splitlines()[0]
+        indices = [int(tok.split(":")[0]) for tok in first.split()[1:]]
+        assert min(indices) >= 1
+
+
+class TestLibsvmErrors:
+    def test_bad_label(self, tmp_path):
+        path = tmp_path / "bad.libsvm"
+        path.write_text("not-a-number 1:2.0\n")
+        with pytest.raises(ValueError, match="bad label"):
+            read_libsvm(path)
+
+    def test_bad_token(self, tmp_path):
+        path = tmp_path / "bad.libsvm"
+        path.write_text("1 nonsense\n")
+        with pytest.raises(ValueError, match="bad feature token"):
+            read_libsvm(path)
+
+    def test_zero_based_index_rejected(self, tmp_path):
+        path = tmp_path / "bad.libsvm"
+        path.write_text("1 0:2.0\n")
+        with pytest.raises(ValueError, match="1-based"):
+            read_libsvm(path)
+
+    def test_too_small_n_features(self, tmp_path):
+        path = tmp_path / "x.libsvm"
+        path.write_text("1 5:1.0\n")
+        with pytest.raises(ValueError, match="n_features"):
+            read_libsvm(path, n_features=3)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.libsvm"
+        path.write_text("# only a comment\n")
+        with pytest.raises(ValueError, match="no examples"):
+            read_libsvm(path)
+
+    def test_unsorted_indices_accepted(self, tmp_path):
+        path = tmp_path / "u.libsvm"
+        path.write_text("1 3:3.0 1:1.0\n")
+        ds = read_libsvm(path, dense=True)
+        np.testing.assert_allclose(ds.X[0], [1.0, 0.0, 3.0])
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "c.libsvm"
+        path.write_text("# header\n\n1 1:1.0\n-1 2:2.0\n")
+        assert read_libsvm(path).n_tuples == 2
+
+
+class TestCsv:
+    def test_roundtrip(self, dense_binary, tmp_path):
+        path = tmp_path / "d.csv"
+        write_csv(dense_binary, path)
+        back = read_csv(path)
+        np.testing.assert_allclose(back.X, dense_binary.X, atol=1e-12)
+        np.testing.assert_allclose(back.y, dense_binary.y)
+
+    def test_regression_roundtrip(self, tmp_path):
+        ds = make_regression(30, 4, seed=0)
+        path = tmp_path / "r.csv"
+        write_csv(ds, path)
+        back = read_csv(path, task="regression")
+        np.testing.assert_allclose(back.y, ds.y, atol=1e-12)
+        assert back.task == "regression"
+
+    def test_sparse_export_rejected(self, sparse_binary, tmp_path):
+        with pytest.raises(ValueError, match="dense"):
+            write_csv(sparse_binary, tmp_path / "x.csv")
+
+    def test_header_present(self, dense_binary, tmp_path):
+        path = tmp_path / "d.csv"
+        write_csv(dense_binary, path)
+        header = path.read_text().splitlines()[0]
+        assert header.startswith("f0,") and header.endswith(",label")
+
+    def test_too_few_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("label\n1.0\n")
+        with pytest.raises(ValueError):
+            read_csv(path)

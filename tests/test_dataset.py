@@ -1,0 +1,132 @@
+"""Tests for Dataset and BlockLayout."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import BlockLayout, Dataset, make_binary_dense, make_binary_sparse
+
+
+class TestBlockLayout:
+    def test_block_count_exact(self):
+        assert BlockLayout(100, 10).n_blocks == 10
+
+    def test_block_count_ragged(self):
+        assert BlockLayout(105, 10).n_blocks == 11
+
+    def test_block_slices_cover_all_tuples(self):
+        layout = BlockLayout(105, 10)
+        covered = []
+        for b in range(layout.n_blocks):
+            covered.extend(layout.block_indices(b).tolist())
+        assert covered == list(range(105))
+
+    def test_last_block_is_ragged(self):
+        layout = BlockLayout(105, 10)
+        assert layout.block_size(10) == 5
+
+    def test_block_of_inverse(self):
+        layout = BlockLayout(50, 7)
+        for t in range(50):
+            assert t in layout.block_indices(layout.block_of(t)).tolist()
+
+    def test_out_of_range_block(self):
+        with pytest.raises(IndexError):
+            BlockLayout(10, 5).block_slice(2)
+
+    def test_out_of_range_tuple(self):
+        with pytest.raises(IndexError):
+            BlockLayout(10, 5).block_of(10)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            BlockLayout(0, 5)
+        with pytest.raises(ValueError):
+            BlockLayout(5, 0)
+
+    def test_from_block_count(self):
+        layout = BlockLayout.from_block_count(100, 7)
+        assert layout.n_blocks in (7, 8)
+        assert layout.n_tuples == 100
+
+    @settings(max_examples=50, deadline=None)
+    @given(n=st.integers(1, 500), b=st.integers(1, 50))
+    def test_property_partition(self, n, b):
+        layout = BlockLayout(n, b)
+        total = sum(layout.block_size(i) for i in range(layout.n_blocks))
+        assert total == n
+        assert all(1 <= layout.block_size(i) <= b for i in range(layout.n_blocks))
+
+
+class TestDataset:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.zeros(4))
+
+    def test_binary_label_validation(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((2, 2)), np.array([0.0, 1.0]), task="binary")
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((2, 2)), np.array([1.0, -1.0]), task="ranking")
+
+    def test_reorder_moves_rows_and_labels_together(self):
+        ds = make_binary_dense(20, 3, seed=0)
+        perm = np.arange(20)[::-1]
+        reordered = ds.reorder(perm)
+        np.testing.assert_allclose(reordered.X, ds.X[perm])
+        np.testing.assert_allclose(reordered.y, ds.y[perm])
+
+    def test_reorder_wrong_length(self):
+        ds = make_binary_dense(10, 3, seed=0)
+        with pytest.raises(ValueError):
+            ds.reorder(np.arange(5))
+
+    def test_shuffled_is_permutation(self):
+        ds = make_binary_dense(30, 3, seed=0)
+        shuffled = ds.shuffled(seed=4)
+        assert sorted(shuffled.y.tolist()) == sorted(ds.y.tolist())
+        assert not np.array_equal(shuffled.X, ds.X)
+
+    def test_split_disjoint_and_complete(self):
+        ds = make_binary_dense(100, 3, seed=0)
+        train, test = ds.split(0.8, seed=2)
+        assert train.n_tuples == 80
+        assert test.n_tuples == 20
+
+    def test_split_invalid_fraction(self):
+        ds = make_binary_dense(10, 3, seed=0)
+        with pytest.raises(ValueError):
+            ds.split(1.0)
+
+    def test_sparse_reorder(self, sparse_binary):
+        perm = np.random.default_rng(0).permutation(sparse_binary.n_tuples)
+        reordered = sparse_binary.reorder(perm)
+        np.testing.assert_allclose(
+            reordered.X.to_dense(), sparse_binary.X.to_dense()[perm]
+        )
+
+    def test_n_features(self, dense_binary, sparse_binary):
+        assert dense_binary.n_features == 12
+        assert sparse_binary.n_features == 150
+
+    def test_is_sparse_flag(self, dense_binary, sparse_binary):
+        assert not dense_binary.is_sparse
+        assert sparse_binary.is_sparse
+
+    def test_n_classes(self, multiclass_dense):
+        assert multiclass_dense.n_classes == 4
+
+    def test_n_classes_regression_rejected(self):
+        ds = Dataset(np.zeros((3, 2)), np.array([0.1, 0.2, 0.3]), task="regression")
+        with pytest.raises(ValueError):
+            _ = ds.n_classes
+
+    def test_layout_helper(self, dense_binary):
+        layout = dense_binary.layout(25)
+        assert layout.n_tuples == dense_binary.n_tuples
+        assert layout.tuples_per_block == 25

@@ -1,0 +1,65 @@
+"""Tests for the catalog and table statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db import Catalog, UnknownTableError
+
+
+class TestCatalog:
+    def test_create_and_get(self, dense_binary):
+        catalog = Catalog(page_bytes=1024)
+        info = catalog.create_table("t", dense_binary)
+        assert catalog.get("t") is info
+        assert "t" in catalog
+        assert catalog.names() == ["t"]
+
+    def test_duplicate_rejected(self, dense_binary):
+        catalog = Catalog(page_bytes=1024)
+        catalog.create_table("t", dense_binary)
+        with pytest.raises(ValueError):
+            catalog.create_table("t", dense_binary)
+
+    def test_drop(self, dense_binary):
+        catalog = Catalog(page_bytes=1024)
+        catalog.create_table("t", dense_binary)
+        catalog.drop_table("t")
+        assert "t" not in catalog
+        with pytest.raises(UnknownTableError):
+            catalog.drop_table("t")
+
+    def test_unknown_get(self):
+        with pytest.raises(UnknownTableError):
+            Catalog().get("ghost")
+
+    def test_labels(self, dense_binary):
+        catalog = Catalog(page_bytes=1024)
+        catalog.create_table("t", dense_binary)
+        np.testing.assert_array_equal(catalog.labels("t"), dense_binary.y)
+
+
+class TestTableStatistics:
+    def test_dense_values_per_tuple(self, dense_binary):
+        info = Catalog(page_bytes=1024).create_table("t", dense_binary)
+        assert info.values_per_tuple == dense_binary.n_features
+
+    def test_sparse_values_per_tuple(self, sparse_binary):
+        info = Catalog(page_bytes=1024).create_table("t", sparse_binary)
+        expected = sparse_binary.X.nnz / sparse_binary.n_tuples
+        assert info.values_per_tuple == pytest.approx(expected)
+
+    def test_tuple_bytes_dense(self, dense_binary):
+        info = Catalog(page_bytes=1024).create_table("t", dense_binary)
+        # header(20) + 8 * n_features
+        assert info.tuple_bytes == pytest.approx(20 + 8 * dense_binary.n_features)
+
+    def test_table_bytes_covers_pages(self, dense_binary):
+        info = Catalog(page_bytes=1024).create_table("t", dense_binary)
+        assert info.table_bytes == info.heap.n_pages * 1024
+        assert info.table_bytes >= info.heap.payload_bytes
+
+    def test_n_tuples(self, dense_binary):
+        info = Catalog(page_bytes=1024).create_table("t", dense_binary)
+        assert info.n_tuples == dense_binary.n_tuples

@@ -1,0 +1,139 @@
+"""Tests for the Volcano physical operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db import (
+    BlockShuffleOperator,
+    Catalog,
+    PassThroughAccountingOperator,
+    SeqScanOperator,
+    TupleShuffleOperator,
+)
+from repro.db.engine import ENGINE_PROFILE
+from repro.db.timing import RuntimeContext
+from repro.storage import SSD
+
+
+@pytest.fixture()
+def table(dense_binary):
+    catalog = Catalog(page_bytes=1024)
+    return catalog.create_table("t", dense_binary)
+
+
+@pytest.fixture()
+def ctx():
+    return RuntimeContext(device=SSD, compute=ENGINE_PROFILE, values_per_tuple=12.0)
+
+
+class TestSeqScan:
+    def test_scans_in_heap_order(self, table, ctx):
+        scan = SeqScanOperator(table, ctx)
+        scan.open()
+        ids = [r.tuple_id for r in scan]
+        assert ids == list(range(table.n_tuples))
+
+    def test_rescan_restarts(self, table, ctx):
+        scan = SeqScanOperator(table, ctx)
+        scan.open()
+        first = [scan.next().tuple_id for _ in range(5)]
+        scan.rescan()
+        second = [scan.next().tuple_id for _ in range(5)]
+        assert first == second == [0, 1, 2, 3, 4]
+
+    def test_charges_io(self, table, ctx):
+        scan = SeqScanOperator(table, ctx)
+        scan.open()
+        list(scan)
+        assert ctx.total_io_s > 0
+
+
+class TestBlockShuffle:
+    def test_covers_all_tuples(self, table, ctx):
+        op = BlockShuffleOperator(table, ctx, block_bytes=4096, seed=1)
+        op.open()
+        ids = sorted(r.tuple_id for r in op)
+        assert ids == list(range(table.n_tuples))
+
+    def test_blocks_emitted_contiguously(self, table, ctx):
+        op = BlockShuffleOperator(table, ctx, block_bytes=4096, seed=1)
+        op.open()
+        ids = [r.tuple_id for r in op]
+        # Within a block ids ascend by 1; only block boundaries may jump
+        # (and adjacent shuffled blocks can coincidentally be consecutive).
+        jumps = int(np.sum(np.diff(ids) != 1))
+        assert 0 < jumps <= op.n_blocks - 1
+
+    def test_block_order_is_shuffled(self, table, ctx):
+        op = BlockShuffleOperator(table, ctx, block_bytes=4096, seed=1)
+        op.open()
+        ids = [r.tuple_id for r in op]
+        assert ids != sorted(ids)
+
+    def test_rescan_reshuffles(self, table, ctx):
+        op = BlockShuffleOperator(table, ctx, block_bytes=4096, seed=1)
+        op.open()
+        first = [r.tuple_id for r in op]
+        op.rescan()
+        second = [r.tuple_id for r in op]
+        assert sorted(first) == sorted(second)
+        assert first != second
+
+    def test_buffer_pool_hits_cheaper_second_pass(self, table, ctx):
+        op = BlockShuffleOperator(table, ctx, block_bytes=4096, seed=1)
+        op.open()
+        list(op)
+        cold_io = ctx.total_io_s
+        op.rescan()
+        list(op)
+        warm_io = ctx.total_io_s - cold_io
+        assert warm_io < cold_io / 10  # cached pages at memory speed
+
+
+class TestTupleShuffle:
+    def test_emits_all_tuples_shuffled(self, table, ctx):
+        child = BlockShuffleOperator(table, ctx, block_bytes=4096, seed=2)
+        op = TupleShuffleOperator(child, ctx, buffer_tuples=100, seed=2)
+        op.open()
+        ids = [r.tuple_id for r in op]
+        assert sorted(ids) == list(range(table.n_tuples))
+        # Tuple-level shuffle destroys the within-block contiguity.
+        assert np.mean(np.abs(np.diff(ids)) == 1) < 0.3
+
+    def test_fill_boundaries_recorded(self, table, ctx):
+        child = SeqScanOperator(table, ctx)
+        op = TupleShuffleOperator(child, ctx, buffer_tuples=100, seed=0)
+        op.open()
+        list(op)
+        ctx.epoch_wall_time()
+        assert ctx.tuples_processed == table.n_tuples
+
+    def test_rescan_resets(self, table, ctx):
+        child = SeqScanOperator(table, ctx)
+        op = TupleShuffleOperator(child, ctx, buffer_tuples=50, seed=0)
+        op.open()
+        first = [r.tuple_id for r in op]
+        op.rescan()
+        second = [r.tuple_id for r in op]
+        assert sorted(first) == sorted(second)
+        assert first != second  # new epoch, new buffer shuffles
+
+    def test_invalid_buffer(self, table, ctx):
+        with pytest.raises(ValueError):
+            TupleShuffleOperator(SeqScanOperator(table, ctx), ctx, buffer_tuples=0)
+
+
+class TestPassThrough:
+    def test_preserves_order_and_counts_fills(self, table, ctx):
+        child = SeqScanOperator(table, ctx)
+        op = PassThroughAccountingOperator(child, ctx, chunk_tuples=64)
+        op.open()
+        ids = [r.tuple_id for r in op]
+        assert ids == list(range(table.n_tuples))
+        assert ctx.tuples_processed == table.n_tuples
+
+    def test_invalid_chunk(self, table, ctx):
+        with pytest.raises(ValueError):
+            PassThroughAccountingOperator(SeqScanOperator(table, ctx), ctx, 0)

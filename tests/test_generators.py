@@ -1,0 +1,125 @@
+"""Tests for synthetic dataset generators and the Table 2 registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASETS,
+    load,
+    make_binary_dense,
+    make_binary_sparse,
+    make_multiclass_dense,
+    make_multiclass_sparse,
+    make_regression,
+    names,
+)
+
+
+class TestBinaryDense:
+    def test_shapes_and_labels(self):
+        ds = make_binary_dense(200, 7, seed=0)
+        assert ds.X.shape == (200, 7)
+        assert set(np.unique(ds.y)) == {-1.0, 1.0}
+
+    def test_seed_determinism(self):
+        a = make_binary_dense(50, 5, seed=9)
+        b = make_binary_dense(50, 5, seed=9)
+        np.testing.assert_allclose(a.X, b.X)
+        np.testing.assert_allclose(a.y, b.y)
+
+    def test_different_seeds_differ(self):
+        a = make_binary_dense(50, 5, seed=1)
+        b = make_binary_dense(50, 5, seed=2)
+        assert not np.allclose(a.X, b.X)
+
+    def test_separation_controls_learnability(self):
+        # A perceptron-style check: higher separation => more linearly
+        # separable along the hidden direction.
+        easy = make_binary_dense(500, 10, separation=3.0, seed=0)
+        hard = make_binary_dense(500, 10, separation=0.1, seed=0)
+
+        def best_linear_accuracy(ds):
+            w = ds.X.T @ ds.y  # the Bayes-ish direction estimate
+            return np.mean(np.sign(ds.X @ w) == ds.y)
+
+        assert best_linear_accuracy(easy) > best_linear_accuracy(hard)
+
+    def test_positive_fraction(self):
+        ds = make_binary_dense(2000, 3, positive_fraction=0.25, seed=0)
+        assert np.mean(ds.y == 1.0) == pytest.approx(0.25, abs=0.05)
+
+
+class TestBinarySparse:
+    def test_nnz_per_row(self):
+        ds = make_binary_sparse(50, 200, nnz_per_row=16, seed=0)
+        nnz = np.diff(ds.X.indptr)
+        assert np.all(nnz <= 16)
+        assert np.all(nnz >= 8)
+
+    def test_indices_sorted_within_rows(self):
+        ds = make_binary_sparse(20, 100, seed=1)
+        for row in ds.X.iter_rows():
+            assert np.all(np.diff(row.indices) > 0)
+
+    def test_task_is_binary(self):
+        ds = make_binary_sparse(20, 100, seed=1)
+        assert ds.task == "binary"
+        assert ds.is_sparse
+
+
+class TestMulticlass:
+    def test_dense_classes(self):
+        ds = make_multiclass_dense(300, 8, 5, seed=0)
+        assert set(np.unique(ds.y)) == set(range(5))
+        assert ds.task == "multiclass"
+
+    def test_sparse_documents(self):
+        ds = make_multiclass_sparse(60, 300, 3, tokens_per_doc=20, seed=0)
+        assert ds.is_sparse
+        assert set(np.unique(ds.y)) <= set(range(3))
+        # Token counts are positive integers.
+        assert np.all(ds.X.data >= 1.0)
+
+    def test_sparse_invalid_sharpness(self):
+        with pytest.raises(ValueError):
+            make_multiclass_sparse(10, 100, 3, topic_sharpness=0.0)
+
+
+class TestRegression:
+    def test_linear_signal(self):
+        ds = make_regression(400, 6, noise=0.01, seed=0)
+        w, *_ = np.linalg.lstsq(ds.X, ds.y, rcond=None)
+        residual = ds.y - ds.X @ w
+        assert np.std(residual) < 0.1
+
+    def test_task(self):
+        assert make_regression(10, 2, seed=0).task == "regression"
+
+
+class TestRegistry:
+    def test_all_names_build(self):
+        for name in names():
+            ds = load(name, seed=0)
+            spec = DATASETS[name]
+            assert ds.n_tuples == spec.n_tuples
+            assert ds.n_features == spec.n_features
+            assert ds.name == name
+
+    def test_paper_metadata_attached(self):
+        ds = load("higgs")
+        assert ds.metadata["paper_size"] == "2.8 GB"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load("mnist-1b")
+
+    def test_build_split(self):
+        train, test = DATASETS["susy"].build_split(seed=0)
+        assert train.n_tuples + test.n_tuples == DATASETS["susy"].n_tuples
+
+    def test_kinds(self):
+        assert DATASETS["criteo"].kind == "sparse"
+        assert DATASETS["yelp-like"].kind == "text"
+        assert load("criteo").is_sparse

@@ -1,0 +1,121 @@
+"""Tests for pages, heap files, blocks, and TOAST-like compression."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_binary_dense, make_binary_sparse
+from repro.storage import DEFAULT_PAGE_BYTES, HeapFile, Page
+
+
+class TestPage:
+    def test_append_and_capacity(self):
+        page = Page(0, capacity=100)
+        page.append(b"x" * 60)
+        assert page.fits(40)
+        assert not page.fits(41)
+        page.append(b"y" * 40)
+        assert page.free_bytes == 0
+
+    def test_overflow_rejected(self):
+        page = Page(0, capacity=10)
+        page.append(b"12345")
+        with pytest.raises(ValueError):
+            page.append(b"123456")
+
+    def test_oversized_tuple_rejected(self):
+        page = Page(0, capacity=10)
+        with pytest.raises(ValueError):
+            page.append(b"x" * 11)
+
+    def test_raw_concatenates(self):
+        page = Page(0, capacity=10)
+        page.append(b"ab")
+        page.append(b"cd")
+        assert page.raw() == b"abcd"
+        assert page.n_tuples == 2
+
+
+class TestHeapFile:
+    def test_scan_preserves_order(self, dense_binary):
+        heap = HeapFile.from_dataset(dense_binary, page_bytes=1024)
+        ids = [t.tuple_id for t in heap.scan()]
+        assert ids == list(range(dense_binary.n_tuples))
+
+    def test_scan_roundtrips_features(self, dense_binary):
+        heap = HeapFile.from_dataset(dense_binary, page_bytes=1024)
+        for i, record in enumerate(heap.scan()):
+            if i >= 20:
+                break
+            np.testing.assert_allclose(record.features, dense_binary.X[i])
+            assert record.label == dense_binary.y[i]
+
+    def test_read_tuple_random_access(self, dense_binary):
+        heap = HeapFile.from_dataset(dense_binary, page_bytes=1024)
+        record = heap.read_tuple(123)
+        assert record.tuple_id == 123
+        np.testing.assert_allclose(record.features, dense_binary.X[123])
+
+    def test_page_sizes(self, dense_binary):
+        heap = HeapFile.from_dataset(dense_binary, page_bytes=1024)
+        assert all(p.used_bytes <= p.capacity for p in heap.pages)
+        assert heap.n_pages > 1
+        assert heap.total_bytes >= heap.payload_bytes
+
+    def test_sparse_dataset(self, sparse_binary):
+        heap = HeapFile.from_dataset(sparse_binary, page_bytes=1024)
+        record = heap.read_tuple(10)
+        assert record.is_sparse
+        np.testing.assert_allclose(
+            record.features.to_dense(), sparse_binary.X.to_dense()[10]
+        )
+
+    def test_blocks_partition_pages(self, dense_binary):
+        heap = HeapFile.from_dataset(dense_binary, page_bytes=1024)
+        block_bytes = 4096  # 4 pages per block
+        seen_pages: list[int] = []
+        for b in range(heap.n_blocks(block_bytes)):
+            seen_pages.extend(heap.block_pages(b, block_bytes))
+        assert seen_pages == list(range(heap.n_pages))
+
+    def test_read_block_tuples(self, dense_binary):
+        heap = HeapFile.from_dataset(dense_binary, page_bytes=1024)
+        tuples = heap.read_block(0, 4096)
+        assert tuples[0].tuple_id == 0
+        assert len(tuples) > 1
+
+    def test_block_out_of_range(self, dense_binary):
+        heap = HeapFile.from_dataset(dense_binary, page_bytes=1024)
+        with pytest.raises(IndexError):
+            heap.read_block(999, 4096)
+
+    def test_block_smaller_than_page_rejected(self, dense_binary):
+        heap = HeapFile.from_dataset(dense_binary, page_bytes=1024)
+        with pytest.raises(ValueError):
+            heap.pages_per_block(512)
+
+    def test_default_page_size(self, dense_binary):
+        heap = HeapFile.from_dataset(dense_binary)
+        assert heap.page_bytes == DEFAULT_PAGE_BYTES
+
+
+class TestCompression:
+    def test_compressed_roundtrip(self, dense_binary):
+        heap = HeapFile.from_dataset(dense_binary, page_bytes=1024, compress=True)
+        record = heap.read_tuple(5)
+        np.testing.assert_allclose(record.features, dense_binary.X[5])
+
+    def test_compression_shrinks_redundant_data(self):
+        # Highly compressible features (constant columns).
+        ds = make_binary_dense(200, 50, seed=0)
+        ds.X[:, 10:] = 0.0
+        plain = HeapFile.from_dataset(ds, page_bytes=2048)
+        packed = HeapFile.from_dataset(ds, page_bytes=2048, compress=True)
+        assert packed.payload_bytes < plain.payload_bytes
+
+    def test_decode_count_tracks_cpu_work(self, dense_binary):
+        heap = HeapFile.from_dataset(dense_binary, page_bytes=1024)
+        before = heap.decode_count
+        heap.read_page(0)
+        assert heap.decode_count > before

@@ -1,0 +1,182 @@
+"""Tests for the analytic I/O device models and access traces."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import (
+    HDD,
+    MEMORY,
+    SSD,
+    AccessEvent,
+    AccessTrace,
+    DeviceModel,
+    random_vs_sequential_curve,
+)
+
+
+class TestDeviceModel:
+    def test_sequential_time_scales_with_bytes(self):
+        assert HDD.sequential_time(2e8) > HDD.sequential_time(1e8)
+
+    def test_zero_bytes_is_free(self):
+        assert HDD.sequential_time(0) == 0.0
+        assert HDD.random_time(100, 0) == 0.0
+
+    def test_random_pays_latency_per_access(self):
+        one = HDD.random_time(1000, 1)
+        ten = HDD.random_time(1000, 10)
+        assert ten == pytest.approx(10 * one)
+        assert one > HDD.access_latency_s
+
+    def test_ssd_faster_than_hdd(self):
+        assert SSD.random_time(4096, 100) < HDD.random_time(4096, 100)
+        assert SSD.sequential_time(1e9) < HDD.sequential_time(1e9)
+
+    def test_memory_is_fastest(self):
+        assert MEMORY.sequential_time(1e9) < SSD.sequential_time(1e9)
+
+    def test_random_throughput_approaches_bandwidth(self):
+        # The Appendix A claim: at ~10MB blocks, random ~= sequential.
+        small = HDD.random_throughput(4096)
+        large = HDD.random_throughput(10 * 1024**2)
+        assert small < 0.01 * HDD.bandwidth_bytes_per_s
+        assert large > 0.85 * HDD.bandwidth_bytes_per_s
+
+    def test_random_throughput_monotone_in_block_size(self):
+        sizes = [2**k for k in range(10, 26)]
+        tps = [HDD.random_throughput(s) for s in sizes]
+        assert tps == sorted(tps)
+
+
+class TestAccessEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            AccessEvent("scan", 1, 10)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            AccessEvent("seq", -1, 10)
+
+    def test_seq_vs_rand_cost(self):
+        seq = AccessEvent("seq", 100, 8192)
+        rand = AccessEvent("rand", 100, 8192)
+        assert rand.time_on(HDD) > seq.time_on(HDD)
+
+    def test_write_kinds_accepted(self):
+        assert AccessEvent("seq_write", 1, 10).time_on(SSD) > 0
+        assert AccessEvent("rand_write", 1, 10).time_on(SSD) > 0
+
+
+class TestAccessTrace:
+    def test_totals(self):
+        trace = AccessTrace()
+        trace.add("seq", 2, 100)
+        trace.add("rand", 3, 10)
+        trace.add("seq_write", 1, 50)
+        assert trace.total_bytes == 2 * 100 + 3 * 10 + 50
+        assert trace.read_bytes == 230
+        assert trace.write_bytes == 50
+        assert len(trace) == 3
+
+    def test_time_is_sum_of_events(self):
+        trace = AccessTrace()
+        trace.add("seq", 1, 1e6)
+        trace.add("rand", 5, 1e4)
+        expected = HDD.sequential_time(1e6) + HDD.random_time(1e4, 5)
+        assert trace.time_on(HDD) == pytest.approx(expected)
+
+    def test_extend(self):
+        a = AccessTrace()
+        a.add("seq", 1, 10)
+        b = AccessTrace()
+        b.add("rand", 1, 10)
+        a.extend(b)
+        assert len(a) == 2
+
+
+class TestFigure20Curve:
+    def test_ratio_crosses_ninety_percent(self):
+        sizes = [2**20 * s for s in (1, 2, 5, 10, 50)]
+        records = random_vs_sequential_curve(HDD, sizes)
+        ratios = [r["ratio"] for r in records]
+        assert ratios[0] < 0.5
+        assert ratios[-1] > 0.97
+        assert ratios == sorted(ratios)
+
+    def test_record_fields(self):
+        (record,) = random_vs_sequential_curve(SSD, [1024])
+        assert record["device"] == "ssd"
+        assert record["sequential_mb_per_s"] == pytest.approx(1000.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    latency=st.floats(1e-6, 1e-1),
+    bandwidth=st.floats(1e6, 1e10),
+    chunk=st.floats(1, 1e9),
+)
+def test_property_random_never_beats_sequential(latency, bandwidth, chunk):
+    device = DeviceModel("x", latency, bandwidth)
+    assert device.random_throughput(chunk) <= device.bandwidth_bytes_per_s
+
+
+class TestStripedDevice:
+    def _lustre(self, **kw):
+        from repro.storage import StripedDevice
+
+        defaults = dict(
+            name="lustre",
+            access_latency_s=5e-4,
+            bandwidth_bytes_per_s=500e6,
+            n_stripes=8,
+            stripe_bytes=4 * 1024**2,
+            client_bandwidth_bytes_per_s=10e9,
+        )
+        defaults.update(kw)
+        return StripedDevice(**defaults)
+
+    def test_small_reads_single_target_speed(self):
+        device = self._lustre()
+        one_mb = 1024**2
+        # Within one stripe: per-target bandwidth only.
+        assert device.sequential_time(one_mb) == pytest.approx(
+            5e-4 + one_mb / 500e6
+        )
+
+    def test_large_reads_parallelise_across_stripes(self):
+        device = self._lustre()
+        big = 64 * 1024**2  # 16 stripes worth -> all 8 targets engaged
+        serial_estimate = big / 500e6
+        assert device.sequential_time(big) < serial_estimate / 4
+
+    def test_client_bandwidth_caps_parallelism(self):
+        device = self._lustre(client_bandwidth_bytes_per_s=600e6)
+        big = 64 * 1024**2
+        assert device.sequential_time(big) >= big / 600e6
+
+    def test_random_block_reads_amortise_like_figure20(self):
+        device = self._lustre()
+        small = device.random_throughput(64 * 1024)
+        large = device.random_throughput(32 * 1024**2)
+        assert large > 20 * small
+
+    def test_zero_and_negative(self):
+        device = self._lustre()
+        assert device.sequential_time(0) == 0.0
+        assert device.random_time(100, 0) == 0.0
+        assert device.random_throughput(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._lustre(n_stripes=0)
+        with pytest.raises(ValueError):
+            self._lustre(stripe_bytes=0)
+
+    def test_usable_in_access_trace(self):
+        device = self._lustre()
+        trace = AccessTrace()
+        trace.add("rand", 10, 8 * 1024**2)
+        assert trace.time_on(device) > 0

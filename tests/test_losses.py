@@ -1,0 +1,92 @@
+"""Tests for the scalar loss functions (value + derivative correctness)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import HingeLoss, LogisticLoss, SquaredLoss
+
+
+def numeric_derivative(loss, z: float, y: float, eps: float = 1e-6) -> float:
+    up = loss.value(np.array([z + eps]), np.array([y]))[0]
+    down = loss.value(np.array([z - eps]), np.array([y]))[0]
+    return float((up - down) / (2 * eps))
+
+
+class TestLogistic:
+    def test_value_at_zero_margin(self):
+        loss = LogisticLoss()
+        assert loss.value(np.array([0.0]), np.array([1.0]))[0] == pytest.approx(np.log(2))
+
+    def test_value_decreases_with_margin(self):
+        loss = LogisticLoss()
+        vals = loss.value(np.array([0.0, 1.0, 3.0]), np.array([1.0, 1.0, 1.0]))
+        assert np.all(np.diff(vals) < 0)
+
+    @pytest.mark.parametrize("z,y", [(0.3, 1.0), (-2.0, 1.0), (1.5, -1.0), (0.0, -1.0)])
+    def test_derivative_matches_numeric(self, z, y):
+        loss = LogisticLoss()
+        analytic = loss.dloss_dz(np.array([z]), np.array([y]))[0]
+        assert analytic == pytest.approx(numeric_derivative(loss, z, y), abs=1e-5)
+
+    def test_extreme_scores_stable(self):
+        loss = LogisticLoss()
+        vals = loss.value(np.array([-1000.0, 1000.0]), np.array([1.0, 1.0]))
+        assert np.isfinite(vals).all()
+        grads = loss.dloss_dz(np.array([-1000.0, 1000.0]), np.array([1.0, 1.0]))
+        assert np.isfinite(grads).all()
+
+    def test_mean_value(self):
+        loss = LogisticLoss()
+        z = np.array([0.0, 0.0])
+        y = np.array([1.0, -1.0])
+        assert loss.mean_value(z, y) == pytest.approx(np.log(2))
+
+
+class TestHinge:
+    def test_zero_beyond_margin(self):
+        loss = HingeLoss()
+        assert loss.value(np.array([2.0]), np.array([1.0]))[0] == 0.0
+        assert loss.dloss_dz(np.array([2.0]), np.array([1.0]))[0] == 0.0
+
+    def test_linear_inside_margin(self):
+        loss = HingeLoss()
+        assert loss.value(np.array([0.0]), np.array([1.0]))[0] == 1.0
+        assert loss.dloss_dz(np.array([0.0]), np.array([1.0]))[0] == -1.0
+
+    def test_negative_label(self):
+        loss = HingeLoss()
+        assert loss.dloss_dz(np.array([0.0]), np.array([-1.0]))[0] == 1.0
+
+    @pytest.mark.parametrize("z,y", [(0.3, 1.0), (-2.0, 1.0), (0.5, -1.0)])
+    def test_derivative_matches_numeric_off_kink(self, z, y):
+        loss = HingeLoss()
+        analytic = loss.dloss_dz(np.array([z]), np.array([y]))[0]
+        assert analytic == pytest.approx(numeric_derivative(loss, z, y), abs=1e-5)
+
+
+class TestSquared:
+    def test_value(self):
+        loss = SquaredLoss()
+        assert loss.value(np.array([3.0]), np.array([1.0]))[0] == pytest.approx(2.0)
+
+    def test_derivative(self):
+        loss = SquaredLoss()
+        assert loss.dloss_dz(np.array([3.0]), np.array([1.0]))[0] == pytest.approx(2.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(z=st.floats(-50, 50), y=st.floats(-50, 50))
+    def test_property_derivative_matches_numeric(self, z, y):
+        loss = SquaredLoss()
+        analytic = loss.dloss_dz(np.array([z]), np.array([y]))[0]
+        assert analytic == pytest.approx(numeric_derivative(loss, z, y), abs=1e-4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(z=st.floats(-20, 20), y=st.sampled_from([-1.0, 1.0]))
+def test_property_binary_losses_nonnegative(z, y):
+    for loss in (LogisticLoss(), HingeLoss()):
+        assert loss.value(np.array([z]), np.array([y]))[0] >= 0.0

@@ -1,0 +1,120 @@
+"""Tests for AdaGrad/RMSprop and early stopping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_binary_dense
+from repro.ml import AdaGrad, ConstantLR, EarlyStopping, LogisticRegression, RMSprop, Trainer
+from repro.shuffle import ShuffleOnce
+
+from .test_optim_schedules import _Quadratic
+
+
+class TestAdaGrad:
+    def test_converges_on_quadratic(self):
+        model = _Quadratic([2.0, -1.0])
+        opt = AdaGrad(model)
+        for _ in range(3000):
+            opt.step(model.grad(), lr=0.5)
+        np.testing.assert_allclose(model.params["w"], model.target, atol=1e-2)
+
+    def test_effective_lr_shrinks(self):
+        model = _Quadratic([100.0])
+        opt = AdaGrad(model)
+        opt.step({"w": np.array([-1.0])}, lr=1.0)
+        first = model.params["w"][0]
+        opt.step({"w": np.array([-1.0])}, lr=1.0)
+        second = model.params["w"][0] - first
+        assert second < first  # accumulated square damps later steps
+
+    def test_trains_logistic_regression(self):
+        ds = make_binary_dense(500, 6, separation=2.0, seed=0)
+        model = LogisticRegression(6)
+        history = Trainer(
+            model, ds, ShuffleOnce(500, seed=0),
+            epochs=6, schedule=ConstantLR(0.5), batch_size=32,
+            optimizer=AdaGrad(model),
+        ).run()
+        assert history.final.train_score > 0.9
+
+
+class TestRMSprop:
+    def test_converges_on_quadratic(self):
+        model = _Quadratic([1.0, 3.0])
+        opt = RMSprop(model)
+        for _ in range(3000):
+            opt.step(model.grad(), lr=0.01)
+        np.testing.assert_allclose(model.params["w"], model.target, atol=1e-2)
+
+    def test_rho_validation(self):
+        with pytest.raises(ValueError):
+            RMSprop(_Quadratic([1.0]), rho=1.0)
+
+    def test_normalises_gradient_scale(self):
+        # Steady-state RMSprop step size is ~lr regardless of gradient scale.
+        small = _Quadratic([1e6])
+        big = _Quadratic([1e6])
+        opt_s, opt_b = RMSprop(small), RMSprop(big)
+        for _ in range(50):
+            opt_s.step({"w": np.array([-1.0])}, lr=0.1)
+            opt_b.step({"w": np.array([-1000.0])}, lr=0.1)
+        assert small.params["w"][0] == pytest.approx(big.params["w"][0], rel=0.05)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(patience=2, min_delta=0.0, restore_best=False)
+        params = {"w": np.zeros(1)}
+        assert stopper.update(0.5, params) is False
+        assert stopper.update(0.5, params) is False  # stale 1
+        assert stopper.update(0.5, params) is True  # stale 2 => stop
+
+    def test_improvement_resets_patience(self):
+        stopper = EarlyStopping(patience=2, min_delta=0.01)
+        params = {"w": np.zeros(1)}
+        stopper.update(0.5, params)
+        stopper.update(0.4, params)  # stale 1
+        assert stopper.update(0.6, params) is False  # improvement resets
+        assert stopper.update(0.6, params) is False
+        assert stopper.update(0.6, params) is True
+
+    def test_restore_best_rolls_back(self):
+        stopper = EarlyStopping(patience=1, restore_best=True)
+        params = {"w": np.array([1.0])}
+        stopper.update(0.9, params)  # best snapshot at w=1
+        params["w"][0] = 42.0
+        stopper.update(0.1, params)  # worse
+        stopper.restore(params)
+        assert params["w"][0] == 1.0
+        assert stopper.best_metric == 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+        with pytest.raises(ValueError):
+            EarlyStopping(min_delta=-1.0)
+
+    def test_trainer_integration_stops_early(self):
+        ds = make_binary_dense(400, 5, separation=3.0, seed=0)
+        train, test = ds.split(0.8, seed=1)
+        model = LogisticRegression(5)
+        history = Trainer(
+            model, train, ShuffleOnce(train.n_tuples, seed=0),
+            epochs=50, schedule=ConstantLR(0.2), test=test,
+            early_stopping=EarlyStopping(patience=3, min_delta=1e-4),
+        ).run()
+        # Easy separable data converges immediately => stops long before 50.
+        assert history.epochs < 50
+        assert history.final.test_score > 0.95
+
+    def test_trainer_without_test_uses_loss(self):
+        ds = make_binary_dense(300, 5, separation=3.0, seed=0)
+        model = LogisticRegression(5)
+        history = Trainer(
+            model, ds, ShuffleOnce(300, seed=0),
+            epochs=40, schedule=ConstantLR(0.2),
+            early_stopping=EarlyStopping(patience=2),
+        ).run()
+        assert history.epochs < 40

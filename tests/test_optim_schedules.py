@@ -1,0 +1,147 @@
+"""Tests for optimisers, learning-rate schedules, and metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    SGD,
+    Adam,
+    ConstantLR,
+    ExponentialDecay,
+    InverseEpochDecay,
+    LinearRegression,
+    StepDecay,
+    accuracy,
+    r_squared,
+    top_k_accuracy,
+)
+
+
+class _Quadratic:
+    """A tiny quadratic 'model': L(w) = 0.5 * ||w - target||^2."""
+
+    def __init__(self, target):
+        self.target = np.asarray(target, dtype=float)
+        self._params = {"w": np.zeros_like(self.target)}
+
+    @property
+    def params(self):
+        return self._params
+
+    def grad(self):
+        return {"w": self._params["w"] - self.target}
+
+
+class TestSGD:
+    def test_plain_step(self):
+        model = _Quadratic([1.0, -1.0])
+        opt = SGD(model)
+        opt.step(model.grad(), lr=0.5)
+        np.testing.assert_allclose(model.params["w"], [0.5, -0.5])
+
+    def test_momentum_accumulates(self):
+        model = _Quadratic([1.0])
+        opt = SGD(model, momentum=0.9)
+        opt.step({"w": np.array([-1.0])}, lr=0.1)
+        opt.step({"w": np.array([-1.0])}, lr=0.1)
+        # Second step includes momentum: v = 0.9*(-1) + (-1) = -1.9.
+        assert model.params["w"][0] == pytest.approx(0.1 + 0.19)
+
+    def test_momentum_validation(self):
+        with pytest.raises(ValueError):
+            SGD(_Quadratic([1.0]), momentum=1.0)
+
+    def test_converges_on_quadratic(self):
+        model = _Quadratic([3.0, -2.0, 0.5])
+        opt = SGD(model, momentum=0.5)
+        for _ in range(200):
+            opt.step(model.grad(), lr=0.1)
+        np.testing.assert_allclose(model.params["w"], model.target, atol=1e-6)
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        model = _Quadratic([10.0])
+        opt = Adam(model)
+        opt.step(model.grad(), lr=0.01)
+        # Bias-corrected Adam's first step is ~lr regardless of gradient scale.
+        assert abs(model.params["w"][0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_converges_on_quadratic(self):
+        model = _Quadratic([1.0, 2.0])
+        opt = Adam(model)
+        for _ in range(2000):
+            opt.step(model.grad(), lr=0.05)
+        np.testing.assert_allclose(model.params["w"], model.target, atol=1e-3)
+
+    def test_state_is_per_parameter(self):
+        model = LinearRegression(3)
+        opt = Adam(model)
+        opt.step({"w": np.ones(3), "b": np.ones(1)}, lr=0.1)
+        assert set(opt._m) == {"w", "b"}
+
+
+class TestSchedules:
+    def test_constant(self):
+        s = ConstantLR(0.1)
+        assert s(0) == s(100) == 0.1
+
+    def test_exponential(self):
+        s = ExponentialDecay(0.1, decay=0.5)
+        assert s(0) == 0.1
+        assert s(2) == pytest.approx(0.025)
+
+    def test_step_decay(self):
+        s = StepDecay(1.0, step=30, factor=0.1)
+        assert s(29) == 1.0
+        assert s(30) == pytest.approx(0.1)
+        assert s(60) == pytest.approx(0.01)
+
+    def test_inverse_epoch(self):
+        s = InverseEpochDecay(scale=6.0, offset=2.0)
+        assert s(0) == 3.0
+        assert s(4) == 1.0
+
+    def test_inverse_epoch_offset_validation(self):
+        with pytest.raises(ValueError):
+            InverseEpochDecay(scale=1.0, offset=0.5)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy(np.array([1, -1, 1]), np.array([1, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_accuracy_validation(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 2]))
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_top_k(self):
+        logits = np.array([[0.1, 0.9, 0.0], [0.8, 0.1, 0.1]])
+        labels = np.array([2, 0])
+        assert top_k_accuracy(logits, labels, k=1) == pytest.approx(0.5)
+        assert top_k_accuracy(logits, labels, k=2) == pytest.approx(0.5)
+        assert top_k_accuracy(logits, labels, k=3) == pytest.approx(1.0)
+
+    def test_top_k_validation(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros((2, 3)), np.zeros(2), k=4)
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros(3), np.zeros(3), k=1)
+
+    def test_r_squared_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, y) == pytest.approx(1.0)
+
+    def test_r_squared_mean_predictor(self):
+        y = np.array([1.0, 2.0, 3.0])
+        pred = np.full(3, 2.0)
+        assert r_squared(pred, y) == pytest.approx(0.0)
+
+    def test_r_squared_constant_target(self):
+        y = np.ones(3)
+        assert r_squared(np.ones(3), y) == 1.0
+        assert r_squared(np.zeros(3), y) == 0.0

@@ -1,0 +1,102 @@
+"""Tests for physical row orderings (clustered / feature-ordered / runs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    clustered_by_label,
+    feature_label_correlations,
+    interleaved_by_label,
+    make_binary_dense,
+    make_multiclass_dense,
+    ordered_by_feature,
+)
+
+
+class TestClusteredByLabel:
+    def test_negatives_before_positives(self, dense_binary):
+        clustered = clustered_by_label(dense_binary)
+        labels = clustered.y
+        first_pos = int(np.argmax(labels == 1.0))
+        assert np.all(labels[:first_pos] == -1.0)
+        assert np.all(labels[first_pos:] == 1.0)
+
+    def test_preserves_multiset(self, dense_binary):
+        clustered = clustered_by_label(dense_binary)
+        assert sorted(clustered.y.tolist()) == sorted(dense_binary.y.tolist())
+
+    def test_multiclass_classes_in_order(self, multiclass_dense):
+        clustered = clustered_by_label(multiclass_dense)
+        diffs = np.diff(clustered.y)
+        assert np.all(diffs >= 0)
+
+    def test_rows_follow_labels(self, dense_binary):
+        clustered = clustered_by_label(dense_binary)
+        # Every (row, label) pair must still exist in the original dataset.
+        original = {tuple(np.round(row, 9)) for row in dense_binary.X}
+        assert all(tuple(np.round(row, 9)) in original for row in clustered.X[:10])
+
+
+class TestOrderedByFeature:
+    def test_feature_column_sorted(self, dense_binary):
+        ordered = ordered_by_feature(dense_binary, feature=3)
+        assert np.all(np.diff(ordered.X[:, 3]) >= -1e-12)
+
+    def test_out_of_range_feature(self, dense_binary):
+        with pytest.raises(IndexError):
+            ordered_by_feature(dense_binary, feature=99)
+
+    def test_sparse_supported(self, sparse_binary):
+        ordered = ordered_by_feature(sparse_binary, feature=0)
+        column = ordered.X.to_dense()[:, 0]
+        assert np.all(np.diff(column) >= -1e-12)
+
+
+class TestInterleaved:
+    def test_run_structure(self):
+        ds = make_binary_dense(100, 4, positive_fraction=0.5, seed=3)
+        runs = interleaved_by_label(ds, run_length=10, seed=0)
+        labels = runs.y
+        # The first run must be homogeneous with length <= 10.
+        first = labels[0]
+        run_len = int(np.argmax(labels != first)) or len(labels)
+        assert 1 <= run_len <= 10
+
+    def test_preserves_multiset(self):
+        ds = make_binary_dense(60, 4, seed=3)
+        runs = interleaved_by_label(ds, run_length=5)
+        assert sorted(runs.y.tolist()) == sorted(ds.y.tolist())
+
+    def test_invalid_run_length(self, dense_binary):
+        with pytest.raises(ValueError):
+            interleaved_by_label(dense_binary, run_length=0)
+
+
+class TestFeatureLabelCorrelations:
+    def test_predictive_direction_has_high_correlation(self):
+        # Build data where feature 0 is the label plus noise.
+        rng = np.random.default_rng(0)
+        y = np.where(rng.random(500) < 0.5, 1.0, -1.0)
+        X = rng.standard_normal((500, 5))
+        X[:, 0] = y * 2.0 + rng.standard_normal(500) * 0.1
+        from repro.data import Dataset
+
+        ds = Dataset(X, y)
+        corr = feature_label_correlations(ds)
+        assert abs(corr[0]) > 0.9
+        assert np.all(np.abs(corr[1:]) < 0.3)
+
+    def test_shape(self, dense_binary):
+        corr = feature_label_correlations(dense_binary)
+        assert corr.shape == (dense_binary.n_features,)
+
+    def test_constant_feature_zero_correlation(self):
+        from repro.data import Dataset
+
+        X = np.ones((50, 2))
+        X[:, 1] = np.arange(50)
+        y = np.where(np.arange(50) < 25, -1.0, 1.0)
+        corr = feature_label_correlations(Dataset(X, y))
+        assert corr[0] == pytest.approx(0.0)

@@ -1,0 +1,85 @@
+"""Tests for model save/load."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    LinearRegression,
+    LinearSVM,
+    LogisticRegression,
+    MLPClassifier,
+    SoftmaxRegression,
+    load_model,
+    model_from_bytes,
+    model_to_bytes,
+    save_model,
+)
+
+
+def _models():
+    lr = LogisticRegression(5, l2=0.01)
+    lr.params["w"][:] = np.arange(5, dtype=float)
+    lr.params["b"][:] = 0.5
+    svm = LinearSVM(3)
+    svm.params["w"][:] = [1.0, -2.0, 0.25]
+    linreg = LinearRegression(4, fit_intercept=False)
+    softmax = SoftmaxRegression(4, 3, l2=0.1)
+    softmax.params["W"][:] = np.random.default_rng(0).standard_normal((4, 3))
+    mlp = MLPClassifier(6, 4, 3, seed=2)
+    return [lr, svm, linreg, softmax, mlp]
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("model", _models(), ids=lambda m: type(m).__name__)
+    def test_bytes_roundtrip_preserves_params(self, model):
+        clone = model_from_bytes(model_to_bytes(model))
+        assert type(clone) is type(model)
+        for key, value in model.params.items():
+            np.testing.assert_allclose(clone.params[key], value)
+
+    def test_roundtrip_preserves_predictions(self, dense_binary):
+        model = LogisticRegression(dense_binary.n_features)
+        model.params["w"][:] = np.random.default_rng(1).standard_normal(
+            dense_binary.n_features
+        )
+        clone = model_from_bytes(model_to_bytes(model))
+        np.testing.assert_array_equal(
+            clone.predict(dense_binary.X), model.predict(dense_binary.X)
+        )
+
+    def test_config_preserved(self):
+        model = LogisticRegression(5, l2=0.25, fit_intercept=False)
+        clone = model_from_bytes(model_to_bytes(model))
+        assert clone.l2 == 0.25
+        assert clone.fit_intercept is False
+
+    def test_file_roundtrip(self, tmp_path):
+        model = LinearSVM(4)
+        model.params["w"][:] = [1, 2, 3, 4]
+        path = save_model(model, tmp_path / "model.npz")
+        clone = load_model(path)
+        np.testing.assert_allclose(clone.w, model.w)
+
+    def test_loaded_model_trainable(self, dense_binary):
+        model = model_from_bytes(model_to_bytes(LogisticRegression(dense_binary.n_features)))
+        before = model.loss(dense_binary.X, dense_binary.y)
+        for i in range(100):
+            model.step_example(dense_binary.X[i], float(dense_binary.y[i]), lr=0.1)
+        assert model.loss(dense_binary.X, dense_binary.y) < before
+
+
+class TestErrors:
+    def test_unknown_model_type(self):
+        class Weird:
+            params = {"w": np.zeros(2)}
+
+        with pytest.raises(TypeError):
+            model_to_bytes(Weird())
+
+    def test_corrupt_class_name(self):
+        blob = model_to_bytes(LogisticRegression(3))
+        tampered = blob.replace(b"LogisticRegression", b"QuantumRegression!")
+        with pytest.raises(ValueError):
+            model_from_bytes(tampered)

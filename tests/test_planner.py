@@ -1,0 +1,93 @@
+"""Tests for the automatic access-path planner (strategy = auto)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import (
+    clustered_by_label,
+    interleaved_by_label,
+    make_binary_dense,
+    make_multiclass_dense,
+    make_regression,
+)
+from repro.db import Catalog, MiniDB, choose_access_path
+from repro.db.planner import HD_NO_SHUFFLE_THRESHOLD
+
+
+def _table(dataset, page_bytes=1024):
+    return Catalog(page_bytes=page_bytes).create_table("t", dataset)
+
+
+class TestChooseAccessPath:
+    def test_shuffled_table_picks_no_shuffle(self):
+        ds = make_binary_dense(2000, 10, separation=1.2, seed=0).shuffled(seed=1)
+        choice = choose_access_path(_table(ds), block_bytes=4096)
+        assert choice.strategy == "no_shuffle"
+        assert choice.hd < HD_NO_SHUFFLE_THRESHOLD
+
+    def test_clustered_table_picks_corgipile(self):
+        ds = clustered_by_label(make_binary_dense(2000, 10, separation=1.2, seed=0))
+        choice = choose_access_path(_table(ds), block_bytes=4096)
+        assert choice.strategy == "corgipile"
+        assert choice.hd > HD_NO_SHUFFLE_THRESHOLD
+
+    def test_block_granularity_matters(self):
+        # Runs of 10 identical-label tuples: at 10-tuple blocks h_D is
+        # maximal; at much larger blocks the runs average out.
+        ds = interleaved_by_label(
+            make_binary_dense(2000, 8, separation=1.2, seed=0), run_length=10, seed=0
+        )
+        table = _table(ds, page_bytes=512)
+        fine = choose_access_path(table, block_bytes=table.heap.page_bytes)
+        coarse = choose_access_path(table, block_bytes=64 * 1024)
+        assert fine.hd > coarse.hd
+
+    def test_multiclass_and_regression_probes(self):
+        multi = clustered_by_label(make_multiclass_dense(900, 8, 3, separation=2.0, seed=0))
+        assert choose_access_path(_table(multi), 4096).strategy == "corgipile"
+        reg = make_regression(900, 6, seed=0)
+        import numpy as np
+
+        by_target = reg.reorder(np.argsort(reg.y), suffix="sorted")
+        assert choose_access_path(_table(by_target), 4096).strategy == "corgipile"
+
+    def test_prefix_probe_for_large_tables(self):
+        ds = clustered_by_label(make_binary_dense(3000, 6, separation=1.0, seed=0))
+        choice = choose_access_path(_table(ds), 4096, max_probe_tuples=500)
+        # A clustered prefix is single-class: still maximally clustered.
+        assert choice.strategy == "corgipile"
+
+    def test_threshold_validation(self):
+        ds = make_binary_dense(200, 4, seed=0)
+        with pytest.raises(ValueError):
+            choose_access_path(_table(ds), 4096, threshold=1.0)
+
+    def test_describe(self):
+        ds = make_binary_dense(500, 4, seed=0)
+        text = choose_access_path(_table(ds), 4096).describe()
+        assert "h_D=" in text and "strategy=" in text
+
+
+class TestAutoStrategyInEngine:
+    def test_auto_resolves_and_records_decision(self):
+        ds = clustered_by_label(make_binary_dense(1500, 8, separation=1.2, seed=0))
+        db = MiniDB(page_bytes=1024)
+        db.create_table("t", ds)
+        result = db.execute(
+            "SELECT * FROM t TRAIN BY lr WITH strategy = auto, "
+            "max_epoch_num = 2, block_size = 4KB"
+        )
+        assert result.query.strategy == "corgipile"
+        assert "h_D" in result.query.extra["planner"]
+
+    def test_auto_on_shuffled_table(self):
+        ds = make_binary_dense(1500, 8, separation=1.2, seed=0).shuffled(seed=2)
+        db = MiniDB(page_bytes=1024)
+        db.create_table("t", ds)
+        result = db.execute(
+            "SELECT * FROM t TRAIN BY lr WITH strategy = auto, "
+            "max_epoch_num = 2, block_size = 4KB"
+        )
+        assert result.query.strategy == "no_shuffle"
+        assert result.timeline.system.endswith("no_shuffle")

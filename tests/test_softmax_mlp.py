@@ -1,0 +1,129 @@
+"""Tests for softmax regression and the MLP classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_multiclass_dense, make_multiclass_sparse
+from repro.ml import MLPClassifier, SoftmaxRegression
+from repro.ml.models.softmax import log_softmax, softmax
+
+from .test_linear_models import numeric_gradient
+
+
+class TestSoftmaxFunctions:
+    def test_softmax_rows_sum_to_one(self):
+        logits = np.random.default_rng(0).standard_normal((5, 4))
+        probs = softmax(logits)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5))
+        assert np.all(probs > 0)
+
+    def test_softmax_stability(self):
+        probs = softmax(np.array([[1000.0, 0.0], [-1000.0, 0.0]]))
+        assert np.isfinite(probs).all()
+
+    def test_log_softmax_consistency(self):
+        logits = np.random.default_rng(1).standard_normal((3, 4))
+        np.testing.assert_allclose(log_softmax(logits), np.log(softmax(logits)), atol=1e-10)
+
+
+class TestSoftmaxRegression:
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(2)
+        model = SoftmaxRegression(4, 3)
+        model.params["W"][:] = rng.standard_normal((4, 3)) * 0.3
+        model.params["b"][:] = rng.standard_normal(3) * 0.1
+        X = rng.standard_normal((10, 4))
+        y = rng.integers(0, 3, 10)
+        analytic = model.gradient(X, y)
+        numeric = numeric_gradient(model, X, y)
+        for key in analytic:
+            np.testing.assert_allclose(analytic[key], numeric[key], atol=1e-4)
+
+    def test_step_example_equals_gradient_step(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(4)
+        a = SoftmaxRegression(4, 3)
+        b = SoftmaxRegression(4, 3)
+        a.step_example(x, 2, lr=0.1)
+        grads = b.gradient(x.reshape(1, -1), np.array([2]))
+        b.apply_gradient(grads, 0.1)
+        np.testing.assert_allclose(a.params["W"], b.params["W"], atol=1e-12)
+        np.testing.assert_allclose(a.params["b"], b.params["b"], atol=1e-12)
+
+    def test_learns_blobs(self):
+        ds = make_multiclass_dense(600, 8, 4, separation=3.0, seed=0)
+        model = SoftmaxRegression(8, 4)
+        rng = np.random.default_rng(0)
+        for _ in range(4):
+            for i in rng.permutation(600):
+                model.step_example(ds.X[i], int(ds.y[i]), lr=0.05)
+        assert model.score(ds.X, ds.y) > 0.9
+
+    def test_sparse_logits_match_dense(self):
+        ds = make_multiclass_sparse(40, 200, 3, seed=1)
+        model = SoftmaxRegression(200, 3)
+        model.params["W"][:] = np.random.default_rng(0).standard_normal((200, 3)) * 0.1
+        np.testing.assert_allclose(
+            model.logits(ds.X), model.logits(ds.X.to_dense()), atol=1e-10
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SoftmaxRegression(4, 1)
+
+
+class TestMLP:
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(4)
+        model = MLPClassifier(3, 5, 2, seed=0)
+        X = rng.standard_normal((8, 3))
+        y = rng.integers(0, 2, 8)
+        analytic = model.gradient(X, y)
+        numeric = numeric_gradient(model, X, y)
+        for key in analytic:
+            np.testing.assert_allclose(analytic[key], numeric[key], atol=1e-4)
+
+    def test_gradient_with_l2_matches_numeric(self):
+        rng = np.random.default_rng(5)
+        model = MLPClassifier(3, 4, 3, l2=0.01, seed=1)
+        X = rng.standard_normal((6, 3))
+        y = rng.integers(0, 3, 6)
+        analytic = model.gradient(X, y)
+        numeric = numeric_gradient(model, X, y)
+        for key in analytic:
+            np.testing.assert_allclose(analytic[key], numeric[key], atol=1e-4)
+
+    def test_learns_blobs_with_minibatch(self):
+        ds = make_multiclass_dense(600, 10, 4, separation=3.0, seed=2)
+        model = MLPClassifier(10, 24, 4, seed=0)
+        rng = np.random.default_rng(0)
+        for _ in range(15):
+            order = rng.permutation(600)
+            for lo in range(0, 600, 32):
+                idx = order[lo : lo + 32]
+                grads = model.gradient(ds.X[idx], ds.y[idx])
+                model.apply_gradient(grads, 0.1)
+        assert model.score(ds.X, ds.y) > 0.9
+
+    def test_top_k_accuracy_bounds(self):
+        ds = make_multiclass_dense(100, 6, 5, seed=3)
+        model = MLPClassifier(6, 8, 5, seed=0)
+        top1 = model.score(ds.X, ds.y)
+        top3 = model.top_k_accuracy(ds.X, ds.y, k=3)
+        assert 0.0 <= top1 <= top3 <= 1.0
+
+    def test_sparse_input_supported(self):
+        ds = make_multiclass_sparse(30, 100, 3, seed=1)
+        model = MLPClassifier(100, 8, 3, seed=0)
+        assert np.isfinite(model.loss(ds.X, ds.y))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(0, 4, 2)
+
+    def test_seed_reproducibility(self):
+        a = MLPClassifier(4, 6, 3, seed=7)
+        b = MLPClassifier(4, 6, 3, seed=7)
+        np.testing.assert_allclose(a.params["W1"], b.params["W1"])

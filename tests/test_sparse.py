@@ -1,0 +1,139 @@
+"""Unit and property tests for the CSR sparse matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.sparse import SparseMatrix, SparseRow
+
+
+def random_dense(rng: np.random.Generator, n: int, d: int, density: float = 0.3) -> np.ndarray:
+    dense = rng.standard_normal((n, d))
+    mask = rng.random((n, d)) < density
+    return dense * mask
+
+
+class TestSparseRow:
+    def test_dot_matches_dense(self):
+        row = SparseRow([1, 4, 7], [2.0, -1.0, 0.5], 10)
+        w = np.arange(10, dtype=float)
+        assert row.dot(w) == pytest.approx(2.0 * 1 - 1.0 * 4 + 0.5 * 7)
+
+    def test_add_into_scatter(self):
+        row = SparseRow([0, 3], [1.0, 2.0], 5)
+        out = np.zeros(5)
+        row.add_into(out, scale=-2.0)
+        np.testing.assert_allclose(out, [-2.0, 0, 0, -4.0, 0])
+
+    def test_add_into_duplicate_indices_accumulate(self):
+        row = SparseRow([2, 2], [1.0, 1.0], 4)
+        out = np.zeros(4)
+        row.add_into(out, scale=1.0)
+        assert out[2] == pytest.approx(2.0)
+
+    def test_to_dense(self):
+        row = SparseRow([1], [3.0], 3)
+        np.testing.assert_allclose(row.to_dense(), [0, 3.0, 0])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            SparseRow([1, 2], [1.0], 5)
+
+    def test_nnz(self):
+        assert SparseRow([0, 1, 2], [1, 2, 3], 5).nnz == 3
+
+
+class TestSparseMatrix:
+    def setup_method(self):
+        self.rng = np.random.default_rng(5)
+        self.dense = random_dense(self.rng, 8, 6)
+        self.sparse = SparseMatrix.from_dense(self.dense)
+
+    def test_shape_and_nnz(self):
+        assert self.sparse.shape == (8, 6)
+        assert self.sparse.nnz == int(np.count_nonzero(self.dense))
+
+    def test_roundtrip_to_dense(self):
+        np.testing.assert_allclose(self.sparse.to_dense(), self.dense)
+
+    def test_dot_matches_dense(self):
+        w = self.rng.standard_normal(6)
+        np.testing.assert_allclose(self.sparse.dot(w), self.dense @ w)
+
+    def test_dot_with_empty_rows(self):
+        dense = np.zeros((4, 3))
+        dense[1, 2] = 5.0
+        sparse = SparseMatrix.from_dense(dense)
+        w = np.array([1.0, 1.0, 2.0])
+        np.testing.assert_allclose(sparse.dot(w), [0, 10.0, 0, 0])
+
+    def test_dot_all_empty(self):
+        sparse = SparseMatrix.from_dense(np.zeros((3, 4)))
+        np.testing.assert_allclose(sparse.dot(np.ones(4)), np.zeros(3))
+
+    def test_t_dot_matches_dense(self):
+        v = self.rng.standard_normal(8)
+        np.testing.assert_allclose(self.sparse.t_dot(v), self.dense.T @ v)
+
+    def test_take_rows_permutation(self):
+        order = np.array([3, 0, 7, 1])
+        taken = self.sparse.take_rows(order)
+        np.testing.assert_allclose(taken.to_dense(), self.dense[order])
+
+    def test_take_rows_with_repeats(self):
+        order = np.array([2, 2, 5])
+        taken = self.sparse.take_rows(order)
+        np.testing.assert_allclose(taken.to_dense(), self.dense[order])
+
+    def test_row_accessor(self):
+        row = self.sparse.row(4)
+        np.testing.assert_allclose(row.to_dense(), self.dense[4])
+
+    def test_iter_rows_count(self):
+        assert sum(1 for _ in self.sparse.iter_rows()) == 8
+
+    def test_len(self):
+        assert len(self.sparse) == 8
+
+    def test_invalid_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            SparseMatrix(np.array([0, 1]), np.array([0]), np.array([1.0]), (2, 3))
+
+    def test_indptr_tail_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SparseMatrix(np.array([0, 2, 2]), np.array([0]), np.array([1.0]), (2, 3))
+
+    def test_from_rows(self):
+        rows = [SparseRow([0], [1.0], 4), SparseRow([1, 3], [2.0, 3.0], 4)]
+        matrix = SparseMatrix.from_rows(rows, 4)
+        expected = np.array([[1.0, 0, 0, 0], [0, 2.0, 0, 3.0]])
+        np.testing.assert_allclose(matrix.to_dense(), expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(1, 12),
+    d=st.integers(1, 10),
+    seed=st.integers(0, 1000),
+)
+def test_property_dot_products_match_dense(n, d, seed):
+    rng = np.random.default_rng(seed)
+    dense = random_dense(rng, n, d, density=0.4)
+    sparse = SparseMatrix.from_dense(dense)
+    w = rng.standard_normal(d)
+    v = rng.standard_normal(n)
+    np.testing.assert_allclose(sparse.dot(w), dense @ w, atol=1e-12)
+    np.testing.assert_allclose(sparse.t_dot(v), dense.T @ v, atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(1, 10), d=st.integers(1, 8), seed=st.integers(0, 500))
+def test_property_take_rows_matches_fancy_index(n, d, seed):
+    rng = np.random.default_rng(seed)
+    dense = random_dense(rng, n, d)
+    sparse = SparseMatrix.from_dense(dense)
+    order = rng.integers(0, n, size=n)
+    np.testing.assert_allclose(sparse.take_rows(order).to_dense(), dense[order])

@@ -1,0 +1,180 @@
+"""Tests for the baseline shuffle strategies (Section 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import BlockLayout
+from repro.shuffle import (
+    STRATEGY_NAMES,
+    EpochShuffle,
+    MRSShuffle,
+    NoShuffle,
+    ShuffleOnce,
+    SlidingWindowShuffle,
+    epoch_rng,
+    make_strategy,
+)
+from repro.theory import position_rank_correlation
+
+from .conftest import assert_is_permutation
+
+
+class TestEpochRNG:
+    def test_deterministic(self):
+        a = epoch_rng(3, 5).integers(0, 1000, 10)
+        b = epoch_rng(3, 5).integers(0, 1000, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_epoch_sensitivity(self):
+        a = epoch_rng(3, 5).integers(0, 1000, 10)
+        b = epoch_rng(3, 6).integers(0, 1000, 10)
+        assert not np.array_equal(a, b)
+
+
+class TestNoShuffle:
+    def test_identity_order(self):
+        s = NoShuffle(100)
+        np.testing.assert_array_equal(s.epoch_indices(0), np.arange(100))
+        np.testing.assert_array_equal(s.epoch_indices(7), np.arange(100))
+
+    def test_trace_is_sequential(self):
+        s = NoShuffle(100)
+        trace = s.epoch_trace(tuple_bytes=64.0)
+        assert all(e.kind == "seq" for e in trace)
+        assert trace.total_bytes == 6400
+
+    def test_no_setup_cost(self):
+        assert len(NoShuffle(10).setup_trace(8.0)) == 0
+
+
+class TestShuffleOnce:
+    def test_same_permutation_every_epoch(self):
+        s = ShuffleOnce(200, seed=3)
+        np.testing.assert_array_equal(s.epoch_indices(0), s.epoch_indices(5))
+
+    def test_is_permutation(self):
+        assert_is_permutation(ShuffleOnce(150, seed=1).epoch_indices(0), 150)
+
+    def test_actually_shuffled(self):
+        order = ShuffleOnce(500, seed=0).epoch_indices(0)
+        assert abs(position_rank_correlation(order)) < 0.2
+
+    def test_setup_charges_sort_passes(self):
+        s = ShuffleOnce(100, seed=0)
+        trace = s.setup_trace(tuple_bytes=10.0)
+        assert trace.read_bytes == 2 * 1000  # two read passes
+        assert trace.write_bytes == 2 * 1000  # two write passes
+
+    def test_traits_mark_disk_copy(self):
+        assert ShuffleOnce.traits.extra_disk_copies == 1
+
+
+class TestEpochShuffle:
+    def test_different_permutation_each_epoch(self):
+        s = EpochShuffle(200, seed=3)
+        assert not np.array_equal(s.epoch_indices(0), s.epoch_indices(1))
+
+    def test_each_epoch_is_permutation(self):
+        s = EpochShuffle(80, seed=2)
+        for epoch in range(3):
+            assert_is_permutation(s.epoch_indices(epoch), 80)
+
+    def test_per_epoch_shuffle_cost(self):
+        s = EpochShuffle(100, seed=0)
+        assert len(s.setup_trace(10.0)) == 0
+        trace = s.epoch_trace(10.0)
+        assert trace.write_bytes > 0  # pays the sort every epoch
+
+
+class TestSlidingWindow:
+    def test_is_permutation(self):
+        s = SlidingWindowShuffle(300, window=30, seed=0)
+        assert_is_permutation(s.epoch_indices(0), 300)
+
+    def test_preserves_locality(self):
+        # Tuples cannot move far: the rank correlation stays near 1
+        # (the Figure 3b "linear shape").
+        s = SlidingWindowShuffle(1000, window=100, seed=0)
+        assert position_rank_correlation(s.epoch_indices(0)) > 0.9
+
+    def test_window_larger_than_data(self):
+        s = SlidingWindowShuffle(50, window=500, seed=0)
+        assert_is_permutation(s.epoch_indices(0), 50)
+        # Degenerates to a full shuffle.
+        assert abs(position_rank_correlation(s.epoch_indices(0))) < 0.5
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            SlidingWindowShuffle(10, window=0)
+
+    def test_epochs_differ(self):
+        s = SlidingWindowShuffle(200, window=20, seed=1)
+        assert not np.array_equal(s.epoch_indices(0), s.epoch_indices(1))
+
+
+class TestMRS:
+    def test_emits_one_step_per_scanned_tuple(self):
+        s = MRSShuffle(400, buffer_tuples=40, seed=0)
+        assert s.epoch_indices(0).size == 400
+
+    def test_indices_in_range(self):
+        order = MRSShuffle(300, buffer_tuples=30, seed=1).epoch_indices(0)
+        assert order.min() >= 0 and order.max() < 300
+
+    def test_buffered_tuples_repeat(self):
+        # The loop thread reuses buffered tuples => duplicates appear
+        # (the paper's "data skew" caveat).
+        order = MRSShuffle(500, buffer_tuples=50, seed=0).epoch_indices(0)
+        assert len(set(order.tolist())) < 500
+
+    def test_dropped_stream_mostly_in_order(self):
+        # MRS improves over sliding window but the dropped tuples still
+        # arrive in generally increasing order.
+        order = MRSShuffle(1000, buffer_tuples=100, seed=0).epoch_indices(0)
+        corr = position_rank_correlation(order)
+        assert 0.3 < corr < 0.99
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            MRSShuffle(10, buffer_tuples=0)
+        with pytest.raises(ValueError):
+            MRSShuffle(10, buffer_tuples=2, mix_interval=0)
+
+
+class TestRegistry:
+    def test_all_names_constructible(self, layout_600):
+        for name in STRATEGY_NAMES:
+            s = make_strategy(name, layout_600, buffer_fraction=0.1, seed=0)
+            assert s.epoch_indices(0).size == 600
+
+    def test_unknown_name(self, layout_600):
+        with pytest.raises(KeyError):
+            make_strategy("quantum_shuffle", layout_600)
+
+    def test_invalid_buffer_fraction(self, layout_600):
+        with pytest.raises(ValueError):
+            make_strategy("mrs", layout_600, buffer_fraction=0.0)
+
+    def test_describe(self, layout_600):
+        desc = make_strategy("corgipile", layout_600).describe()
+        assert desc["strategy"] == "corgipile"
+        assert desc["needs_buffer"] is True
+        assert desc["extra_disk_copies"] == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    name=st.sampled_from(["no_shuffle", "shuffle_once", "epoch_shuffle", "sliding_window"]),
+    n=st.integers(2, 300),
+    per_block=st.integers(1, 40),
+    seed=st.integers(0, 100),
+)
+def test_property_permutation_strategies_emit_permutations(name, n, per_block, seed):
+    layout = BlockLayout(n, per_block)
+    s = make_strategy(name, layout, buffer_fraction=0.2, seed=seed)
+    order = s.epoch_indices(0)
+    assert sorted(order.tolist()) == list(range(n))

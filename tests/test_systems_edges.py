@@ -1,0 +1,124 @@
+"""Edge-case tests for the comparator systems and the timing context."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CorgiPileShuffle
+from repro.data import make_binary_dense
+from repro.db import ComputeProfile, RuntimeContext, Timeline, run_framework
+from repro.db.engine import ENGINE_PROFILE
+from repro.ml import LogisticRegression, MLPClassifier
+from repro.storage import SSD, SSD_SCALED
+
+
+class TestRuntimeContext:
+    def _ctx(self, double=True):
+        return RuntimeContext(
+            device=SSD, compute=ENGINE_PROFILE, double_buffer=double,
+            values_per_tuple=10.0,
+        )
+
+    def test_fill_pairing(self):
+        ctx = self._ctx()
+        ctx.charge_device_read(1000, random=True)
+        ctx.end_fill(50)
+        assert ctx.tuples_processed == 50
+        assert ctx.total_io_s > 0
+        assert ctx.total_compute_s > 0
+
+    def test_trailing_io_without_consumer_still_counted(self):
+        ctx = self._ctx()
+        ctx.charge_device_read(10_000, random=False)
+        wall = ctx.epoch_wall_time()
+        assert wall > 0
+
+    def test_epoch_wall_resets_fills(self):
+        ctx = self._ctx()
+        ctx.charge_device_read(1000, random=True)
+        ctx.end_fill(10)
+        first = ctx.epoch_wall_time()
+        second = ctx.epoch_wall_time()
+        assert first > 0 and second == 0.0
+
+    def test_single_buffer_serialises(self):
+        walls = {}
+        for double in (True, False):
+            ctx = self._ctx(double)
+            for _ in range(4):
+                ctx.charge_device_read(100_000, random=True)
+                ctx.end_fill(1000)
+            walls[double] = ctx.epoch_wall_time()
+        assert walls[True] <= walls[False]
+
+    def test_compute_profile_decompression(self):
+        profile = ComputeProfile("p", 1e-6, 1e-9, decompress_per_byte_s=1e-8)
+        plain = profile.tuple_compute_s(10)
+        packed = profile.tuple_compute_s(10, compressed_bytes=200)
+        assert packed == pytest.approx(plain + 2e-6)
+
+
+class TestTimelineEdges:
+    def test_speedup_none_when_target_unreached(self):
+        a = Timeline(system="a")
+        b = Timeline(system="b")
+        a.append(1.0, 0, 0.5, 0.6, 0.6)
+        b.append(1.0, 0, 0.5, 0.6, 0.9)
+        assert a.speedup_over(b, 0.8) is None  # a never reaches it
+        assert b.speedup_over(a, 0.8) is None  # a never reaches it either
+
+    def test_empty_timeline(self):
+        t = Timeline(system="x", setup_s=2.0)
+        assert t.total_time_s == 2.0
+        assert t.final_test_score is None
+        assert t.time_to_reach(0.5) is None
+
+
+class TestRunFrameworkVariants:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        ds = make_binary_dense(600, 8, separation=1.5, seed=0)
+        return ds.split(0.8, seed=1)
+
+    def test_accepts_strategy_object(self, problem):
+        train, test = problem
+        cp = CorgiPileShuffle(train.layout(20), 3, seed=0)
+        run = run_framework(
+            train, test, LogisticRegression(8), cp, SSD_SCALED, epochs=2,
+        )
+        assert run.timeline.system.endswith("corgipile")
+
+    def test_adam_path(self, problem):
+        train, test = problem
+        run = run_framework(
+            train, test, LogisticRegression(8), "shuffle_once", SSD_SCALED,
+            epochs=4, batch_size=16, use_adam=True, learning_rate=0.05,
+        )
+        assert run.history.final.test_score > 0.8
+
+    def test_shuffle_once_epoch_equivalents_override(self, problem):
+        train, test = problem
+        run = run_framework(
+            train, test, LogisticRegression(8), "shuffle_once", SSD_SCALED,
+            epochs=2, shuffle_once_epoch_equivalents=23.0,
+        )
+        assert run.timeline.setup_s == pytest.approx(23.0 * run.per_epoch_s)
+
+    def test_epoch_equivalents_only_applies_to_shuffle_once(self, problem):
+        train, test = problem
+        run = run_framework(
+            train, test, LogisticRegression(8), "corgipile", SSD_SCALED,
+            epochs=2, tuples_per_block=20, shuffle_once_epoch_equivalents=23.0,
+        )
+        assert run.timeline.setup_s == 0.0
+
+    def test_multiclass_labels_cast_for_mlp(self):
+        from repro.data import make_multiclass_dense
+
+        ds = make_multiclass_dense(300, 8, 3, separation=3.0, seed=0)
+        train, test = ds.split(0.8, seed=1)
+        run = run_framework(
+            train, test, MLPClassifier(8, 12, 3, seed=0), "shuffle_once",
+            SSD_SCALED, epochs=5, batch_size=16, learning_rate=0.2,
+        )
+        assert run.history.final.test_score > 0.8

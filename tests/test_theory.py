@@ -1,0 +1,201 @@
+"""Tests for the h_D factor, convergence bounds, and order diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import BlockLayout, Dataset, clustered_by_label, make_binary_dense
+from repro.ml import LogisticRegression
+from repro.theory import (
+    PhysicalCost,
+    alpha_factor,
+    block_gradient_variance,
+    corgipile_physical_time,
+    distribution_report,
+    gradient_variance,
+    hd_factor,
+    label_mixing_deviation,
+    label_window_counts,
+    nonconvex_factors,
+    per_example_gradients,
+    position_rank_correlation,
+    strongly_convex_factors,
+    theorem1_bound,
+    theorem2_bound,
+    vanilla_sgd_physical_time,
+)
+
+
+class TestPerExampleGradients:
+    def test_mean_matches_batch_gradient(self, dense_binary):
+        model = LogisticRegression(dense_binary.n_features)
+        grads = per_example_gradients(model, dense_binary)
+        batch = model.gradient(dense_binary.X, dense_binary.y)
+        np.testing.assert_allclose(
+            grads[:, :-1].mean(axis=0), batch["w"], atol=1e-10
+        )
+        np.testing.assert_allclose(grads[:, -1].mean(), batch["b"][0], atol=1e-10)
+
+    def test_sigma_squared_manual(self):
+        # Two examples with known gradients.
+        X = np.array([[1.0], [-1.0]])
+        y = np.array([1.0, 1.0])
+        model = LogisticRegression(1, fit_intercept=False)
+        grads = per_example_gradients(model, Dataset(X, y))
+        manual = grads - grads.mean(axis=0)
+        expected = float(np.mean((manual**2).sum(axis=1)))
+        assert gradient_variance(model, Dataset(X, y)) == pytest.approx(expected)
+
+
+class TestHDFactor:
+    def test_clustered_much_larger_than_shuffled(self, dense_binary):
+        model = LogisticRegression(dense_binary.n_features)
+        layout = BlockLayout(dense_binary.n_tuples, 20)
+        shuffled_hd = hd_factor(model, dense_binary.shuffled(seed=0), layout)
+        clustered_hd = hd_factor(model, clustered_by_label(dense_binary), layout)
+        # Shuffled data gives h_D near 1; clustering by label inflates it.
+        assert shuffled_hd == pytest.approx(1.0, abs=0.35)
+        assert clustered_hd > 2 * shuffled_hd
+
+    def test_identical_tuples_per_block_reaches_b(self):
+        # Each block holds b identical tuples: h_D == b exactly.
+        b = 5
+        rng = np.random.default_rng(0)
+        blocks = []
+        labels = []
+        for _ in range(8):
+            row = rng.standard_normal(3)
+            label = 1.0 if rng.random() < 0.5 else -1.0
+            blocks.append(np.tile(row, (b, 1)))
+            labels.extend([label] * b)
+        ds = Dataset(np.vstack(blocks), np.array(labels))
+        model = LogisticRegression(3)
+        layout = BlockLayout(ds.n_tuples, b)
+        assert hd_factor(model, ds, layout) == pytest.approx(b, rel=0.01)
+
+    def test_blockvar_nonnegative(self, dense_binary):
+        model = LogisticRegression(dense_binary.n_features)
+        layout = BlockLayout(dense_binary.n_tuples, 25)
+        assert block_gradient_variance(model, dense_binary, layout) >= 0.0
+
+
+class TestBoundFactors:
+    def test_alpha_edges(self):
+        assert alpha_factor(1, 10) == 0.0
+        assert alpha_factor(10, 10) == 1.0
+
+    def test_alpha_requires_two_blocks(self):
+        with pytest.raises(ValueError):
+            alpha_factor(1, 1)
+
+    def test_beta_at_full_buffer(self):
+        f = strongly_convex_factors(10, 10, 5)
+        assert f.beta == pytest.approx(1.0)  # alpha=1 => beta = 1
+
+    def test_beta_at_single_block(self):
+        f = strongly_convex_factors(1, 10, 5)
+        assert f.alpha == 0.0
+        assert f.beta == pytest.approx(16.0)  # (b-1)^2
+
+    def test_theorem1_leading_term_vanishes_at_full_buffer(self):
+        # alpha = 1 removes the 1/T term: bound becomes O(1/T^2 + m^3/T^3).
+        full = theorem1_bound(10_000, 10, 10, 5, sigma2=1.0, hd=5.0)
+        partial = theorem1_bound(10_000, 2, 10, 5, sigma2=1.0, hd=5.0)
+        assert full < partial
+
+    def test_theorem1_monotone_decreasing_in_T(self):
+        values = [
+            theorem1_bound(T, 3, 10, 5, sigma2=1.0, hd=2.0) for T in (1000, 5000, 50_000)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_theorem1_grows_with_hd(self):
+        low = theorem1_bound(10_000, 3, 10, 5, sigma2=1.0, hd=1.0)
+        high = theorem1_bound(10_000, 3, 10, 5, sigma2=1.0, hd=5.0)
+        assert high > low
+
+    def test_theorem1_validation(self):
+        with pytest.raises(ValueError):
+            theorem1_bound(0, 3, 10, 5, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            theorem1_bound(10, 11, 10, 5, 1.0, 1.0)
+
+    def test_theorem2_case_split(self):
+        partial = theorem2_bound(10_000, 3, 10, 5, sigma2=1.0, hd=2.0)
+        full = theorem2_bound(10_000, 10, 10, 5, sigma2=1.0, hd=2.0)
+        assert partial > 0 and full > 0
+
+    def test_nonconvex_factors_reject_full_buffer(self):
+        with pytest.raises(ValueError):
+            nonconvex_factors(10, 10, 5, 1.0, 1.0)
+
+
+class TestPhysicalTime:
+    def test_corgipile_beats_vanilla_on_latency_bound_device(self):
+        cost = PhysicalCost(t_latency_s=8e-3, t_transfer_s=1e-6)  # HDD-like
+        vanilla = vanilla_sgd_physical_time(0.01, sigma2=1.0, cost=cost)
+        corgi = corgipile_physical_time(
+            0.01, sigma2=1.0, hd=2.0, block_size=1000, n_blocks_buffered=10,
+            n_blocks_total=100, cost=cost,
+        )
+        assert corgi < vanilla
+
+    def test_latency_always_amortised(self):
+        # (1-alpha) * hd / b < 1 guarantees a latency win (Section 4.2).
+        cost = PhysicalCost(t_latency_s=1e-2, t_transfer_s=0.0)
+        vanilla = vanilla_sgd_physical_time(0.1, sigma2=1.0, cost=cost)
+        corgi = corgipile_physical_time(
+            0.1, 1.0, hd=50.0, block_size=100, n_blocks_buffered=2,
+            n_blocks_total=100, cost=cost,
+        )
+        assert corgi < vanilla
+
+    def test_validation(self):
+        cost = PhysicalCost(1e-3, 1e-6)
+        with pytest.raises(ValueError):
+            vanilla_sgd_physical_time(0.0, 1.0, cost)
+
+
+class TestDistributions:
+    def test_window_counts_clustered_identity_order(self):
+        labels = np.array([-1.0] * 40 + [1.0] * 40)
+        counts = label_window_counts(np.arange(80), labels, window=20)
+        np.testing.assert_array_equal(counts[0], [20, 0])
+        np.testing.assert_array_equal(counts[-1], [0, 20])
+
+    def test_window_counts_shape(self):
+        labels = np.array([-1.0, 1.0] * 50)
+        counts = label_window_counts(np.arange(100), labels, window=30)
+        assert counts.shape == (3, 2)  # ragged tail dropped
+
+    def test_rank_correlation_identity(self):
+        assert position_rank_correlation(np.arange(100)) == pytest.approx(1.0)
+
+    def test_rank_correlation_reverse(self):
+        assert position_rank_correlation(np.arange(100)[::-1]) == pytest.approx(-1.0)
+
+    def test_rank_correlation_shuffled_near_zero(self):
+        order = np.random.default_rng(0).permutation(2000)
+        assert abs(position_rank_correlation(order)) < 0.1
+
+    def test_mixing_deviation_extremes(self):
+        labels = np.array([-1.0] * 50 + [1.0] * 50)
+        clustered_dev = label_mixing_deviation(np.arange(100), labels, window=10)
+        perfect = np.ravel(np.column_stack([np.arange(50), 50 + np.arange(50)]))
+        mixed_dev = label_mixing_deviation(perfect, labels, window=10)
+        assert clustered_dev == pytest.approx(0.5)
+        assert mixed_dev == pytest.approx(0.0)
+
+    def test_report_fields(self):
+        labels = np.array([-1.0, 1.0] * 30)
+        report = distribution_report("x", np.arange(60), labels)
+        assert set(report) == {"strategy", "rank_correlation", "label_mixing_deviation", "n_windows"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            position_rank_correlation(np.array([1]))
+        with pytest.raises(ValueError):
+            label_window_counts(np.arange(10), np.ones(10), window=0)
+        with pytest.raises(ValueError):
+            label_mixing_deviation(np.arange(5), np.ones(5), window=10)

@@ -1,0 +1,163 @@
+"""Tests for the Trainer and ConvergenceHistory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CorgiPileShuffle
+from repro.data import clustered_by_label, make_binary_dense
+from repro.ml import (
+    Adam,
+    ConstantLR,
+    ExponentialDecay,
+    LogisticRegression,
+    Trainer,
+    fixed_order_source,
+)
+from repro.ml.trainer import ConvergenceHistory, EpochRecord
+from repro.shuffle import NoShuffle, ShuffleOnce
+
+
+@pytest.fixture()
+def problem():
+    ds = make_binary_dense(400, 8, separation=1.5, seed=0)
+    train, test = ds.split(0.8, seed=1)
+    return train, test
+
+
+class TestTrainerModes:
+    def test_per_tuple_history(self, problem):
+        train, test = problem
+        trainer = Trainer(
+            LogisticRegression(8),
+            train,
+            ShuffleOnce(train.n_tuples, seed=0),
+            epochs=4,
+            schedule=ExponentialDecay(0.1),
+            test=test,
+        )
+        history = trainer.run()
+        assert history.epochs == 4
+        assert history.final.tuples_seen == 4 * train.n_tuples
+        assert history.final.test_score > 0.8
+
+    def test_minibatch_mode(self, problem):
+        train, test = problem
+        trainer = Trainer(
+            LogisticRegression(8),
+            train,
+            ShuffleOnce(train.n_tuples, seed=0),
+            epochs=6,
+            schedule=ConstantLR(0.5),
+            batch_size=32,
+            test=test,
+        )
+        assert trainer.run().final.test_score > 0.8
+
+    def test_adam_optimizer(self, problem):
+        train, test = problem
+        model = LogisticRegression(8)
+        trainer = Trainer(
+            model,
+            train,
+            ShuffleOnce(train.n_tuples, seed=0),
+            epochs=6,
+            schedule=ConstantLR(0.05),
+            batch_size=32,
+            optimizer=Adam(model),
+            test=test,
+        )
+        assert trainer.run().final.test_score > 0.8
+
+    def test_training_loss_decreases(self, problem):
+        train, _ = problem
+        trainer = Trainer(
+            LogisticRegression(8),
+            train,
+            ShuffleOnce(train.n_tuples, seed=0),
+            epochs=5,
+            schedule=ExponentialDecay(0.1),
+        )
+        losses = trainer.run().train_losses
+        assert losses[-1] < losses[0]
+
+    def test_clustered_no_shuffle_hurts(self, problem):
+        train, test = problem
+        clustered = clustered_by_label(train)
+        run = lambda strategy: Trainer(
+            LogisticRegression(8),
+            clustered,
+            strategy,
+            epochs=3,
+            schedule=ConstantLR(0.1),
+            test=test,
+        ).run()
+        none = run(NoShuffle(clustered.n_tuples))
+        once = run(ShuffleOnce(clustered.n_tuples, seed=0))
+        assert once.final.test_score > none.final.test_score
+
+    def test_corgipile_index_source(self, problem):
+        train, test = problem
+        clustered = clustered_by_label(train)
+        cp = CorgiPileShuffle(clustered.layout(10), buffer_blocks=4, seed=0)
+        history = Trainer(
+            LogisticRegression(8),
+            clustered,
+            cp,
+            epochs=5,
+            schedule=ExponentialDecay(0.1),
+            test=test,
+        ).run()
+        assert history.strategy == "corgipile"
+        assert history.final.test_score > 0.8
+
+    def test_validation(self, problem):
+        train, _ = problem
+        strategy = NoShuffle(train.n_tuples)
+        with pytest.raises(ValueError):
+            Trainer(LogisticRegression(8), train, strategy, epochs=0)
+        with pytest.raises(ValueError):
+            Trainer(LogisticRegression(8), train, strategy, epochs=1, batch_size=0)
+
+    def test_fixed_order_source(self, problem):
+        train, _ = problem
+        orders = [np.arange(train.n_tuples), np.arange(train.n_tuples)[::-1]]
+        source = fixed_order_source("custom", orders)
+        np.testing.assert_array_equal(source.epoch_indices(1), orders[1])
+        np.testing.assert_array_equal(source.epoch_indices(2), orders[0])
+        history = Trainer(
+            LogisticRegression(8), train, source, epochs=2, schedule=ConstantLR(0.05)
+        ).run()
+        assert history.strategy == "custom"
+
+
+class TestConvergenceHistory:
+    def _record(self, epoch, test_score):
+        return EpochRecord(epoch, 0.1, 1.0, 0.5, test_score, 100)
+
+    def test_epochs_to_reach(self):
+        history = ConvergenceHistory("s", "m")
+        for e, score in enumerate([0.5, 0.7, 0.9, 0.95]):
+            history.append(self._record(e, score))
+        assert history.epochs_to_reach(0.9) == 3
+        assert history.epochs_to_reach(0.99) is None
+
+    def test_best_test_score(self):
+        history = ConvergenceHistory("s", "m")
+        for e, score in enumerate([0.5, 0.9, 0.7]):
+            history.append(self._record(e, score))
+        assert history.best_test_score() == 0.9
+
+    def test_empty_history_raises(self):
+        history = ConvergenceHistory("s", "m")
+        with pytest.raises(ValueError):
+            _ = history.final
+        with pytest.raises(ValueError):
+            history.best_test_score()
+
+    def test_test_scores_skip_none(self):
+        history = ConvergenceHistory("s", "m")
+        history.append(self._record(0, None))
+        history.append(self._record(1, 0.8))
+        assert history.test_scores == [0.8]
