@@ -10,12 +10,15 @@ training on both orders.
 
 from __future__ import annotations
 
-import numpy as np
-from conftest import report_table
+import threading
 
-from repro.core import MultiProcessCorgiPile
+import numpy as np
+from conftest import TUPLES_PER_BLOCK, report_loader_stats, report_table
+
+from repro.core import LoaderStats, MultiProcessCorgiPile, MultiWorkerLoader
 from repro.data import DATASETS, clustered_by_label
 from repro.ml import ExponentialDecay, LogisticRegression, Trainer, fixed_order_source
+from repro.storage import write_block_file
 from repro.theory import label_mixing_deviation
 
 N_WORKERS = 4
@@ -78,3 +81,43 @@ def test_fig05_order_equivalence(benchmark, glm_problems):
     assert dev_multi < dev_raw / 2
     # And converge to the same accuracy.
     assert abs(multi.final.test_score - one.final.test_score) < 0.04
+
+
+def test_fig05_measured_loader_stats(tmp_path, glm_problems):
+    """Run the *real* threaded multi-worker loader and report what it measured.
+
+    Complements the order-equivalence test above: the same two-data-worker
+    scheme of Section 5.1 is exercised with actual producer threads over an
+    on-disk block file, and the loader-observability layer reports queue
+    depth, stall/wait time, and the measured loading/compute overlap.
+    """
+    train, _ = glm_problems["susy"]
+    path = tmp_path / "fig05.blocks"
+    write_block_file(train, path, TUPLES_PER_BLOCK)
+
+    baseline_threads = threading.active_count()
+    stats = LoaderStats(f"multiworker-x{N_WORKERS}")
+    seen: list[int] = []
+    with MultiWorkerLoader(
+        path, N_WORKERS, buffer_blocks_per_worker=4, batch_size=BATCH, seed=0, stats=stats
+    ) as loader:
+        for epoch in range(2):
+            loader.set_epoch(epoch)
+            epoch_ids = [int(i) for batch in loader for i in batch.tuple_ids]
+            seen.append(len(set(epoch_ids)))
+
+    report_loader_stats(
+        [stats],
+        title=f"Figure 5 (measured): {N_WORKERS}-worker loader observability",
+        json_name="fig05_loader_stats.json",
+    )
+
+    # Full coverage per epoch, every producer thread joined, books balanced.
+    assert seen == [train.n_tuples, train.n_tuples]
+    assert threading.active_count() == baseline_threads
+    d = stats.as_dict()
+    assert d["live_threads"] == 0
+    assert d["threads_started"] == 2 * N_WORKERS  # one producer per worker per epoch
+    assert d["buffers_filled"] == d["buffers_drained"] > 0
+    assert d["items_produced"] == d["items_consumed"] > 0
+    assert 0.0 <= d["overlap_fraction"] <= 1.0

@@ -43,6 +43,20 @@ def report_table(rows, columns=None, title=None, json_name=None) -> None:
         save_records(list(rows), RESULTS_DIR / json_name)
 
 
+def report_loader_stats(stats_list, title, json_name=None) -> None:
+    """Print the measured loader-observability counters for a bench target.
+
+    Each element of ``stats_list`` is a :class:`repro.core.LoaderStats` (or
+    a snapshot dict); rows show queue depth, producer stall / consumer wait,
+    buffers filled/drained, thread counts, and the measured overlap
+    fraction, so figures that previously only had the analytic
+    ``pipelined_time`` model can report what the real threads did.
+    """
+    from repro.db.timing import overlap_report
+
+    report_table([overlap_report(s) for s in stats_list], title=title, json_name=json_name)
+
+
 @pytest.fixture(scope="session")
 def glm_problems():
     """name -> (clustered train, test) for the five Table 2 GLM datasets."""

@@ -9,6 +9,8 @@ Commands
 ``predict``   score a saved model against a data file
 ``explain``   print the physical plan a TRAIN query would execute
 ``bench-io``  print the Figure 20 random-vs-sequential throughput curve
+``loader-stats``  drive the concurrent loaders and print their
+              observability counters (queue depth, stall/wait, overlap)
 """
 
 from __future__ import annotations
@@ -100,6 +102,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     io_bench = sub.add_parser("bench-io", help="Figure 20 throughput curve")
     io_bench.add_argument("--device", choices=("hdd", "ssd"), default="hdd")
+
+    loader = sub.add_parser(
+        "loader-stats",
+        help="run the concurrent loaders and print their observability counters",
+    )
+    loader.add_argument("--dataset", choices=sorted(DATASETS), default="susy")
+    loader.add_argument("--workers", type=int, default=2)
+    loader.add_argument("--buffer-blocks", type=int, default=2)
+    loader.add_argument("--batch-size", type=int, default=32)
+    loader.add_argument("--epochs", type=int, default=2)
+    loader.add_argument("--block-tuples", type=int, default=40)
+    loader.add_argument("--buffer-tuples", type=int, default=200)
+    loader.add_argument("--prefetch-depth", type=int, default=2)
+    loader.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -233,6 +249,91 @@ def _cmd_bench_io(args) -> int:
     return 0
 
 
+def _cmd_loader_stats(args) -> int:
+    """Exercise each concurrent loader for real and print its counters."""
+    import tempfile
+    from pathlib import Path
+
+    from .core import (
+        CorgiPileDataset,
+        DataLoader as CoreDataLoader,
+        LoaderStats,
+        MultiWorkerLoader,
+        PrefetchLoader,
+    )
+    from .db import Catalog, overlap_report
+    from .db.engine import ENGINE_PROFILE
+    from .db.operators import SeqScanOperator
+    from .db.threaded import ThreadedTupleShuffleOperator
+    from .db.timing import RuntimeContext
+    from .storage import SSD, write_block_file
+
+    dataset = load(args.dataset, seed=args.seed)
+    rows = []
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "loader.blocks"
+        write_block_file(dataset, path, args.block_tuples)
+
+        prefetch_stats = LoaderStats("prefetch")
+        with CorgiPileDataset(
+            path, buffer_blocks=args.buffer_blocks, seed=args.seed, stats=prefetch_stats
+        ) as single:
+            loader = PrefetchLoader(
+                CoreDataLoader(single, batch_size=args.batch_size),
+                depth=args.prefetch_depth,
+                stats=prefetch_stats,
+            )
+            for epoch in range(args.epochs):
+                single.set_epoch(epoch)
+                for _ in loader:
+                    pass
+        rows.append(overlap_report(prefetch_stats))
+
+        multi_stats = LoaderStats("multiworker")
+        with MultiWorkerLoader(
+            path,
+            args.workers,
+            args.buffer_blocks,
+            batch_size=args.batch_size,
+            seed=args.seed,
+            prefetch_depth=args.prefetch_depth,
+            stats=multi_stats,
+        ) as multi:
+            for epoch in range(args.epochs):
+                multi.set_epoch(epoch)
+                for _ in multi:
+                    pass
+        rows.append(overlap_report(multi_stats))
+
+    threaded_stats = LoaderStats("threaded-tuple-shuffle")
+    table = Catalog(page_bytes=1024).create_table(args.dataset, dataset)
+    ctx = RuntimeContext(device=SSD, compute=ENGINE_PROFILE)
+    op = ThreadedTupleShuffleOperator(
+        SeqScanOperator(table, ctx), args.buffer_tuples, seed=args.seed, stats=threaded_stats
+    )
+    op.open()
+    for epoch in range(args.epochs):
+        while op.next() is not None:
+            pass
+        if epoch + 1 < args.epochs:
+            op.rescan()
+    op.close()
+    rows.append(overlap_report(threaded_stats))
+
+    print(
+        format_table(
+            rows,
+            title=f"loader observability — {args.dataset}, {args.epochs} epoch(s)",
+        )
+    )
+    print(
+        "\noverlap_fraction: share of cross-thread waiting borne by the producer"
+        " (1.0 = loading fully hidden behind compute)"
+    )
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "generate": _cmd_generate,
@@ -240,6 +341,7 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "explain": _cmd_explain,
     "bench-io": _cmd_bench_io,
+    "loader-stats": _cmd_loader_stats,
 }
 
 

@@ -5,8 +5,10 @@ from .corgipile import CorgiPileShuffle
 from .dataloader import Batch, DataLoader, collate
 from .dataset import CorgiPileDataset
 from .distributed import MultiProcessCorgiPile
+from .lifecycle import THREADS, ManagedProducer, ProducerChannel, ThreadRegistry
 from .multiworker import MultiWorkerLoader
 from .prefetch import PrefetchLoader
+from .stats import LoaderStats
 
 __all__ = [
     "CorgiPileShuffle",
@@ -20,4 +22,9 @@ __all__ = [
     "MultiProcessCorgiPile",
     "PrefetchLoader",
     "MultiWorkerLoader",
+    "LoaderStats",
+    "ManagedProducer",
+    "ProducerChannel",
+    "ThreadRegistry",
+    "THREADS",
 ]

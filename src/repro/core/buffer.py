@@ -45,13 +45,21 @@ class ShuffleBuffer(Generic[T]):
         self._items.append(item)
 
     def fill_from(self, source: Iterable[T]) -> int:
-        """Pull items from ``source`` until full or exhausted; return count."""
+        """Pull items from ``source`` until full or exhausted; return count.
+
+        Consistent with :meth:`add`, the buffer never exceeds ``capacity``:
+        a full buffer pulls nothing (returning 0), and no item is consumed
+        from ``source`` without room to store it.
+        """
         added = 0
-        for item in source:
+        iterator = iter(source)
+        while not self.full:
+            try:
+                item = next(iterator)
+            except StopIteration:
+                break
             self._items.append(item)
             added += 1
-            if self.full:
-                break
         return added
 
     def shuffle_and_drain(self) -> list[T]:

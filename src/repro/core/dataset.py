@@ -27,6 +27,7 @@ import numpy as np
 from ..storage.blockfile import BlockFileReader
 from ..storage.codec import TrainingTuple
 from .buffer import ShuffleBuffer
+from .stats import LoaderStats
 
 __all__ = ["CorgiPileDataset"]
 
@@ -41,6 +42,7 @@ class CorgiPileDataset:
         seed: int = 0,
         worker_id: int = 0,
         n_workers: int = 1,
+        stats: LoaderStats | None = None,
     ):
         if buffer_blocks <= 0:
             raise ValueError("buffer_blocks must be positive")
@@ -52,6 +54,8 @@ class CorgiPileDataset:
         self.worker_id = int(worker_id)
         self.n_workers = int(n_workers)
         self.epoch = 0
+        #: Optional observability hook: counts buffer fills/drains per epoch.
+        self.stats = stats
 
     # ------------------------------------------------------------------
     @property
@@ -94,12 +98,19 @@ class CorgiPileDataset:
         for block_id in my_blocks:
             for record in self.reader.read_block(int(block_id)):
                 if buffer.full:
-                    yield from buffer.shuffle_and_drain()
+                    yield from self._drain(buffer)
                 buffer.add(record)
             filled_blocks += 1
             if filled_blocks % self.buffer_blocks == 0:
-                yield from buffer.shuffle_and_drain()
-        yield from buffer.shuffle_and_drain()
+                yield from self._drain(buffer)
+        yield from self._drain(buffer)
+
+    def _drain(self, buffer: ShuffleBuffer[TrainingTuple]) -> list[TrainingTuple]:
+        n = len(buffer)
+        if n and self.stats is not None:
+            self.stats.record_buffer_filled(n)
+            self.stats.record_buffer_drained(n)
+        return buffer.shuffle_and_drain()
 
     def _tuples_per_block(self) -> int:
         if not self.reader.entries:

@@ -10,6 +10,11 @@ PyTorch's ``DataLoader(num_workers=N)`` over an iterable dataset.
 
 The union of the workers' streams covers every tuple exactly once per
 epoch, and loading overlaps both training and the other workers' I/O.
+
+All worker streams share one :class:`~repro.core.stats.LoaderStats`, so the
+loader reports aggregate queue/stall/wait counters; abandoning iteration
+mid-epoch explicitly closes every per-worker stream, which joins every
+producer thread deterministically (see :mod:`repro.core.lifecycle`).
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from typing import Iterator
 from .dataloader import Batch, DataLoader
 from .dataset import CorgiPileDataset
 from .prefetch import PrefetchLoader
+from .stats import LoaderStats
 
 __all__ = ["MultiWorkerLoader"]
 
@@ -36,6 +42,7 @@ class MultiWorkerLoader:
         seed: int = 0,
         prefetch_depth: int = 2,
         drop_last: bool = False,
+        stats: LoaderStats | None = None,
     ):
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
@@ -44,6 +51,7 @@ class MultiWorkerLoader:
         self.batch_size = int(batch_size)
         self.drop_last = bool(drop_last)
         self.prefetch_depth = int(prefetch_depth)
+        self.stats = stats if stats is not None else LoaderStats("multiworker")
         self._workers = [
             CorgiPileDataset(
                 path,
@@ -51,6 +59,7 @@ class MultiWorkerLoader:
                 seed=seed,
                 worker_id=w,
                 n_workers=n_workers,
+                stats=self.stats,
             )
             for w in range(n_workers)
         ]
@@ -73,18 +82,26 @@ class MultiWorkerLoader:
                 PrefetchLoader(
                     DataLoader(worker, batch_size=self.batch_size, drop_last=self.drop_last),
                     depth=self.prefetch_depth,
+                    stats=self.stats,
+                    name=f"worker{index}",
                 )
             )
-            for worker in self._workers
+            for index, worker in enumerate(self._workers)
         ]
-        live = list(range(len(streams)))
-        while live:
-            for index in list(live):
-                batch = next(streams[index], None)
-                if batch is None:
-                    live.remove(index)
-                    continue
-                yield batch
+        try:
+            live = list(range(len(streams)))
+            while live:
+                for index in list(live):
+                    batch = next(streams[index], None)
+                    if batch is None:
+                        live.remove(index)
+                        continue
+                    yield batch
+        finally:
+            # Abandoned mid-epoch (or a consumer exception): close every
+            # per-worker generator, which cancels and joins its producer.
+            for stream in streams:
+                stream.close()
 
     def close(self) -> None:
         for worker in self._workers:

@@ -1,6 +1,6 @@
 """Threaded prefetching — real double buffering for the data-loading path.
 
-Section 6.3's double-buffering overlaps data loading with SGD compute using
+Section 6.3's double buffering overlaps data loading with SGD compute using
 two concurrent threads.  The analytic timing model covers the *simulated*
 engine; this module implements the mechanism for real on the PyTorch-style
 path: a background thread drives the wrapped iterable (e.g. a
@@ -8,71 +8,66 @@ path: a background thread drives the wrapped iterable (e.g. a
 :class:`~repro.core.dataset.CorgiPileDataset`) and pushes items into a
 bounded queue while the consumer trains on the previous items.
 
-Exceptions raised by the producer are re-raised in the consumer, and the
-producer thread shuts down cleanly if the consumer abandons iteration.
+The thread lifecycle is fully managed by
+:class:`~repro.core.lifecycle.ManagedProducer`: exceptions raised by the
+producer are re-raised in the consumer, terminal puts are cancellable, and
+every exit path — exhaustion, a consumer exception, or abandoning iteration
+mid-epoch — deterministically joins the producer thread (a zombie raises
+instead of leaking).  Hand-over timing flows into a
+:class:`~repro.core.stats.LoaderStats` for the observability layer.
 """
 
 from __future__ import annotations
 
-import queue
-import threading
 from typing import Generic, Iterable, Iterator, TypeVar
+
+from .lifecycle import END, Failure, ManagedProducer, ProducerChannel
+from .stats import LoaderStats
 
 __all__ = ["PrefetchLoader"]
 
 T = TypeVar("T")
 
-_END = object()
-
-
-class _Failure:
-    def __init__(self, error: BaseException):
-        self.error = error
-
 
 class PrefetchLoader(Generic[T]):
-    """Iterate ``source`` through a background producer thread.
+    """Iterate ``source`` through a managed background producer thread.
 
     ``depth`` bounds how far the producer may run ahead (two means classic
     double buffering: one item being consumed, one ready, one in flight).
     A fresh producer thread is started for every ``iter()`` so the loader
-    can drive one pass per epoch, like the DataLoader it wraps.
+    can drive one pass per epoch, like the DataLoader it wraps; ``stats``
+    (shared across epochs, and optionally across loaders) accumulates the
+    queue/stall/wait counters.
     """
 
-    def __init__(self, source: Iterable[T], depth: int = 2):
+    def __init__(
+        self,
+        source: Iterable[T],
+        depth: int = 2,
+        stats: LoaderStats | None = None,
+        name: str = "prefetch",
+    ):
         if depth < 1:
             raise ValueError("depth must be at least 1")
         self.source = source
         self.depth = int(depth)
+        self.stats = stats if stats is not None else LoaderStats(name)
+        self.name = name
 
     def __iter__(self) -> Iterator[T]:
-        items: queue.Queue = queue.Queue(maxsize=self.depth)
-        stop = threading.Event()
-
-        def produce() -> None:
-            try:
-                for item in self.source:
-                    while not stop.is_set():
-                        try:
-                            items.put(item, timeout=0.1)
-                            break
-                        except queue.Full:
-                            continue
-                    if stop.is_set():
-                        return
-                items.put(_END)
-            except BaseException as error:  # propagate to the consumer
-                items.put(_Failure(error))
-
-        producer = threading.Thread(target=produce, daemon=True, name="prefetch-producer")
-        producer.start()
-        try:
-            while True:
-                item = items.get()
-                if item is _END:
+        def produce(channel: ProducerChannel) -> None:
+            for item in self.source:
+                if not channel.put(item):
                     return
-                if isinstance(item, _Failure):
+
+        producer = ManagedProducer(
+            produce, depth=self.depth, name=f"{self.name}-producer", stats=self.stats
+        )
+        with producer:
+            while True:
+                item = producer.get()
+                if item is END:
+                    return
+                if isinstance(item, Failure):
                     raise item.error
                 yield item
-        finally:
-            stop.set()

@@ -31,7 +31,7 @@ from .systems import (
 )
 from .threaded import ThreadedTupleShuffleOperator
 from .timeline import Timeline, TimelinePoint
-from .timing import ComputeProfile, RuntimeContext
+from .timing import ComputeProfile, RuntimeContext, overlap_report
 
 __all__ = [
     "Catalog",
@@ -56,6 +56,7 @@ __all__ = [
     "SlidingWindowOperator",
     "MultiplexedReservoirOperator",
     "ThreadedTupleShuffleOperator",
+    "overlap_report",
     "PhysicalDesign",
     "advise",
     "recommend_block_size",

@@ -11,26 +11,33 @@ It is a drop-in replacement for
 same per-epoch tuple order given the same seed — verified by test), so the
 engine's statistical behaviour is identical; what changes is that filling
 genuinely overlaps consumption on a second OS thread.
+
+The writer thread rides on :class:`~repro.core.lifecycle.ManagedProducer`:
+``rescan()`` and ``close()`` cancel, drain, and join it deterministically
+(asserting it died — a zombie raises rather than leaking), the error-path
+terminal put is cancellable, and ``open()`` after ``close()`` restarts from
+epoch 0 so a reopened operator replays the first epoch's order instead of
+silently resuming mid-sequence.  Fill/drain counts and stall/wait times are
+recorded in a :class:`~repro.core.stats.LoaderStats` so benchmarks can
+report the *measured* loading/compute overlap next to the analytic
+:func:`~repro.core.buffer.pipelined_time` model.
 """
 
 from __future__ import annotations
 
-import queue
-import threading
-
 import numpy as np
 
 from ..core.buffer import ShuffleBuffer
+from ..core.lifecycle import END, Failure, ManagedProducer, ProducerChannel
+from ..core.stats import LoaderStats
 from ..storage.codec import TrainingTuple
 from .operators import PhysicalOperator
 
 __all__ = ["ThreadedTupleShuffleOperator"]
 
-_END = object()
-
 
 class ThreadedTupleShuffleOperator(PhysicalOperator):
-    """Double-buffered tuple shuffle with a real producer thread.
+    """Double-buffered tuple shuffle with a real, managed producer thread.
 
     The producer fills and shuffles buffers of ``buffer_tuples`` tuples and
     hands each completed (shuffled) buffer over a depth-1 queue — so at any
@@ -43,89 +50,79 @@ class ThreadedTupleShuffleOperator(PhysicalOperator):
         child: PhysicalOperator,
         buffer_tuples: int,
         seed: int = 0,
+        stats: LoaderStats | None = None,
     ):
         if buffer_tuples <= 0:
             raise ValueError("buffer_tuples must be positive")
         self.child = child
         self.buffer_tuples = int(buffer_tuples)
         self.seed = int(seed)
+        self.stats = stats if stats is not None else LoaderStats("tuple-shuffle")
         self._epoch = 0
-        self._queue: queue.Queue | None = None
-        self._producer: threading.Thread | None = None
-        self._stop = threading.Event()
-        self._error: BaseException | None = None
+        self._producer: ManagedProducer | None = None
         self._drained: list[TrainingTuple] = []
         self._slot = 0
         self._finished = False
 
     # ------------------------------------------------------------------
-    def _produce(self, epoch: int) -> None:
+    def _produce(self, channel: ProducerChannel, epoch: int) -> None:
         rng = np.random.default_rng(np.random.SeedSequence([self.seed, epoch, 7]))
-        try:
-            while not self._stop.is_set():
-                buffer: ShuffleBuffer[TrainingTuple] = ShuffleBuffer(self.buffer_tuples, rng)
-                while not buffer.full:
-                    record = self.child.next()
-                    if record is None:
-                        break
-                    buffer.add(record)
-                if len(buffer) == 0:
+        while not channel.cancelled:
+            buffer: ShuffleBuffer[TrainingTuple] = ShuffleBuffer(self.buffer_tuples, rng)
+            while not buffer.full:
+                if channel.cancelled:
+                    return
+                record = self.child.next()
+                if record is None:
                     break
-                batch = buffer.shuffle_and_drain()
-                while not self._stop.is_set():
-                    try:
-                        self._queue.put(batch, timeout=0.1)
-                        break
-                    except queue.Full:
-                        continue
-                if len(batch) < self.buffer_tuples:
-                    break  # child exhausted mid-fill
-            if not self._stop.is_set():
-                self._queue.put(_END)
-        except BaseException as error:
-            self._error = error
-            self._queue.put(_END)
+                buffer.add(record)
+            if len(buffer) == 0:
+                return
+            self.stats.record_buffer_filled(len(buffer))
+            batch = buffer.shuffle_and_drain()
+            if not channel.put(batch):
+                return
+            if len(batch) < self.buffer_tuples:
+                return  # child exhausted mid-fill
 
     def _start_producer(self) -> None:
-        self._queue = queue.Queue(maxsize=1)  # one buffer in flight + one consumed
-        self._stop.clear()
-        self._error = None
         self._drained = []
         self._slot = 0
         self._finished = False
-        self._producer = threading.Thread(
-            target=self._produce, args=(self._epoch,), daemon=True,
+        epoch = self._epoch
+
+        self._producer = ManagedProducer(
+            lambda channel: self._produce(channel, epoch),
+            depth=1,  # one buffer in flight + one consumed
             name="tuple-shuffle-writer",
-        )
-        self._producer.start()
+            stats=self.stats,
+        ).start()
 
     def _stop_producer(self) -> None:
-        if self._producer is not None and self._producer.is_alive():
-            self._stop.set()
-            # Unblock a producer waiting on a full queue.
-            try:
-                self._queue.get_nowait()
-            except queue.Empty:
-                pass
-            self._producer.join(timeout=5.0)
+        """Cancel + join the writer; ``ManagedProducer.stop`` asserts death."""
+        if self._producer is not None:
+            self._producer.stop()
         self._producer = None
 
     # ------------------------------------------------------------------
     def open(self) -> None:
         self.child.open()
+        # A reopened operator replays the first epoch, never a later one.
+        self._epoch = 0
         self._start_producer()
 
     def next(self) -> TrainingTuple | None:
         if self._finished:
             return None
         while self._slot >= len(self._drained):
-            batch = self._queue.get()
-            if batch is _END:
+            batch = self._producer.get()
+            if batch is END or isinstance(batch, Failure):
                 self._finished = True
-                if self._error is not None:
-                    error, self._error = self._error, None
-                    raise error
+                self._stop_producer()
+                if isinstance(batch, Failure):
+                    raise batch.error
                 return None
+            self.stats.record_buffer_drained(len(batch))
             self._drained = batch
             self._slot = 0
         record = self._drained[self._slot]

@@ -21,9 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.buffer import pipelined_time, serial_time
+from ..core.stats import LoaderStats
 from ..storage.iomodel import MEMORY, DeviceModel
 
-__all__ = ["ComputeProfile", "RuntimeContext"]
+__all__ = ["ComputeProfile", "RuntimeContext", "overlap_report"]
 
 
 @dataclass(frozen=True)
@@ -112,3 +113,30 @@ class RuntimeContext:
         self._fill_io.clear()
         self._fill_compute.clear()
         return wall
+
+
+def overlap_report(stats: "LoaderStats | dict", digits: int = 6) -> dict:
+    """Flatten a loader's *measured* overlap counters into one report row.
+
+    The analytic model above predicts double-buffered wall-clock from
+    per-fill I/O and compute; the real threaded loaders measure the same
+    phenomenon directly (producer stall = loading hidden behind compute,
+    consumer wait = compute starved by loading).  This helper reduces a
+    :class:`~repro.core.stats.LoaderStats` (or its :meth:`as_dict`
+    snapshot) to the row shape the benchmarks and CLI print, so the
+    double-buffering figures can show measured overlap next to the analytic
+    ``pipelined_time``.
+    """
+    d = stats.as_dict() if isinstance(stats, LoaderStats) else dict(stats)
+    return {
+        "loader": d.get("name", "loader"),
+        "items": d.get("items_consumed", 0),
+        "buffers_filled": d.get("buffers_filled", 0),
+        "buffers_drained": d.get("buffers_drained", 0),
+        "max_queue_depth": d.get("max_queue_depth", 0),
+        "producer_stall_s": round(float(d.get("producer_stall_s", 0.0)), digits),
+        "consumer_wait_s": round(float(d.get("consumer_wait_s", 0.0)), digits),
+        "overlap_fraction": round(float(d.get("overlap_fraction", 1.0)), 4),
+        "threads_started": d.get("threads_started", 0),
+        "live_threads": d.get("live_threads", 0),
+    }

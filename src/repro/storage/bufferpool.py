@@ -26,27 +26,31 @@ class BufferPool:
             raise ValueError("capacity_pages must be positive")
         self.heap = heap
         self.capacity_pages = capacity_pages
-        self._cache: OrderedDict[int, list[TrainingTuple]] = OrderedDict()
+        self._cache: OrderedDict[int, tuple[TrainingTuple, ...]] = OrderedDict()
         self.hits = 0
         self.misses = 0
 
-    def get_page(self, page_id: int) -> list[TrainingTuple]:
+    def get_page(self, page_id: int) -> tuple[TrainingTuple, ...]:
         """Return the decoded tuples of ``page_id``, via the cache."""
         return self.get_page_traced(page_id)[0]
 
-    def get_page_traced(self, page_id: int) -> tuple[list[TrainingTuple], bool]:
+    def get_page_traced(self, page_id: int) -> tuple[tuple[TrainingTuple, ...], bool]:
         """Like :meth:`get_page`, also reporting whether it was a cache hit.
 
         The hit flag lets callers charge the read at memory speed instead of
         device speed (the experiments' "cached after the first epoch"
         behaviour on small datasets).
+
+        Pages are handed out as immutable tuples: the cached entry is shared
+        by every reader, so a mutable list would let one caller corrupt the
+        page for all later readers.
         """
         if page_id in self._cache:
             self._cache.move_to_end(page_id)
             self.hits += 1
             return self._cache[page_id], True
         self.misses += 1
-        tuples = self.heap.read_page(page_id)
+        tuples = tuple(self.heap.read_page(page_id))
         self._cache[page_id] = tuples
         if len(self._cache) > self.capacity_pages:
             self._cache.popitem(last=False)

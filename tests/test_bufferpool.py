@@ -76,3 +76,22 @@ class TestBufferPool:
         pool = BufferPool(heap, capacity_pages=4)
         tuples = pool.get_page(1)
         assert tuples[0].tuple_id == heap.read_page(1)[0].tuple_id
+
+    def test_handed_out_page_is_immutable(self, heap):
+        """Regression: callers must not be able to corrupt the shared cache."""
+        pool = BufferPool(heap, capacity_pages=4)
+        page = pool.get_page(0)
+        assert isinstance(page, tuple)
+        with pytest.raises((TypeError, AttributeError)):
+            page[0] = None  # type: ignore[index]
+        with pytest.raises(AttributeError):
+            page.append(None)  # type: ignore[attr-defined]
+
+    def test_cache_unaffected_by_reader_copies(self, heap):
+        pool = BufferPool(heap, capacity_pages=4)
+        first = pool.get_page(0)
+        mutated = list(first)
+        mutated.clear()  # a caller mangling its own copy...
+        again = pool.get_page(0)
+        assert len(again) == len(first)  # ...leaves the cached page intact
+        assert again[0].tuple_id == heap.read_page(0)[0].tuple_id

@@ -99,3 +99,31 @@ class TestExplainAndBench:
         assert main(["bench-io", "--device", "ssd"]) == 0
         out = capsys.readouterr().out
         assert "random MB/s" in out
+
+    def test_loader_stats(self, capsys):
+        import threading
+
+        baseline = threading.active_count()
+        assert (
+            main(
+                [
+                    "loader-stats",
+                    "--dataset",
+                    "epsilon",
+                    "--epochs",
+                    "1",
+                    "--workers",
+                    "2",
+                    "--batch-size",
+                    "64",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "loader observability" in out
+        assert "prefetch" in out
+        assert "multiworker" in out
+        assert "threaded-tuple-shuffle" in out
+        assert "overlap_fraction" in out
+        assert threading.active_count() == baseline  # every loader thread joined

@@ -44,6 +44,23 @@ class TestShuffleBuffer:
         with pytest.raises(ValueError):
             ShuffleBuffer(0, np.random.default_rng(0))
 
+    def test_fill_from_full_buffer_does_not_overfill(self):
+        """Regression: fill_from on a full buffer must not exceed capacity."""
+        buf: ShuffleBuffer[int] = ShuffleBuffer(3, np.random.default_rng(0))
+        assert buf.fill_from(iter(range(3))) == 3
+        assert buf.full
+        assert buf.fill_from(iter(range(100))) == 0
+        assert len(buf) == 3
+
+    def test_fill_from_consumes_only_stored_items(self):
+        buf: ShuffleBuffer[int] = ShuffleBuffer(5, np.random.default_rng(0))
+        buf.add(0)
+        source = iter(range(10, 20))
+        assert buf.fill_from(source) == 4
+        assert len(buf) == 5
+        # The first unstored item is still available from the source.
+        assert next(source) == 14
+
 
 class TestPipelineTiming:
     def test_serial_is_sum(self):
