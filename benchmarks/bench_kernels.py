@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Perf-regression harness for the vectorized block-fused execution engine.
+
+Times the scalar (per-tuple) and fused (vectorized) implementations of the
+two hot paths — page decode and one standard-SGD epoch — and records
+tuples/sec into ``benchmarks/results/bench_kernels.json`` plus the repo-root
+``BENCH_kernels.json`` snapshot that travels with the PR.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py --quick          # default
+    PYTHONPATH=src python benchmarks/bench_kernels.py --full --seed 1
+    PYTHONPATH=src python benchmarks/bench_kernels.py --quick --check  # CI gate
+
+``--check`` exits non-zero if any fused kernel is slower than its scalar
+baseline (``summary.min_speedup < 1``) — the CI perf-smoke job runs this so
+a regression in the fused paths fails the build instead of silently
+shipping.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench import format_table, kernel_bench_rows, run_kernel_bench  # noqa: E402
+
+RESULTS_PATH = Path(__file__).resolve().parent / "results" / "bench_kernels.json"
+SNAPSHOT_PATH = REPO_ROOT / "BENCH_kernels.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--quick", action="store_true", default=True,
+        help="small workloads, seconds to run (default)",
+    )
+    mode.add_argument(
+        "--full", action="store_true",
+        help="larger workloads for more stable numbers",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed (default 0)")
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="best-of-N timing repeats (default 3)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero if any fused kernel is slower than scalar",
+    )
+    parser.add_argument(
+        "--no-snapshot", action="store_true",
+        help="skip writing the repo-root BENCH_kernels.json",
+    )
+    args = parser.parse_args(argv)
+
+    doc = run_kernel_bench(quick=not args.full, seed=args.seed, repeats=args.repeats)
+    title = f"kernel bench ({doc['config']}, seed={args.seed}, best of {args.repeats})"
+    print(format_table(kernel_bench_rows(doc), title=title))
+    summary = doc["summary"]
+    print(
+        f"epoch speedup (sparse): {summary['epoch_speedup']:.2f}x   "
+        f"dense: {summary['epoch_dense_speedup']:.2f}x   "
+        f"decode: {summary['decode_speedup']:.2f}x"
+    )
+
+    payload = json.dumps(doc, indent=2) + "\n"
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(payload)
+    print(f"wrote {RESULTS_PATH}")
+    if not args.no_snapshot:
+        SNAPSHOT_PATH.write_text(payload)
+        print(f"wrote {SNAPSHOT_PATH}")
+
+    if args.check and summary["min_speedup"] < 1.0:
+        print(
+            f"PERF REGRESSION: min fused/scalar speedup "
+            f"{summary['min_speedup']:.2f}x < 1.0x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,7 +1,9 @@
-"""Benchmark harness: sweep runners and result reporting."""
+"""Benchmark harness: sweep runners, kernel microbenchmarks, result reporting."""
 
+from .kernelbench import FULL_SIZES, QUICK_SIZES, kernel_bench_rows, run_kernel_bench
 from .reporting import format_curve, format_table, print_table, save_records
 from .runners import ConvergenceSweep, history_row, run_convergence_sweep
+from .timing import ThroughputRecord, compare_throughput, time_best
 
 __all__ = [
     "format_table",
@@ -11,4 +13,11 @@ __all__ = [
     "ConvergenceSweep",
     "run_convergence_sweep",
     "history_row",
+    "time_best",
+    "ThroughputRecord",
+    "compare_throughput",
+    "run_kernel_bench",
+    "kernel_bench_rows",
+    "QUICK_SIZES",
+    "FULL_SIZES",
 ]

@@ -1,0 +1,208 @@
+"""Scalar-vs-fused microbenchmarks for the vectorized execution engine.
+
+Four workloads cover the two hot paths the block-fused engine vectorises:
+
+* ``decode-dense`` / ``decode-sparse`` — parsing one page worth of encoded
+  tuples: repeated :func:`~repro.storage.codec.decode_tuple` (scalar) vs one
+  bulk :func:`~repro.storage.codec.decode_page` (fused);
+* ``epoch-dense-lr`` / ``epoch-sparse-lr`` — one standard-SGD epoch of
+  logistic regression over a shuffled visit order: the per-tuple
+  ``step_example`` reference loop (scalar) vs the models' fused
+  ``step_block`` kernel.  ``epoch-sparse-lr`` is the headline quick config —
+  a criteo-style high-dimensional sparse GLM with L2, where the scalar
+  path's eager O(d) decay and ``np.add.at`` are most punishing.
+
+``run_kernel_bench`` returns a JSON-ready document; the
+``benchmarks/bench_kernels.py`` entry point persists it to
+``benchmarks/results/`` and the repo-root ``BENCH_kernels.json`` so the perf
+trajectory of this hot path is recorded per PR (and asserted in CI).
+"""
+
+from __future__ import annotations
+
+import platform
+
+import numpy as np
+
+from ..data.sparse import SparseMatrix, SparseRow
+from ..ml.models.base import SupervisedModel
+from ..ml.models.linear import LogisticRegression
+from ..storage.codec import TupleSchema, decode_page, decode_tuple, encode_tuple
+from .timing import ThroughputRecord, compare_throughput
+
+__all__ = ["QUICK_SIZES", "FULL_SIZES", "run_kernel_bench", "kernel_bench_rows"]
+
+#: Workload sizes: (decode tuples, decode dense d, decode sparse d/nnz,
+#: epoch tuples, epoch dense d, epoch sparse d/nnz).
+QUICK_SIZES = {
+    "decode_tuples": 512,
+    "decode_dense_d": 32,
+    "decode_sparse_d": 4096,
+    "decode_sparse_nnz": 10,
+    "epoch_tuples": 3000,
+    "epoch_dense_d": 128,
+    "epoch_sparse_d": 8192,
+    "epoch_sparse_nnz": 8,
+}
+
+FULL_SIZES = {
+    "decode_tuples": 2048,
+    "decode_dense_d": 64,
+    "decode_sparse_d": 65536,
+    "decode_sparse_nnz": 16,
+    "epoch_tuples": 20000,
+    "epoch_dense_d": 256,
+    "epoch_sparse_d": 65536,
+    "epoch_sparse_nnz": 16,
+}
+
+_LR = 0.05
+_L2 = 1e-4
+
+
+def _sparse_matrix(rng: np.random.Generator, n: int, d: int, nnz: int) -> SparseMatrix:
+    rows = [
+        SparseRow(
+            np.sort(rng.choice(d, size=nnz, replace=False)),
+            rng.standard_normal(nnz),
+            d,
+        )
+        for _ in range(n)
+    ]
+    return SparseMatrix.from_rows(rows, d)
+
+
+def _bench_decode_dense(sizes: dict, rng: np.random.Generator, repeats: int) -> ThroughputRecord:
+    n, d = sizes["decode_tuples"], sizes["decode_dense_d"]
+    schema = TupleSchema(d)
+    buffer = b"".join(
+        encode_tuple(i, 1.0, rng.standard_normal(d)) for i in range(n)
+    )
+
+    def scalar() -> None:
+        offset = 0
+        for _ in range(n):
+            _, offset = decode_tuple(buffer, offset, schema)
+
+    return compare_throughput(
+        "decode-dense", n, scalar, lambda: decode_page(buffer, n, schema), repeats
+    )
+
+
+def _bench_decode_sparse(sizes: dict, rng: np.random.Generator, repeats: int) -> ThroughputRecord:
+    n, d, nnz = (
+        sizes["decode_tuples"],
+        sizes["decode_sparse_d"],
+        sizes["decode_sparse_nnz"],
+    )
+    schema = TupleSchema(d, sparse=True)
+    buffer = b"".join(
+        encode_tuple(
+            i,
+            1.0,
+            SparseRow(
+                np.sort(rng.choice(d, size=nnz, replace=False)),
+                rng.standard_normal(nnz),
+                d,
+            ),
+        )
+        for i in range(n)
+    )
+
+    def scalar() -> None:
+        offset = 0
+        for _ in range(n):
+            _, offset = decode_tuple(buffer, offset, schema)
+
+    return compare_throughput(
+        "decode-sparse", n, scalar, lambda: decode_page(buffer, n, schema), repeats
+    )
+
+
+def _epoch_record(
+    name: str,
+    X,
+    y: np.ndarray,
+    order: np.ndarray,
+    d: int,
+    repeats: int,
+) -> ThroughputRecord:
+    n = int(order.size)
+
+    def scalar() -> None:
+        model = LogisticRegression(d, l2=_L2)
+        # Unbound call = the per-tuple step_example reference loop.
+        SupervisedModel.step_block(model, X, y, _LR, order=order)
+
+    def fused() -> None:
+        model = LogisticRegression(d, l2=_L2)
+        model.step_block(X, y, _LR, order=order)
+
+    return compare_throughput(name, n, scalar, fused, repeats)
+
+
+def _bench_epoch_dense(sizes: dict, rng: np.random.Generator, repeats: int) -> ThroughputRecord:
+    n, d = sizes["epoch_tuples"], sizes["epoch_dense_d"]
+    X = rng.standard_normal((n, d))
+    y = np.where(rng.random(n) < 0.5, -1.0, 1.0)
+    return _epoch_record("epoch-dense-lr", X, y, rng.permutation(n), d, repeats)
+
+
+def _bench_epoch_sparse(sizes: dict, rng: np.random.Generator, repeats: int) -> ThroughputRecord:
+    n, d, nnz = (
+        sizes["epoch_tuples"],
+        sizes["epoch_sparse_d"],
+        sizes["epoch_sparse_nnz"],
+    )
+    X = _sparse_matrix(rng, n, d, nnz)
+    y = np.where(rng.random(n) < 0.5, -1.0, 1.0)
+    return _epoch_record("epoch-sparse-lr", X, y, rng.permutation(n), d, repeats)
+
+
+def run_kernel_bench(quick: bool = True, seed: int = 0, repeats: int = 3) -> dict:
+    """Run all scalar-vs-fused workloads; return a JSON-ready document.
+
+    The summary's ``epoch_speedup`` is the headline quick-config number (the
+    sparse GLM epoch); ``min_speedup`` is the regression gate CI asserts
+    stays ≥ 1.
+    """
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    rng = np.random.default_rng(seed)
+    records = [
+        _bench_decode_dense(sizes, rng, repeats),
+        _bench_decode_sparse(sizes, rng, repeats),
+        _bench_epoch_dense(sizes, rng, repeats),
+        _bench_epoch_sparse(sizes, rng, repeats),
+    ]
+    by_name = {r.name: r for r in records}
+    return {
+        "config": "quick" if quick else "full",
+        "seed": seed,
+        "repeats": repeats,
+        "sizes": dict(sizes),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "records": [r.to_dict() for r in records],
+        "summary": {
+            "epoch_speedup": by_name["epoch-sparse-lr"].speedup,
+            "epoch_dense_speedup": by_name["epoch-dense-lr"].speedup,
+            "decode_speedup": min(
+                by_name["decode-dense"].speedup, by_name["decode-sparse"].speedup
+            ),
+            "min_speedup": min(r.speedup for r in records),
+        },
+    }
+
+
+def kernel_bench_rows(doc: dict) -> list[dict]:
+    """Flatten a bench document into printable table rows."""
+    return [
+        {
+            "kernel": r["name"],
+            "tuples": r["n_tuples"],
+            "scalar t/s": round(r["scalar_tuples_per_s"]),
+            "fused t/s": round(r["fused_tuples_per_s"]),
+            "speedup": round(r["speedup"], 2),
+        }
+        for r in doc["records"]
+    ]

@@ -11,6 +11,8 @@ Commands
 ``bench-io``  print the Figure 20 random-vs-sequential throughput curve
 ``loader-stats``  drive the concurrent loaders and print their
               observability counters (queue depth, stall/wait, overlap)
+``kernel-bench``  time the scalar vs fused decode/SGD kernels and print
+              a tuples/sec throughput table
 """
 
 from __future__ import annotations
@@ -116,6 +118,19 @@ def build_parser() -> argparse.ArgumentParser:
     loader.add_argument("--buffer-tuples", type=int, default=200)
     loader.add_argument("--prefetch-depth", type=int, default=2)
     loader.add_argument("--seed", type=int, default=0)
+
+    kernel = sub.add_parser(
+        "kernel-bench",
+        help="time the scalar vs fused decode/SGD kernels",
+    )
+    kernel.add_argument(
+        "--full",
+        action="store_true",
+        help="larger workloads for more stable numbers (default: quick)",
+    )
+    kernel.add_argument("--seed", type=int, default=0)
+    kernel.add_argument("--repeats", type=int, default=3, help="best-of-N repeats")
+    kernel.add_argument("--json", help="also write the full bench document to this path")
 
     return parser
 
@@ -334,6 +349,29 @@ def _cmd_loader_stats(args) -> int:
     return 0
 
 
+def _cmd_kernel_bench(args) -> int:
+    """Time scalar vs fused kernels and print the throughput table."""
+    import json
+
+    from .bench import kernel_bench_rows, run_kernel_bench
+
+    doc = run_kernel_bench(quick=not args.full, seed=args.seed, repeats=args.repeats)
+    title = f"kernel bench ({doc['config']}, seed={args.seed}, best of {args.repeats})"
+    print(format_table(kernel_bench_rows(doc), title=title))
+    summary = doc["summary"]
+    print(
+        f"\nepoch speedup (sparse): {summary['epoch_speedup']:.2f}x   "
+        f"dense: {summary['epoch_dense_speedup']:.2f}x   "
+        f"decode: {summary['decode_speedup']:.2f}x"
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "generate": _cmd_generate,
@@ -342,6 +380,7 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "bench-io": _cmd_bench_io,
     "loader-stats": _cmd_loader_stats,
+    "kernel-bench": _cmd_kernel_bench,
 }
 
 

@@ -25,7 +25,7 @@ __all__ = ["SparseMatrix", "SparseRow"]
 class SparseRow:
     """A single sparse example: parallel index and value arrays."""
 
-    __slots__ = ("indices", "values", "n_features")
+    __slots__ = ("indices", "values", "n_features", "_unique")
 
     def __init__(self, indices: np.ndarray, values: np.ndarray, n_features: int):
         self.indices = np.asarray(indices, dtype=np.int64)
@@ -35,18 +35,42 @@ class SparseRow:
                 f"indices/values length mismatch: {self.indices.shape} vs {self.values.shape}"
             )
         self.n_features = int(n_features)
+        # Detected once at construction: duplicate-free index arrays take the
+        # direct fancy-index ``+=`` path in add_into; ``np.add.at`` stays as
+        # the duplicate-safe fallback.  Rows decoded from the codec / CSR
+        # slices are strictly sorted, so the diff check is the common case.
+        n = self.indices.size
+        if n <= 1:
+            self._unique = True
+        else:
+            self._unique = bool(np.all(np.diff(self.indices) > 0)) or (
+                np.unique(self.indices).size == n
+            )
 
     @property
     def nnz(self) -> int:
         return int(self.indices.size)
+
+    @property
+    def has_unique_indices(self) -> bool:
+        """True when no feature index repeats (fast scatter-add is safe)."""
+        return self._unique
 
     def dot(self, w: np.ndarray) -> float:
         """Inner product with a dense weight vector."""
         return float(self.values @ w[self.indices])
 
     def add_into(self, out: np.ndarray, scale: float) -> None:
-        """``out[indices] += scale * values`` (scatter-add)."""
-        np.add.at(out, self.indices, scale * self.values)
+        """``out[indices] += scale * values`` (scatter-add).
+
+        Duplicate-free rows (the overwhelmingly common case) use direct
+        fancy-index ``+=``; rows with repeated indices fall back to the
+        slower but duplicate-accumulating ``np.add.at``.
+        """
+        if self._unique:
+            out[self.indices] += scale * self.values
+        else:
+            np.add.at(out, self.indices, scale * self.values)
 
     def to_dense(self) -> np.ndarray:
         dense = np.zeros(self.n_features, dtype=np.float64)
@@ -157,9 +181,11 @@ class SparseMatrix:
         """Transposed product ``X.T @ v`` returning a dense vector."""
         v = np.asarray(v, dtype=np.float64)
         row_ids = np.repeat(np.arange(self.n_rows), np.diff(self.indptr))
-        out = np.zeros(self.n_cols, dtype=np.float64)
-        np.add.at(out, self.indices, self.data * v[row_ids])
-        return out
+        # bincount is a segment-sum over column ids — same accumulation order
+        # as np.add.at but without its per-element dispatch overhead.
+        return np.bincount(
+            self.indices, weights=self.data * v[row_ids], minlength=self.n_cols
+        )
 
     def take_rows(self, order: np.ndarray) -> "SparseMatrix":
         """Return a new matrix with rows permuted/selected by ``order``."""

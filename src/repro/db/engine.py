@@ -268,6 +268,7 @@ class MiniDB:
             epochs=query.max_epoch_num,
             batch_size=query.batch_size,
             optimizer=optimizer,
+            fused=query.fused,
         )
 
         timeline = Timeline(

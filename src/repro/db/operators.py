@@ -307,11 +307,15 @@ class SGDOperator:
         epochs: int,
         batch_size: int = 1,
         optimizer=None,
+        fused: bool = False,
+        fuse_chunk: int = 256,
     ):
         if epochs <= 0:
             raise ValueError("epochs must be positive")
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if fuse_chunk <= 0:
+            raise ValueError("fuse_chunk must be positive")
         self.child = child
         self.ctx = ctx
         self.model = model
@@ -319,6 +323,12 @@ class SGDOperator:
         self.epochs = int(epochs)
         self.batch_size = int(batch_size)
         self.optimizer = optimizer
+        # Fused mode collates pulled tuples into runs of ``fuse_chunk`` and
+        # applies the models' vectorised ``step_block`` kernel — still one
+        # model update per tuple in pipeline order, so the visit-order
+        # semantics of the Volcano plan are unchanged.
+        self.fused = bool(fused)
+        self.fuse_chunk = int(fuse_chunk)
         self.epoch_wall_times: list[float] = []
 
     def _run_epoch(self, lr: float) -> int:
@@ -326,6 +336,19 @@ class SGDOperator:
 
         count = 0
         if self.batch_size == 1 and self.optimizer is None:
+            if self.fused:
+                pending: list[TrainingTuple] = []
+                for record in self.child:
+                    pending.append(record)
+                    count += 1
+                    if len(pending) >= self.fuse_chunk:
+                        run = collate(pending)
+                        self.model.step_block(run.X, run.y, lr)
+                        pending = []
+                if pending:
+                    run = collate(pending)
+                    self.model.step_block(run.X, run.y, lr)
+                return count
             for record in self.child:
                 self.model.step_example(record.features, record.label, lr)
                 count += 1

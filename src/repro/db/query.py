@@ -64,6 +64,8 @@ class TrainQuery:
     strategy: str = "corgipile"
     seed: int = 0
     double_buffer: bool = True
+    #: Route per-tuple SGD through the fused step_block kernels.
+    fused: bool = False
     extra: dict = field(default_factory=dict)
 
 

@@ -1,5 +1,6 @@
 """From-scratch NumPy machine learning: losses, models, optimisers, trainer."""
 
+from .kernels import csr_rows_unique, glm_epoch_dense, glm_epoch_sparse
 from .losses import HingeLoss, LogisticLoss, ScalarLoss, SquaredLoss
 from .metrics import accuracy, r_squared, top_k_accuracy
 from .models import (
@@ -19,6 +20,9 @@ from .tuning import GridResult, SeedStats, grid_search, multi_seed
 from .trainer import ConvergenceHistory, EarlyStopping, EpochRecord, Trainer, fixed_order_source
 
 __all__ = [
+    "glm_epoch_dense",
+    "glm_epoch_sparse",
+    "csr_rows_unique",
     "ScalarLoss",
     "LogisticLoss",
     "HingeLoss",

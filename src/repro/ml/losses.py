@@ -9,6 +9,7 @@ higgs/criteo-style data).
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 
 import numpy as np
@@ -38,6 +39,14 @@ class ScalarLoss(ABC):
     def dloss_dz(self, z: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Element-wise derivative with respect to ``z``."""
 
+    def dloss_dz_scalar(self, z: float, y: float) -> float:
+        """Scalar ``dL/dz`` without numpy boxing (for the fused SGD kernels).
+
+        Subclasses override with pure-Python arithmetic mirroring
+        :meth:`dloss_dz` exactly; the default routes through the array path.
+        """
+        return float(self.dloss_dz(z, y))
+
     def mean_value(self, z: np.ndarray, y: np.ndarray) -> float:
         return float(np.mean(self.value(np.asarray(z), np.asarray(y))))
 
@@ -57,6 +66,20 @@ class LogisticLoss(ScalarLoss):
         margin = y * np.asarray(z)
         return -y * _sigmoid(-margin)
 
+    def dloss_dz_scalar(self, z: float, y: float) -> float:
+        # Mirrors _sigmoid's stable branches (including the ±500 clip).
+        t = -(y * z)
+        if t >= 0:
+            if t > 500.0:
+                t = 500.0
+            sig = 1.0 / (1.0 + math.exp(-t))
+        else:
+            if t < -500.0:
+                t = -500.0
+            e = math.exp(t)
+            sig = e / (1.0 + e)
+        return -y * sig
+
 
 class HingeLoss(ScalarLoss):
     """``max(0, 1 - y z)`` for labels in {-1, +1} (linear SVM)."""
@@ -72,6 +95,9 @@ class HingeLoss(ScalarLoss):
         margin = y * np.asarray(z)
         return np.where(margin < 1.0, -y, 0.0)
 
+    def dloss_dz_scalar(self, z: float, y: float) -> float:
+        return -y if y * z < 1.0 else 0.0
+
 
 class SquaredLoss(ScalarLoss):
     """``0.5 (z - y)²`` (linear regression)."""
@@ -84,3 +110,6 @@ class SquaredLoss(ScalarLoss):
 
     def dloss_dz(self, z, y):
         return np.asarray(z) - np.asarray(y)
+
+    def dloss_dz_scalar(self, z: float, y: float) -> float:
+        return z - y

@@ -58,6 +58,37 @@ class SupervisedModel(ABC):
         for key, grad in grads.items():
             self.params[key] -= lr * grad
 
+    def step_block(
+        self,
+        X: FeatureMatrix,
+        y: np.ndarray,
+        lr: float,
+        order: np.ndarray | None = None,
+    ) -> None:
+        """Per-tuple SGD over the rows of ``X`` in visit order.
+
+        One model update per tuple, visiting rows in ``order`` (sequential
+        when omitted) — semantically identical to calling
+        :meth:`step_example` per row.  This default *is* that reference
+        loop (with the per-tuple boxing hoisted); GLMs override it with the
+        fused kernels in :mod:`repro.ml.kernels`.
+        """
+        from ...data.sparse import SparseMatrix
+
+        y = np.asarray(y, dtype=np.float64)
+        positions = (
+            range(y.size) if order is None else np.asarray(order, dtype=np.int64).tolist()
+        )
+        labels = y.tolist()
+        if isinstance(X, SparseMatrix):
+            row = X.row
+            for i in positions:
+                self.step_example(row(i), labels[i], lr)
+        else:
+            X = np.asarray(X, dtype=np.float64)
+            for i in positions:
+                self.step_example(X[i], labels[i], lr)
+
     def apply_gradient(self, grads: Params, lr: float) -> None:
         for key, grad in grads.items():
             self.params[key] -= lr * grad

@@ -14,6 +14,7 @@ import numpy as np
 
 from ...data.dataset import FeatureMatrix
 from ...data.sparse import SparseMatrix, SparseRow
+from ..kernels import glm_epoch_dense, glm_epoch_sparse
 from ..losses import HingeLoss, LogisticLoss, ScalarLoss, SquaredLoss
 from .base import Params, SupervisedModel
 
@@ -111,6 +112,56 @@ class GeneralizedLinearModel(SupervisedModel):
                 w -= (lr * coef) * x
         if self.fit_intercept and coef != 0.0:
             self._params["b"][0] -= lr * coef
+
+    def step_block(
+        self,
+        X: FeatureMatrix,
+        y: np.ndarray,
+        lr: float,
+        order: np.ndarray | None = None,
+    ) -> None:
+        """Fused per-tuple SGD over ``X`` rows in visit order.
+
+        Same update-per-tuple semantics as repeated :meth:`step_example`
+        (enforced to 1e-9 by test), executed by the vectorized kernels in
+        :mod:`repro.ml.kernels` (lazy-L2 scaling, scalar loss derivatives,
+        duplicate-free scatter-add fast path).
+        """
+        y = np.asarray(y, dtype=np.float64)
+        order = (
+            np.arange(y.size, dtype=np.int64)
+            if order is None
+            else np.asarray(order, dtype=np.int64)
+        )
+        w = self._params["w"]
+        b = float(self._params["b"][0])
+        if isinstance(X, SparseMatrix):
+            b = glm_epoch_sparse(
+                w,
+                b,
+                self.loss_fn,
+                X.indptr,
+                X.indices,
+                X.data,
+                y,
+                order,
+                lr,
+                self.l2,
+                self.fit_intercept,
+            )
+        else:
+            b = glm_epoch_dense(
+                w,
+                b,
+                self.loss_fn,
+                np.asarray(X, dtype=np.float64),
+                y,
+                order,
+                lr,
+                self.l2,
+                self.fit_intercept,
+            )
+        self._params["b"][0] = b
 
 
 class LogisticRegression(GeneralizedLinearModel):

@@ -32,6 +32,7 @@ def train_streaming(
     schedule=None,
     optimizer: Optimizer | None = None,
     per_tuple: bool = False,
+    fused: bool = False,
     train_eval: Dataset | None = None,
     test: Dataset | None = None,
     prefetch_depth: int = 0,
@@ -41,10 +42,13 @@ def train_streaming(
 
     ``per_tuple=True`` applies one update per tuple inside each batch (the
     standard-SGD mode); otherwise each batch is one (mini-batch) step via
-    ``optimizer`` (plain SGD by default).  ``prefetch_depth > 0`` wraps the
-    loader in a background :class:`~repro.core.prefetch.PrefetchLoader`.
-    Loss/score are evaluated on ``train_eval``/``test`` when given; without
-    ``train_eval`` the loss column is NaN (nothing is materialised).
+    ``optimizer`` (plain SGD by default).  ``fused=True`` routes the
+    per-tuple updates through the models' ``step_block`` kernels (same
+    in-batch visit order, one update per tuple).  ``prefetch_depth > 0``
+    wraps the loader in a background
+    :class:`~repro.core.prefetch.PrefetchLoader`.  Loss/score are evaluated
+    on ``train_eval``/``test`` when given; without ``train_eval`` the loss
+    column is NaN (nothing is materialised).
     """
     if epochs <= 0:
         raise ValueError("epochs must be positive")
@@ -66,13 +70,18 @@ def train_streaming(
             if classification_int_labels and not per_tuple and _looks_multiclass(model):
                 y = y.astype(np.int64)
             if per_tuple:
-                from ..data.sparse import SparseMatrix
+                if fused:
+                    model.step_block(batch.X, batch.y, lr)
+                else:
+                    from ..data.sparse import SparseMatrix
 
-                for i in range(len(batch)):
-                    features = (
-                        batch.X.row(i) if isinstance(batch.X, SparseMatrix) else batch.X[i]
-                    )
-                    model.step_example(features, float(batch.y[i]), lr)
+                    labels = np.asarray(batch.y, dtype=np.float64).tolist()
+                    if isinstance(batch.X, SparseMatrix):
+                        for i in range(len(batch)):
+                            model.step_example(batch.X.row(i), labels[i], lr)
+                    else:
+                        for i in range(len(batch)):
+                            model.step_example(batch.X[i], labels[i], lr)
             else:
                 grads = model.gradient(batch.X, y)
                 optimizer.step(grads, lr)

@@ -166,6 +166,7 @@ class Trainer:
         test: Dataset | None = None,
         early_stopping: EarlyStopping | None = None,
         callbacks: list | None = None,
+        fused: bool = False,
     ):
         if epochs <= 0:
             raise ValueError("epochs must be positive")
@@ -182,6 +183,10 @@ class Trainer:
             self.optimizer = SGD(model)
         self.test_set = test
         self.early_stopping = early_stopping
+        # Fused mode routes the per-tuple epoch through the models'
+        # step_block kernels (same visit order and update-per-tuple
+        # semantics; mini-batch mode is already vectorised and unaffected).
+        self.fused = bool(fused)
         # Each callback is called as callback(epoch, model, record) after
         # the end-of-epoch evaluation (e.g. theory trackers, custom logs).
         self.callbacks = list(callbacks or [])
@@ -215,7 +220,10 @@ class Trainer:
     # ------------------------------------------------------------------
     def _run_epoch(self, order: np.ndarray, lr: float) -> int:
         if self.batch_size == 1 and self.optimizer is None:
-            self._per_tuple_epoch(order, lr)
+            if self.fused:
+                self._fused_epoch(order, lr)
+            else:
+                self._per_tuple_epoch(order, lr)
         else:
             self._mini_batch_epoch(order, lr)
         return int(order.size)
@@ -223,12 +231,25 @@ class Trainer:
     def _per_tuple_epoch(self, order: np.ndarray, lr: float) -> None:
         model = self.model
         X, y = self.train_set.X, self.train_set.y
+        # Convert labels/indices to native Python scalars once per epoch so
+        # the inner loop carries no per-tuple float()/int() boxing.
+        labels = np.asarray(y, dtype=np.float64).tolist()
+        positions = order.tolist()
         if isinstance(X, SparseMatrix):
-            for i in order:
-                model.step_example(X.row(int(i)), float(y[i]), lr)
+            row = X.row
+            for i in positions:
+                model.step_example(row(i), labels[i], lr)
         else:
-            for i in order:
-                model.step_example(X[i], float(y[i]), lr)
+            for i in positions:
+                model.step_example(X[i], labels[i], lr)
+
+    def _fused_epoch(self, order: np.ndarray, lr: float) -> None:
+        self.model.step_block(
+            self.train_set.X,
+            np.asarray(self.train_set.y, dtype=np.float64),
+            lr,
+            order=order,
+        )
 
     def _mini_batch_epoch(self, order: np.ndarray, lr: float) -> None:
         X, y = self.train_set.X, self.train_set.y

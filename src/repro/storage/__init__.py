@@ -2,7 +2,15 @@
 
 from .blockfile import BlockFileReader, BlockIndexEntry, write_block_file
 from .bufferpool import BufferPool
-from .codec import TrainingTuple, TupleSchema, decode_tuple, encode_tuple
+from .codec import (
+    TrainingTuple,
+    TupleBatch,
+    TupleSchema,
+    decode_block,
+    decode_page,
+    decode_tuple,
+    encode_tuple,
+)
 from .filestore import load_heap, save_heap
 from .heapfile import HeapFile
 from .iomodel import (
@@ -21,9 +29,12 @@ from .page import DEFAULT_PAGE_BYTES, Page
 
 __all__ = [
     "TrainingTuple",
+    "TupleBatch",
     "TupleSchema",
     "encode_tuple",
     "decode_tuple",
+    "decode_page",
+    "decode_block",
     "Page",
     "DEFAULT_PAGE_BYTES",
     "HeapFile",

@@ -22,7 +22,7 @@ import numpy as np
 
 from ..data.dataset import Dataset
 from ..data.sparse import SparseMatrix
-from .codec import TrainingTuple, TupleSchema, decode_tuple, encode_tuple
+from .codec import TrainingTuple, TupleBatch, TupleSchema, decode_block, encode_tuple
 
 __all__ = ["BlockIndexEntry", "write_block_file", "BlockFileReader"]
 
@@ -105,17 +105,17 @@ class BlockFileReader:
         return len(self.entries)
 
     def read_block(self, block_id: int) -> list[TrainingTuple]:
+        """Read one block as per-tuple records (decoded via the bulk path)."""
+        return self.read_block_batch(block_id).to_tuples()
+
+    def read_block_batch(self, block_id: int) -> TupleBatch:
+        """Read one block as a columnar :class:`TupleBatch` (vectorized decode)."""
         entry = self.entries[block_id]
         self._file.seek(entry.offset)
         buffer = self._file.read(entry.length)
         self.bytes_read += entry.length
         self.blocks_read += 1
-        out: list[TrainingTuple] = []
-        offset = 0
-        for _ in range(entry.n_tuples):
-            decoded, offset = decode_tuple(buffer, offset, self.schema)
-            out.append(decoded)
-        return out
+        return decode_block(buffer, entry.n_tuples, self.schema)
 
     def close(self) -> None:
         self._file.close()

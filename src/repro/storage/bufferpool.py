@@ -6,16 +6,40 @@ page reads through this component.  The pool here caches decoded pages with
 an LRU policy and counts hits/misses, so experiments can report OS-cache-like
 effects (small datasets become memory-resident after the first epoch —
 Section 7.3.4's observation about higgs/susy/epsilon per-epoch times).
+
+Pages are decoded in bulk into a columnar
+:class:`~repro.storage.codec.TupleBatch` (one ``decode_page`` call per miss);
+the per-tuple view consumed by the Volcano operators is materialised lazily
+from the cached batch, so batch consumers and tuple consumers share one LRU
+entry and the decode work is paid once either way.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 
-from .codec import TrainingTuple
+from .codec import TrainingTuple, TupleBatch
 from .heapfile import HeapFile
 
 __all__ = ["BufferPool"]
+
+
+class _PageEntry:
+    """One cached page: the decoded batch plus a lazy per-tuple view."""
+
+    __slots__ = ("batch", "_tuples")
+
+    def __init__(self, batch: TupleBatch):
+        self.batch = batch
+        self._tuples: tuple[TrainingTuple, ...] | None = None
+
+    def tuples(self) -> tuple[TrainingTuple, ...]:
+        if self._tuples is None:
+            # Immutable tuple: the cached entry is shared by every reader, so
+            # a mutable list would let one caller corrupt the page for all
+            # later readers.
+            self._tuples = tuple(self.batch.to_tuples())
+        return self._tuples
 
 
 class BufferPool:
@@ -26,9 +50,21 @@ class BufferPool:
             raise ValueError("capacity_pages must be positive")
         self.heap = heap
         self.capacity_pages = capacity_pages
-        self._cache: OrderedDict[int, tuple[TrainingTuple, ...]] = OrderedDict()
+        self._cache: OrderedDict[int, _PageEntry] = OrderedDict()
         self.hits = 0
         self.misses = 0
+
+    def _entry_traced(self, page_id: int) -> tuple[_PageEntry, bool]:
+        if page_id in self._cache:
+            self._cache.move_to_end(page_id)
+            self.hits += 1
+            return self._cache[page_id], True
+        self.misses += 1
+        entry = _PageEntry(self.heap.read_page_batch(page_id))
+        self._cache[page_id] = entry
+        if len(self._cache) > self.capacity_pages:
+            self._cache.popitem(last=False)
+        return entry, False
 
     def get_page(self, page_id: int) -> tuple[TrainingTuple, ...]:
         """Return the decoded tuples of ``page_id``, via the cache."""
@@ -40,21 +76,18 @@ class BufferPool:
         The hit flag lets callers charge the read at memory speed instead of
         device speed (the experiments' "cached after the first epoch"
         behaviour on small datasets).
-
-        Pages are handed out as immutable tuples: the cached entry is shared
-        by every reader, so a mutable list would let one caller corrupt the
-        page for all later readers.
         """
-        if page_id in self._cache:
-            self._cache.move_to_end(page_id)
-            self.hits += 1
-            return self._cache[page_id], True
-        self.misses += 1
-        tuples = tuple(self.heap.read_page(page_id))
-        self._cache[page_id] = tuples
-        if len(self._cache) > self.capacity_pages:
-            self._cache.popitem(last=False)
-        return tuples, False
+        entry, hit = self._entry_traced(page_id)
+        return entry.tuples(), hit
+
+    def get_batch(self, page_id: int) -> TupleBatch:
+        """The page as a columnar batch (decoded once, shared with tuples)."""
+        return self.get_batch_traced(page_id)[0]
+
+    def get_batch_traced(self, page_id: int) -> tuple[TupleBatch, bool]:
+        """Like :meth:`get_batch`, also reporting whether it was a cache hit."""
+        entry, hit = self._entry_traced(page_id)
+        return entry.batch, hit
 
     @property
     def cached_pages(self) -> int:

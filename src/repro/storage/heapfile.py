@@ -21,7 +21,7 @@ import numpy as np
 
 from ..data.dataset import Dataset
 from ..data.sparse import SparseMatrix
-from .codec import TrainingTuple, TupleSchema, decode_tuple, encode_tuple
+from .codec import TrainingTuple, TupleBatch, TupleSchema, decode_page, decode_tuple, encode_tuple
 from .page import DEFAULT_PAGE_BYTES, Page
 
 __all__ = ["HeapFile"]
@@ -103,7 +103,28 @@ class HeapFile:
 
     def read_page(self, page_id: int) -> list[TrainingTuple]:
         """Decode every tuple stored on ``page_id`` (in slot order)."""
-        return [self._decode(p) for p in self.pages[page_id].tuple_payloads()]
+        return self.read_page_batch(page_id).to_tuples()
+
+    def read_page_batch(self, page_id: int) -> TupleBatch:
+        """Decode a whole page in bulk into a columnar :class:`TupleBatch`.
+
+        Compressed (TOAST-like) pages are decompressed tuple-by-tuple — that
+        cost is inherent to the format — but the byte parse is still one bulk
+        :func:`~repro.storage.codec.decode_page` call over the concatenation.
+        """
+        page = self.pages[page_id]
+        if self.compress:
+            chunks = []
+            for payload in page.tuple_payloads():
+                raw_len = int.from_bytes(payload[:4], "little")
+                raw = zlib.decompress(payload[4:])
+                assert len(raw) == raw_len
+                chunks.append(raw)
+            buffer = b"".join(chunks)
+        else:
+            buffer = page.raw()
+        self.decode_count += page.n_tuples
+        return decode_page(buffer, page.n_tuples, self.schema)
 
     def read_tuple(self, position: int) -> TrainingTuple:
         """Decode the tuple at heap position ``position``."""
