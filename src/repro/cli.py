@@ -13,6 +13,9 @@ Commands
               observability counters (queue depth, stall/wait, overlap)
 ``kernel-bench``  time the scalar vs fused decode/SGD kernels and print
               a tuples/sec throughput table
+``chaos``     train through fault-injected storage (transient errors, torn
+              pages, latency, optional crash+resume) and verify the result
+              is bit-identical to the fault-free run
 """
 
 from __future__ import annotations
@@ -131,6 +134,28 @@ def build_parser() -> argparse.ArgumentParser:
     kernel.add_argument("--seed", type=int, default=0)
     kernel.add_argument("--repeats", type=int, default=3, help="best-of-N repeats")
     kernel.add_argument("--json", help="also write the full bench document to this path")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="train under injected storage faults and verify fault-tolerance",
+    )
+    chaos.add_argument("--dataset", choices=sorted(DATASETS), default="susy")
+    chaos.add_argument("--seed", type=int, default=0, help="fault-plan and shuffle seed")
+    chaos.add_argument("--epochs", type=int, default=2)
+    chaos.add_argument("--p-transient", type=float, default=0.2)
+    chaos.add_argument("--p-torn", type=float, default=0.1)
+    chaos.add_argument("--p-latency", type=float, default=0.0)
+    chaos.add_argument("--latency-ms", type=float, default=1.0)
+    chaos.add_argument("--max-failures", type=int, default=2)
+    chaos.add_argument(
+        "--crash-at",
+        type=int,
+        default=None,
+        help="also kill the run after N tuples and resume it from checkpoint",
+    )
+    chaos.add_argument("--block-tuples", type=int, default=40)
+    chaos.add_argument("--buffer-blocks", type=int, default=2)
+    chaos.add_argument("--batch-size", type=int, default=64)
 
     return parser
 
@@ -372,6 +397,112 @@ def _cmd_kernel_bench(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    """Train through fault-injected storage and verify equivalence.
+
+    Runs the streaming trainer twice over the same on-disk block file — once
+    clean, once through a seeded :class:`~repro.faults.FaultPlan` — and
+    checks the final weights are *bit-identical* (transient faults must be
+    fully absorbed by checksums + retries).  With ``--crash-at N`` it also
+    kills a third run after N tuples and resumes it from its checkpoint,
+    checking the resumed weights match the clean run.  Exit code 0 iff every
+    equivalence check passes.
+    """
+    import tempfile
+    from pathlib import Path
+
+    import numpy as np
+
+    from .core import CorgiPileDataset, DataLoader as CoreDataLoader, StorageStats
+    from .faults import FaultPlan, InjectedCrash, chaos_report, faulty_reader_factory
+    from .ml import CheckpointConfig, train_streaming
+    from .storage import write_block_file
+
+    dataset = load(args.dataset, seed=args.seed)
+    model_clean = _build_model("lr", dataset)
+    plan = FaultPlan(
+        seed=args.seed,
+        p_transient=args.p_transient,
+        p_torn=args.p_torn,
+        p_latency=args.p_latency,
+        latency_s=args.latency_ms / 1e3,
+        max_failures=args.max_failures,
+        crash_at_tuple=args.crash_at,
+    )
+    stats = StorageStats("chaos")
+    ok = True
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "chaos.blocks"
+        write_block_file(dataset, path, args.block_tuples)
+
+        def run(model, reader_factory=None, fault_plan=None, **kwargs):
+            with CorgiPileDataset(
+                path,
+                buffer_blocks=args.buffer_blocks,
+                seed=args.seed,
+                reader_factory=reader_factory,
+            ) as view:
+
+                def loader_factory(epoch):
+                    view.set_epoch(epoch)
+                    return CoreDataLoader(view, batch_size=args.batch_size)
+
+                return train_streaming(
+                    model,
+                    loader_factory,
+                    epochs=args.epochs,
+                    per_tuple=True,
+                    fused=True,
+                    fault_plan=fault_plan,
+                    **kwargs,
+                )
+
+        run(model_clean)
+
+        model_faulty = _build_model("lr", dataset)
+        run(model_faulty, reader_factory=faulty_reader_factory(plan, stats=stats))
+        identical = all(
+            np.array_equal(model_clean.params[k], model_faulty.params[k])
+            for k in model_clean.params
+        )
+        ok &= identical
+        print(format_table([chaos_report(stats, plan)], title="chaos run counters"))
+        print(
+            f"\nfaults injected: {stats.faults_injected}, retries: {stats.retries} — "
+            f"faulty-run weights {'bit-identical to' if identical else 'DIFFER from'} "
+            "clean run"
+        )
+
+        if args.crash_at is not None:
+            ckpath = Path(tmp) / "chaos.ckpt.npz"
+            crash_plan = FaultPlan(seed=args.seed, crash_at_tuple=args.crash_at)
+            model_crash = _build_model("lr", dataset)
+            try:
+                run(
+                    model_crash,
+                    fault_plan=crash_plan,
+                    checkpoint=CheckpointConfig(ckpath, every_tuples=args.batch_size),
+                )
+                print(f"\ncrash-at {args.crash_at}: run finished before the crash point")
+            except InjectedCrash as exc:
+                model_resumed = _build_model("lr", dataset)
+                run(model_resumed, resume_from=ckpath)
+                diff = max(
+                    float(np.max(np.abs(model_clean.params[k] - model_resumed.params[k])))
+                    for k in model_clean.params
+                )
+                ok &= diff <= 1e-12
+                print(
+                    f"\ninjected crash ({exc}); resumed from {ckpath.name}: "
+                    f"max weight diff vs uninterrupted run = {diff:.3e} "
+                    f"({'OK' if diff <= 1e-12 else 'MISMATCH'})"
+                )
+
+    print(f"\nchaos verdict: {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "generate": _cmd_generate,
@@ -381,6 +512,7 @@ _COMMANDS = {
     "bench-io": _cmd_bench_io,
     "loader-stats": _cmd_loader_stats,
     "kernel-bench": _cmd_kernel_bench,
+    "chaos": _cmd_chaos,
 }
 
 

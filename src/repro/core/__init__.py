@@ -8,7 +8,7 @@ from .distributed import MultiProcessCorgiPile
 from .lifecycle import THREADS, ManagedProducer, ProducerChannel, ThreadRegistry
 from .multiworker import MultiWorkerLoader
 from .prefetch import PrefetchLoader
-from .stats import LoaderStats
+from .stats import LoaderStats, StorageStats
 
 __all__ = [
     "CorgiPileShuffle",
@@ -23,6 +23,7 @@ __all__ = [
     "PrefetchLoader",
     "MultiWorkerLoader",
     "LoaderStats",
+    "StorageStats",
     "ManagedProducer",
     "ProducerChannel",
     "ThreadRegistry",

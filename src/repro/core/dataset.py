@@ -20,7 +20,7 @@ shuffle seed (mirroring ``DistributedSampler.set_epoch`` in PyTorch).
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterator
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -43,12 +43,15 @@ class CorgiPileDataset:
         worker_id: int = 0,
         n_workers: int = 1,
         stats: LoaderStats | None = None,
+        reader_factory: Callable[[str | Path], BlockFileReader] | None = None,
     ):
         if buffer_blocks <= 0:
             raise ValueError("buffer_blocks must be positive")
         if n_workers <= 0 or not 0 <= worker_id < n_workers:
             raise ValueError("need 0 <= worker_id < n_workers")
-        self.reader = BlockFileReader(path)
+        # ``reader_factory`` swaps the storage layer under the shuffle — e.g.
+        # repro.faults.faulty_reader_factory injects a fault plan here.
+        self.reader = (reader_factory or BlockFileReader)(path)
         self.buffer_blocks = int(buffer_blocks)
         self.seed = int(seed)
         self.worker_id = int(worker_id)

@@ -43,6 +43,7 @@ class MultiWorkerLoader:
         prefetch_depth: int = 2,
         drop_last: bool = False,
         stats: LoaderStats | None = None,
+        reader_factory=None,
     ):
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
@@ -60,6 +61,7 @@ class MultiWorkerLoader:
                 worker_id=w,
                 n_workers=n_workers,
                 stats=self.stats,
+                reader_factory=reader_factory,
             )
             for w in range(n_workers)
         ]

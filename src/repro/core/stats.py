@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import threading
 
-__all__ = ["LoaderStats"]
+__all__ = ["LoaderStats", "StorageStats"]
 
 
 class LoaderStats:
@@ -147,3 +147,106 @@ class LoaderStats:
         d = self.as_dict()
         body = ", ".join(f"{k}={v}" for k, v in d.items() if k != "name")
         return f"LoaderStats({self.name!r}, {body})"
+
+
+class StorageStats:
+    """Thread-safe counters for the fault-aware storage read path.
+
+    One instance is shared by a fault injector
+    (:class:`~repro.faults.store.FaultyBlockFileReader` /
+    :class:`~repro.faults.store.FaultyHeapFile`), the verified readers, and
+    the :class:`~repro.storage.retry.RetryPolicy` driving them, so a chaos
+    run reports the full picture: how many faults were injected, how many
+    retries absorbed them, and whether any read was abandoned.  The headline
+    invariant (asserted by ``tests/test_faults.py``) is that for
+    transient-only fault plans every counter except ``exhausted_reads`` may
+    be nonzero while the trained model stays bit-identical to a fault-free
+    run — retries are invisible above the storage layer.
+    """
+
+    def __init__(self, name: str = "storage"):
+        self.name = name
+        self._lock = threading.Lock()
+        self.reset()
+
+    def reset(self) -> None:
+        with self._lock:
+            self.read_attempts = 0
+            self.reads_ok = 0
+            self.transient_errors = 0
+            self.checksum_failures = 0
+            self.retries = 0
+            self.exhausted_reads = 0
+            self.latency_injected_s = 0.0
+            self.latency_events = 0
+            self.crashes_injected = 0
+            self.cache_invalidations = 0
+
+    # -- retry loop ------------------------------------------------------
+    def record_attempt(self) -> None:
+        with self._lock:
+            self.read_attempts += 1
+
+    def record_ok(self) -> None:
+        with self._lock:
+            self.reads_ok += 1
+
+    def record_fault(self, error: Exception) -> None:
+        """Classify one failed attempt by its error type."""
+        # Late import would be circular at module load; classify by name so
+        # this module keeps zero intra-package imports.
+        kind = type(error).__name__
+        with self._lock:
+            if kind == "ChecksumError":
+                self.checksum_failures += 1
+            else:
+                self.transient_errors += 1
+
+    def record_retry(self) -> None:
+        with self._lock:
+            self.retries += 1
+
+    def record_exhausted(self) -> None:
+        with self._lock:
+            self.exhausted_reads += 1
+
+    # -- injection side --------------------------------------------------
+    def record_latency(self, seconds: float) -> None:
+        with self._lock:
+            self.latency_events += 1
+            self.latency_injected_s += float(seconds)
+
+    def record_crash(self) -> None:
+        with self._lock:
+            self.crashes_injected += 1
+
+    def record_cache_invalidation(self) -> None:
+        with self._lock:
+            self.cache_invalidations += 1
+
+    # --------------------------------------------------------------------
+    @property
+    def faults_injected(self) -> int:
+        """Total injected fault events (errors + corruptions + latency)."""
+        return self.transient_errors + self.checksum_failures + self.latency_events
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            return {
+                "name": self.name,
+                "read_attempts": self.read_attempts,
+                "reads_ok": self.reads_ok,
+                "transient_errors": self.transient_errors,
+                "checksum_failures": self.checksum_failures,
+                "retries": self.retries,
+                "exhausted_reads": self.exhausted_reads,
+                "latency_events": self.latency_events,
+                "latency_injected_s": self.latency_injected_s,
+                "crashes_injected": self.crashes_injected,
+                "cache_invalidations": self.cache_invalidations,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        d = self.as_dict()
+        body = ", ".join(f"{k}={v}" for k, v in d.items() if k != "name")
+        return f"StorageStats({self.name!r}, {body})"

@@ -4,7 +4,13 @@ from .advisor import PhysicalDesign, advise, recommend_block_size, recommend_buf
 from .catalog import Catalog, TableInfo
 from .distributed import DistributedTrainResult, SegmentedMiniDB
 from .engine import ENGINE_PROFILE, MiniDB, ResourceUsage, TrainResult
-from .errors import EngineError, ParseError, UnknownModelError, UnknownTableError
+from .errors import (
+    EngineError,
+    ParseError,
+    StorageError,
+    UnknownModelError,
+    UnknownTableError,
+)
 from .operators import (
     BlockShuffleOperator,
     MultiplexedReservoirOperator,
@@ -43,6 +49,7 @@ __all__ = [
     "ResourceUsage",
     "ENGINE_PROFILE",
     "EngineError",
+    "StorageError",
     "ParseError",
     "UnknownTableError",
     "UnknownModelError",

@@ -77,6 +77,12 @@ class Catalog:
         self._tables[name] = info
         return info
 
+    def replace_table(self, name: str, info: TableInfo) -> None:
+        """Swap an existing entry (e.g. for fault-injecting storage wrappers)."""
+        if name not in self._tables:
+            raise UnknownTableError(name)
+        self._tables[name] = info
+
     def drop_table(self, name: str) -> None:
         if name not in self._tables:
             raise UnknownTableError(name)

@@ -44,7 +44,7 @@ from ..shuffle.base import EXTERNAL_SORT_PASSES
 from ..storage.iomodel import SSD, DeviceModel
 from ..storage.page import DEFAULT_PAGE_BYTES
 from .catalog import Catalog, TableInfo
-from .errors import EngineError, UnknownModelError
+from .errors import EngineError, StorageError, UnknownModelError
 from .operators import (
     BlockShuffleOperator,
     MultiplexedReservoirOperator,
@@ -135,6 +135,23 @@ class MiniDB:
     # ------------------------------------------------------------------
     def create_table(self, name: str, dataset: Dataset, compress: bool = False) -> TableInfo:
         return self.catalog.create_table(name, dataset, compress=compress)
+
+    def inject_faults(self, name: str, plan, retry=None, stats=None):
+        """Swap table ``name``'s storage for fault-injecting wrappers.
+
+        ``plan`` is a :class:`repro.faults.FaultPlan`; subsequent queries on
+        the table read through checksum-verified, bounded-retry wrappers
+        that inject the plan's faults.  Returns the
+        :class:`~repro.core.stats.StorageStats` that will accumulate the
+        fault/retry counters.  The logical data is untouched — drop and
+        re-create (or re-inject a null plan) to restore clean storage.
+        """
+        from ..faults import faulty_table
+
+        table = self.catalog.get(name)
+        new_table, stats = faulty_table(table, plan, stats=stats, retry=retry)
+        self.catalog.replace_table(name, new_table)
+        return stats
 
     def execute(self, sql: str, test: Dataset | None = None):
         """Run one statement.
@@ -294,7 +311,18 @@ class MiniDB:
             )
             return record
 
-        history = sgd.execute(evaluate)
+        try:
+            history = sgd.execute(evaluate)
+        except StorageError as exc:
+            # Graceful degradation: the query layer reports which query hit
+            # the fault and how far it got, not a raw storage traceback.
+            raise StorageError(
+                f"TRAIN BY {query.model!r} on table {query.table!r} "
+                f"(strategy {query.strategy!r}) aborted: {exc.detail}",
+                epochs_completed=exc.epochs_completed,
+                tuples_seen=exc.tuples_seen,
+                partial=exc.partial,
+            ) from exc
 
         buffer_tuples = max(1, round(query.buffer_fraction * train_table.n_tuples))
         buffer_copies = 2 if ctx.double_buffer and query.strategy.startswith("corgipile") else 1

@@ -2,11 +2,50 @@
 
 from __future__ import annotations
 
-__all__ = ["EngineError", "ParseError", "UnknownTableError", "UnknownModelError"]
+__all__ = [
+    "EngineError",
+    "ParseError",
+    "UnknownTableError",
+    "UnknownModelError",
+    "StorageError",
+]
 
 
 class EngineError(Exception):
     """Base class for engine failures."""
+
+
+class StorageError(EngineError):
+    """An unrecoverable storage fault surfaced during query execution.
+
+    Raised when a page/block read exhausts its retry budget (see
+    :class:`~repro.storage.retry.ReadExhaustedError`).  Instead of a raw
+    storage traceback, the query layer reports *partial progress*: how many
+    epochs completed, how many tuples were applied, and the convergence
+    history so far — so a chaos run degrades gracefully into a truncated
+    but well-formed result.
+    """
+
+    def __init__(
+        self,
+        detail: str,
+        *,
+        epochs_completed: int = 0,
+        tuples_seen: int = 0,
+        partial=None,
+    ):
+        super().__init__(detail)
+        self.detail = detail
+        self.epochs_completed = int(epochs_completed)
+        self.tuples_seen = int(tuples_seen)
+        #: ConvergenceHistory of the epochs that finished before the fault.
+        self.partial = partial
+
+    def __str__(self) -> str:
+        return (
+            f"{self.detail} (partial progress: {self.epochs_completed} "
+            f"epoch(s) completed, {self.tuples_seen} tuples applied)"
+        )
 
 
 class ParseError(EngineError):

@@ -30,7 +30,9 @@ from ..core.buffer import ShuffleBuffer
 from ..ml.models.base import SupervisedModel
 from ..ml.trainer import ConvergenceHistory
 from ..storage.codec import TrainingTuple
+from ..storage.retry import ReadExhaustedError
 from .catalog import TableInfo
+from .errors import StorageError
 from .timing import RuntimeContext
 
 __all__ = [
@@ -89,7 +91,12 @@ class SeqScanOperator(PhysicalOperator):
         while self._slot >= len(self._current):
             if self._page >= self.table.heap.n_pages:
                 return None
-            tuples, hit = self.table.pool.get_page_traced(self._page)
+            try:
+                tuples, hit = self.table.pool.get_page_traced(self._page)
+            except ReadExhaustedError as exc:
+                raise StorageError(
+                    f"seq scan of table {self.table.name!r}: {exc}"
+                ) from exc
             page_bytes = self.table.heap.pages[self._page].used_bytes
             if hit:
                 self.ctx.charge_memory_read(page_bytes)
@@ -153,7 +160,13 @@ class BlockShuffleOperator(PhysicalOperator):
         device_bytes = 0.0
         memory_bytes = 0.0
         for page_id in self.table.heap.block_pages(block_id, self.block_bytes):
-            page_tuples, hit = self.table.pool.get_page_traced(page_id)
+            try:
+                page_tuples, hit = self.table.pool.get_page_traced(page_id)
+            except ReadExhaustedError as exc:
+                raise StorageError(
+                    f"block shuffle scan of table {self.table.name!r}, "
+                    f"block {block_id}: {exc}"
+                ) from exc
             page_bytes = self.table.heap.pages[page_id].used_bytes
             if hit:
                 memory_bytes += page_bytes
@@ -369,18 +382,31 @@ class SGDOperator:
         return count
 
     def execute(self, evaluate) -> ConvergenceHistory:
-        """Run all epochs; ``evaluate(epoch, lr, tuples_seen)`` records metrics."""
+        """Run all epochs; ``evaluate(epoch, lr, tuples_seen)`` records metrics.
+
+        An unrecoverable storage fault surfaces as
+        :class:`~repro.db.errors.StorageError` with partial progress
+        attached (completed epochs' history, tuples applied); the pipeline
+        is always closed, even on that path.
+        """
         history = ConvergenceHistory(strategy="in-db", model=type(self.model).__name__)
         self.child.open()
         tuples_seen = 0
-        for epoch in range(self.epochs):
-            lr = float(self.schedule(epoch))
-            tuples_seen += self._run_epoch(lr)
-            self.epoch_wall_times.append(self.ctx.epoch_wall_time())
-            history.append(evaluate(epoch, lr, tuples_seen))
-            if epoch + 1 < self.epochs:
-                self.child.rescan()
-        self.child.close()
+        try:
+            for epoch in range(self.epochs):
+                lr = float(self.schedule(epoch))
+                tuples_seen += self._run_epoch(lr)
+                self.epoch_wall_times.append(self.ctx.epoch_wall_time())
+                history.append(evaluate(epoch, lr, tuples_seen))
+                if epoch + 1 < self.epochs:
+                    self.child.rescan()
+        except StorageError as exc:
+            exc.epochs_completed = history.epochs
+            exc.tuples_seen = tuples_seen
+            exc.partial = history
+            raise
+        finally:
+            self.child.close()
         return history
 
 
@@ -434,7 +460,12 @@ class PermutedScanOperator(PhysicalOperator):
         position = int(self._perm[self._pos])
         self._pos += 1
         page_id = self._page_of[position]
-        tuples, hit = self.table.pool.get_page_traced(page_id)
+        try:
+            tuples, hit = self.table.pool.get_page_traced(page_id)
+        except ReadExhaustedError as exc:
+            raise StorageError(
+                f"permuted scan of table {self.table.name!r}: {exc}"
+            ) from exc
         page_bytes = self.table.heap.pages[page_id].used_bytes
         if self.charge == "random_tuple":
             if hit:

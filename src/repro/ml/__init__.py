@@ -14,10 +14,25 @@ from .models import (
 )
 from .optim import SGD, AdaGrad, Adam, Optimizer, RMSprop
 from .schedules import ConstantLR, ExponentialDecay, InverseEpochDecay, StepDecay
-from .persistence import load_model, model_from_bytes, model_to_bytes, save_model
+from .persistence import (
+    CheckpointState,
+    load_checkpoint,
+    load_model,
+    model_from_bytes,
+    model_to_bytes,
+    save_checkpoint,
+    save_model,
+)
 from .streaming import train_streaming
 from .tuning import GridResult, SeedStats, grid_search, multi_seed
-from .trainer import ConvergenceHistory, EarlyStopping, EpochRecord, Trainer, fixed_order_source
+from .trainer import (
+    CheckpointConfig,
+    ConvergenceHistory,
+    EarlyStopping,
+    EpochRecord,
+    Trainer,
+    fixed_order_source,
+)
 
 __all__ = [
     "glm_epoch_dense",
@@ -55,6 +70,10 @@ __all__ = [
     "load_model",
     "model_to_bytes",
     "model_from_bytes",
+    "CheckpointConfig",
+    "CheckpointState",
+    "save_checkpoint",
+    "load_checkpoint",
     "grid_search",
     "GridResult",
     "multi_seed",

@@ -26,6 +26,36 @@ class Optimizer(ABC):
     def step(self, grads: Params, lr: float) -> None:
         """Consume one batch gradient at learning rate ``lr``."""
 
+    # -- checkpointing -------------------------------------------------
+    # Slot-state keys are flat strings mapping to float64-safe ndarrays so
+    # they round-trip through ``np.savez`` bit-exactly; a stateless
+    # optimiser returns {} and restores from {}.
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Internal slot state (momenta, accumulators) as named arrays."""
+        return {}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} is stateless but checkpoint carries "
+                f"optimizer state: {sorted(state)}"
+            )
+
+    @staticmethod
+    def _pack(prefix: str, slots: Params) -> dict[str, np.ndarray]:
+        return {f"{prefix}.{key}": np.asarray(val) for key, val in slots.items()}
+
+    @staticmethod
+    def _unpack(prefix: str, state: dict[str, np.ndarray]) -> Params:
+        marker = prefix + "."
+        return {
+            key[len(marker):]: np.array(val)
+            for key, val in state.items()
+            if key.startswith(marker)
+        }
+
 
 class SGD(Optimizer):
     """Vanilla (optionally momentum) stochastic gradient descent."""
@@ -50,6 +80,12 @@ class SGD(Optimizer):
             vel = self.momentum * vel + grad
             self._velocity[key] = vel
             params[key] -= lr * vel
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return self._pack("velocity", self._velocity)
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self._velocity = self._unpack("velocity", state)
 
 
 class Adam(Optimizer):
@@ -87,6 +123,17 @@ class Adam(Optimizer):
             v_hat = v / (1 - self.beta2**self._t)
             params[key] -= lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = self._pack("m", self._m)
+        state.update(self._pack("v", self._v))
+        state["t"] = np.asarray(self._t, dtype=np.int64)
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self._m = self._unpack("m", state)
+        self._v = self._unpack("v", state)
+        self._t = int(state.get("t", 0))
+
 
 class AdaGrad(Optimizer):
     """AdaGrad — per-coordinate learning rates from accumulated squares.
@@ -111,6 +158,12 @@ class AdaGrad(Optimizer):
             self._accum[key] = accum
             params[key] -= lr * grad / (np.sqrt(accum) + self.eps)
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return self._pack("accum", self._accum)
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self._accum = self._unpack("accum", state)
+
 
 class RMSprop(Optimizer):
     """RMSprop — exponentially decayed squared-gradient normalisation."""
@@ -132,3 +185,9 @@ class RMSprop(Optimizer):
             ms = self.rho * ms + (1 - self.rho) * grad * grad
             self._mean_square[key] = ms
             params[key] -= lr * grad / (np.sqrt(ms) + self.eps)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return self._pack("mean_square", self._mean_square)
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self._mean_square = self._unpack("mean_square", state)

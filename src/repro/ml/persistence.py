@@ -1,16 +1,28 @@
-"""Model persistence: save/load trained models.
+"""Model persistence: save/load trained models and training checkpoints.
 
 The paper keeps trained models as in-kernel objects addressed by an id; a
 deployable system also needs them on disk.  Models serialise to a single
 ``.npz`` file holding the parameter arrays plus a JSON header with the
 model class and its constructor configuration, so ``load_model`` rebuilds
 an identical, immediately usable model.
+
+Checkpoints extend the same container with everything a killed run needs to
+resume *bit-exactly*: the model blob, the optimiser's slot state, the epoch
+and in-epoch tuple cursor, and run metadata (index-source seed, strategy).
+Because every index source derives its visit order as a pure function of
+``(seed, epoch)``, storing just ``(epoch, cursor)`` pins the exact remaining
+visit order — no RNG state blob is needed.  ``save_checkpoint`` writes
+atomically (temp file + ``os.replace``), so a crash mid-write leaves the
+previous checkpoint intact.  Arrays round-trip through ``np.savez`` as raw
+float64, which is lossless, hence resume-equivalence to the last bit.
 """
 
 from __future__ import annotations
 
 import io
 import json
+import os
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -20,9 +32,20 @@ from .models.linear import LinearRegression, LinearSVM, LogisticRegression
 from .models.mlp import MLPClassifier
 from .models.softmax import SoftmaxRegression
 
-__all__ = ["save_model", "load_model", "model_to_bytes", "model_from_bytes"]
+__all__ = [
+    "save_model",
+    "load_model",
+    "model_to_bytes",
+    "model_from_bytes",
+    "CheckpointState",
+    "save_checkpoint",
+    "load_checkpoint",
+]
 
 _FORMAT_VERSION = 1
+# Versioned alongside the model format: a checkpoint embeds a model blob of
+# _FORMAT_VERSION plus resume state of _CHECKPOINT_VERSION.
+_CHECKPOINT_VERSION = 1
 
 
 def _config_of(model: SupervisedModel) -> dict:
@@ -117,3 +140,106 @@ def save_model(model: SupervisedModel, path: str | Path) -> Path:
 def load_model(path: str | Path) -> SupervisedModel:
     """Load a model saved by :func:`save_model`."""
     return model_from_bytes(Path(path).read_bytes())
+
+
+# ----------------------------------------------------------------------
+# Training checkpoints
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CheckpointState:
+    """Everything a resumed run needs, as loaded from disk.
+
+    ``epoch`` is the epoch the run was inside (0-based) and ``cursor`` the
+    number of tuples of that epoch already applied to the model; a resumed
+    trainer replays ``epoch_indices(epoch)[cursor:]`` and continues.
+    ``history`` holds the completed epochs' records as plain dicts (the
+    trainer rehydrates them into :class:`~repro.ml.trainer.EpochRecord`).
+    """
+
+    model: SupervisedModel
+    epoch: int
+    cursor: int
+    tuples_seen: int
+    optimizer_state: dict[str, np.ndarray] = field(default_factory=dict)
+    history: list[dict] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+
+def save_checkpoint(
+    path: str | Path,
+    model: SupervisedModel,
+    *,
+    epoch: int,
+    cursor: int,
+    tuples_seen: int,
+    optimizer_state: dict[str, np.ndarray] | None = None,
+    history: list[dict] | None = None,
+    meta: dict | None = None,
+) -> Path:
+    """Atomically write a resumable training checkpoint to ``path``.
+
+    The write goes to ``path + '.tmp'`` first and is moved into place with
+    ``os.replace`` — a crash during checkpointing can therefore never
+    destroy the previous good checkpoint (crash-safety is regression-tested
+    in ``tests/test_checkpoint_resume.py``).
+    """
+    header = {
+        "checkpoint_version": _CHECKPOINT_VERSION,
+        "epoch": int(epoch),
+        "cursor": int(cursor),
+        "tuples_seen": int(tuples_seen),
+        "history": list(history or []),
+        "meta": dict(meta or {}),
+    }
+    arrays: dict[str, np.ndarray] = {
+        "__model__": np.frombuffer(model_to_bytes(model), dtype=np.uint8),
+        "__header__": np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+    }
+    for key, value in (optimizer_state or {}).items():
+        arrays[f"opt__{key}"] = np.asarray(value)
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(buffer.getvalue())
+    os.replace(tmp, path)
+    return path
+
+
+def load_checkpoint(path: str | Path) -> CheckpointState:
+    """Load a checkpoint written by :func:`save_checkpoint`.
+
+    Raises ``ValueError`` for corrupt, foreign, or future-versioned files.
+    """
+    import zipfile
+
+    try:
+        archive_ctx = np.load(io.BytesIO(Path(path).read_bytes()))
+    except (zipfile.BadZipFile, OSError, ValueError) as exc:
+        raise ValueError(f"corrupt checkpoint: {exc}") from exc
+    with archive_ctx as archive:
+        try:
+            header = json.loads(bytes(archive["__header__"].tobytes()).decode())
+            model_blob = bytes(archive["__model__"].tobytes())
+        except (KeyError, zipfile.BadZipFile) as exc:
+            raise ValueError(f"corrupt checkpoint: {exc}") from exc
+        if header.get("checkpoint_version") != _CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {header.get('checkpoint_version')!r}"
+            )
+        optimizer_state = {
+            name[len("opt__"):]: np.array(archive[name])
+            for name in archive.files
+            if name.startswith("opt__")
+        }
+    return CheckpointState(
+        model=model_from_bytes(model_blob),
+        epoch=int(header["epoch"]),
+        cursor=int(header["cursor"]),
+        tuples_seen=int(header["tuples_seen"]),
+        optimizer_state=optimizer_state,
+        history=list(header.get("history", [])),
+        meta=dict(header.get("meta", {})),
+    )

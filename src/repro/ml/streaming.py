@@ -10,6 +10,8 @@ from an on-disk block file needs no custom loop.
 
 from __future__ import annotations
 
+from dataclasses import asdict
+from pathlib import Path
 from typing import Callable, Iterable
 
 import numpy as np
@@ -18,8 +20,9 @@ from ..core.dataloader import Batch
 from ..data.dataset import Dataset
 from .optim import Optimizer, SGD
 from .models.base import SupervisedModel
+from .persistence import CheckpointState, load_checkpoint, save_checkpoint
 from .schedules import ExponentialDecay
-from .trainer import ConvergenceHistory, EpochRecord
+from .trainer import CheckpointConfig, ConvergenceHistory, EpochRecord
 
 __all__ = ["train_streaming"]
 
@@ -37,6 +40,9 @@ def train_streaming(
     test: Dataset | None = None,
     prefetch_depth: int = 0,
     classification_int_labels: bool = True,
+    checkpoint: CheckpointConfig | None = None,
+    resume_from: CheckpointState | str | Path | None = None,
+    fault_plan=None,
 ) -> ConvergenceHistory:
     """Train ``model`` from ``loader_factory(epoch)`` batch streams.
 
@@ -49,6 +55,16 @@ def train_streaming(
     :class:`~repro.core.prefetch.PrefetchLoader`.  Loss/score are evaluated
     on ``train_eval``/``test`` when given; without ``train_eval`` the loss
     column is NaN (nothing is materialised).
+
+    With ``checkpoint``, a resumable snapshot is written at epoch ends and
+    (for ``every_tuples > 0``) at batch boundaries inside the epoch; the
+    cursor is the number of *batches* already consumed, so resuming requires
+    ``loader_factory(epoch)`` to be deterministic per epoch (CorgiPile
+    loaders are: (seed, epoch) fully pin the stream).  Updates are per-batch
+    either way, so — unlike the array trainer — checkpoint cadence never
+    changes the numeric result.  ``fault_plan`` (duck-typed
+    ``repro.faults.FaultPlan``) injects "crash after N tuples" at the batch
+    boundary where the budget runs out.
     """
     if epochs <= 0:
         raise ValueError("epochs must be positive")
@@ -58,14 +74,57 @@ def train_streaming(
 
     history = ConvergenceHistory(strategy="streaming", model=type(model).__name__)
     tuples_seen = 0
-    for epoch in range(epochs):
+    start_epoch = 0
+    start_batch = 0
+    if resume_from is not None:
+        state = (
+            resume_from
+            if isinstance(resume_from, CheckpointState)
+            else load_checkpoint(resume_from)
+        )
+        _restore_streaming(state, model, optimizer, history, per_tuple, fused)
+        start_epoch, start_batch = state.epoch, state.cursor
+        tuples_seen = state.tuples_seen
+
+    def _save(epoch: int, batches_done: int) -> None:
+        if checkpoint is None:
+            return
+        save_checkpoint(
+            checkpoint.path,
+            model,
+            epoch=epoch,
+            cursor=batches_done,
+            tuples_seen=tuples_seen,
+            optimizer_state=optimizer.state_dict() if optimizer is not None else {},
+            history=[asdict(r) for r in history.records],
+            meta={
+                "mode": "streaming",
+                "cursor_unit": "batches",
+                "model": type(model).__name__,
+                "per_tuple": per_tuple,
+                "fused": fused,
+                "epochs": epochs,
+            },
+        )
+
+    _save(start_epoch, start_batch)
+    for epoch in range(start_epoch, epochs):
         lr = float(schedule(epoch))
         loader: Iterable[Batch] = loader_factory(epoch)
         if prefetch_depth > 0:
             from ..core.prefetch import PrefetchLoader
 
             loader = PrefetchLoader(loader, depth=prefetch_depth)
-        for batch in loader:
+        skip = start_batch if epoch == start_epoch else 0
+        batches_done = skip
+        since_checkpoint = 0
+        for batch_index, batch in enumerate(loader):
+            if batch_index < skip:
+                continue
+            if fault_plan is not None:
+                budget = fault_plan.tuples_before_crash(tuples_seen)
+                if budget is not None and budget < len(batch):
+                    fault_plan.fire_crash(f"epoch {epoch}, batch {batch_index}")
             y = batch.y
             if classification_int_labels and not per_tuple and _looks_multiclass(model):
                 y = y.astype(np.int64)
@@ -86,6 +145,15 @@ def train_streaming(
                 grads = model.gradient(batch.X, y)
                 optimizer.step(grads, lr)
             tuples_seen += len(batch)
+            batches_done += 1
+            since_checkpoint += len(batch)
+            if (
+                checkpoint is not None
+                and checkpoint.every_tuples > 0
+                and since_checkpoint >= checkpoint.every_tuples
+            ):
+                _save(epoch, batches_done)
+                since_checkpoint = 0
         history.append(
             EpochRecord(
                 epoch=epoch,
@@ -104,7 +172,40 @@ def train_streaming(
                 tuples_seen=tuples_seen,
             )
         )
+        _save(epoch + 1, 0)
     return history
+
+
+def _restore_streaming(
+    state: CheckpointState,
+    model: SupervisedModel,
+    optimizer: Optimizer | None,
+    history: ConvergenceHistory,
+    per_tuple: bool,
+    fused: bool,
+) -> None:
+    meta = state.meta
+    if meta.get("mode") != "streaming":
+        raise ValueError("checkpoint was not taken by train_streaming")
+    if meta.get("model", type(model).__name__) != type(model).__name__:
+        raise ValueError(
+            f"checkpoint is for model {meta['model']!r}, got {type(model).__name__!r}"
+        )
+    for knob, have in (("per_tuple", per_tuple), ("fused", fused)):
+        want = meta.get(knob)
+        if want is not None and want != have:
+            raise ValueError(
+                f"checkpoint was taken with {knob}={want!r}; resuming with "
+                f"{have!r} would change the update sequence"
+            )
+    for key, value in state.model.params.items():
+        model.params[key][...] = value
+    if optimizer is not None:
+        optimizer.load_state_dict(state.optimizer_state)
+    elif state.optimizer_state:
+        raise ValueError("checkpoint carries optimizer state but run has no optimizer")
+    for record in state.history:
+        history.append(EpochRecord(**record))
 
 
 def _looks_multiclass(model: SupervisedModel) -> bool:

@@ -12,11 +12,21 @@ multi-process simulation) — and performs SGD in exactly that order:
 
 Per-epoch train loss / train metric / test metric are recorded into a
 :class:`ConvergenceHistory`, the raw material of every convergence figure.
+
+With a :class:`CheckpointConfig` the trainer periodically persists a
+resumable snapshot (model, optimiser slots, epoch + in-epoch cursor) via
+:mod:`repro.ml.persistence`; because index sources derive each epoch's order
+purely from ``(seed, epoch)``, ``run(resume_from=...)`` continues a killed
+run over the *exact* remaining visit order.  Checkpoint boundaries also
+chunk the fused/mini-batch kernels, so a resumed run and an uninterrupted
+run with the same cadence apply numerically identical update sequences —
+that is the resume-equivalence guarantee the chaos suite asserts at 1e-12.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from typing import Protocol, Sequence
 
 import numpy as np
@@ -25,9 +35,36 @@ from ..data.dataset import Dataset
 from ..data.sparse import SparseMatrix
 from .optim import Optimizer, SGD
 from .models.base import SupervisedModel
+from .persistence import CheckpointState, load_checkpoint, save_checkpoint
 from .schedules import ExponentialDecay
 
-__all__ = ["IndexSource", "EpochRecord", "ConvergenceHistory", "EarlyStopping", "Trainer"]
+__all__ = [
+    "IndexSource",
+    "EpochRecord",
+    "ConvergenceHistory",
+    "EarlyStopping",
+    "CheckpointConfig",
+    "Trainer",
+]
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Where and how often to persist resumable training state.
+
+    ``every_tuples == 0`` checkpoints only at epoch boundaries; a positive
+    value additionally checkpoints every that-many tuples *within* an epoch
+    (rounded down to a whole number of mini-batches in mini-batch mode).
+    Cadence is part of the numeric contract: kernels are chunked at
+    checkpoint boundaries, so bit-exact comparisons must use equal cadence.
+    """
+
+    path: str | Path
+    every_tuples: int = 0
+
+    def __post_init__(self) -> None:
+        if self.every_tuples < 0:
+            raise ValueError("every_tuples must be non-negative")
 
 
 @dataclass
@@ -167,6 +204,8 @@ class Trainer:
         early_stopping: EarlyStopping | None = None,
         callbacks: list | None = None,
         fused: bool = False,
+        checkpoint: CheckpointConfig | None = None,
+        fault_plan=None,
     ):
         if epochs <= 0:
             raise ValueError("epochs must be positive")
@@ -190,22 +229,44 @@ class Trainer:
         # Each callback is called as callback(epoch, model, record) after
         # the end-of-epoch evaluation (e.g. theory trackers, custom logs).
         self.callbacks = list(callbacks or [])
+        self.checkpoint = checkpoint
+        # Duck-typed fault plan (repro.faults.FaultPlan): consulted for
+        # "crash after N tuples" injection; None in normal runs.
+        self.fault_plan = fault_plan
 
     # ------------------------------------------------------------------
-    def run(self) -> ConvergenceHistory:
+    def run(
+        self, resume_from: CheckpointState | str | Path | None = None
+    ) -> ConvergenceHistory:
         history = ConvergenceHistory(
             strategy=getattr(self.index_source, "name", type(self.index_source).__name__),
             model=type(self.model).__name__,
         )
+        start_epoch = 0
+        start_cursor = 0
         tuples_seen = 0
-        for epoch in range(self.epochs):
+        if resume_from is not None:
+            state = (
+                resume_from
+                if isinstance(resume_from, CheckpointState)
+                else load_checkpoint(resume_from)
+            )
+            self._restore(state, history)
+            start_epoch, start_cursor = state.epoch, state.cursor
+            tuples_seen = state.tuples_seen
+        # Initial checkpoint: even a crash before the first cadence point
+        # leaves a resumable file behind.
+        self._save_checkpoint(start_epoch, start_cursor, tuples_seen, history)
+        for epoch in range(start_epoch, self.epochs):
             lr = float(self.schedule(epoch))
             order = np.asarray(self.index_source.epoch_indices(epoch), dtype=np.int64)
-            tuples_seen += self._run_epoch(order, lr)
+            cursor = start_cursor if epoch == start_epoch else 0
+            tuples_seen = self._run_epoch(order, lr, epoch, cursor, tuples_seen, history)
             record = self._evaluate(epoch, lr, tuples_seen)
             history.append(record)
             for callback in self.callbacks:
                 callback(epoch, self.model, record)
+            self._save_checkpoint(epoch + 1, 0, tuples_seen, history)
             if self.early_stopping is not None:
                 metric = (
                     record.test_score
@@ -218,7 +279,55 @@ class Trainer:
         return history
 
     # ------------------------------------------------------------------
-    def _run_epoch(self, order: np.ndarray, lr: float) -> int:
+    def _run_epoch(
+        self,
+        order: np.ndarray,
+        lr: float,
+        epoch: int,
+        cursor: int,
+        tuples_seen: int,
+        history: ConvergenceHistory,
+    ) -> int:
+        """Apply ``order[cursor:]``, checkpoint-chunked; returns new tuples_seen.
+
+        Chunk boundaries sit at fixed multiples of the checkpoint cadence
+        *within the epoch* (not relative to the resume point), so a resumed
+        run replays exactly the chunk sequence the uninterrupted run would
+        have used — the kernels flush their lazy L2 scaling per chunk, which
+        makes the chunking part of the numeric result.
+        """
+        n = int(order.size)
+        while cursor < n:
+            hi = self._next_boundary(cursor, n)
+            chunk = order[cursor:hi]
+            if self.fault_plan is not None:
+                budget = self.fault_plan.tuples_before_crash(tuples_seen)
+                if budget is not None and budget < chunk.size:
+                    if budget > 0:
+                        self._apply_chunk(chunk[:budget], lr)
+                    self.fault_plan.fire_crash(f"epoch {epoch}, tuple {cursor + budget}")
+            self._apply_chunk(chunk, lr)
+            cursor = hi
+            tuples_seen += int(chunk.size)
+            if (
+                self.checkpoint is not None
+                and self.checkpoint.every_tuples > 0
+                and cursor < n
+            ):
+                self._save_checkpoint(epoch, cursor, tuples_seen, history)
+        return tuples_seen
+
+    def _next_boundary(self, cursor: int, n: int) -> int:
+        every = self.checkpoint.every_tuples if self.checkpoint is not None else 0
+        if every <= 0:
+            return n
+        if self.batch_size > 1:
+            # Keep mini-batch composition identical with and without
+            # checkpointing: boundaries land between batches only.
+            every = max(self.batch_size, (every // self.batch_size) * self.batch_size)
+        return min(n, (cursor // every + 1) * every)
+
+    def _apply_chunk(self, order: np.ndarray, lr: float) -> None:
         if self.batch_size == 1 and self.optimizer is None:
             if self.fused:
                 self._fused_epoch(order, lr)
@@ -226,7 +335,65 @@ class Trainer:
                 self._per_tuple_epoch(order, lr)
         else:
             self._mini_batch_epoch(order, lr)
-        return int(order.size)
+
+    # ------------------------------------------------------------------
+    def _save_checkpoint(
+        self, epoch: int, cursor: int, tuples_seen: int, history: ConvergenceHistory
+    ) -> None:
+        if self.checkpoint is None:
+            return
+        save_checkpoint(
+            self.checkpoint.path,
+            self.model,
+            epoch=epoch,
+            cursor=cursor,
+            tuples_seen=tuples_seen,
+            optimizer_state=(
+                self.optimizer.state_dict() if self.optimizer is not None else {}
+            ),
+            history=[asdict(r) for r in history.records],
+            meta={
+                "strategy": history.strategy,
+                "model": history.model,
+                "batch_size": self.batch_size,
+                "fused": self.fused,
+                "epochs": self.epochs,
+                "index_seed": getattr(self.index_source, "seed", None),
+            },
+        )
+
+    def _restore(self, state: CheckpointState, history: ConvergenceHistory) -> None:
+        meta = state.meta
+        if meta.get("model", type(self.model).__name__) != type(self.model).__name__:
+            raise ValueError(
+                f"checkpoint is for model {meta['model']!r}, "
+                f"trainer has {type(self.model).__name__!r}"
+            )
+        for knob in ("batch_size", "fused"):
+            want = meta.get(knob)
+            have = getattr(self, knob)
+            if want is not None and want != have:
+                raise ValueError(
+                    f"checkpoint was taken with {knob}={want!r}; resuming with "
+                    f"{have!r} would change the update sequence"
+                )
+        # Same index seed ⇒ same (seed, epoch)-pure visit orders ⇒ the
+        # stored cursor pins the exact remaining order.
+        seed = getattr(self.index_source, "seed", None)
+        want_seed = meta.get("index_seed")
+        if want_seed is not None and seed is not None and want_seed != seed:
+            raise ValueError(
+                f"checkpoint was taken under index seed {want_seed}, "
+                f"resuming under {seed} would replay a different order"
+            )
+        for key, value in state.model.params.items():
+            self.model.params[key][...] = value
+        if self.optimizer is not None:
+            self.optimizer.load_state_dict(state.optimizer_state)
+        elif state.optimizer_state:
+            raise ValueError("checkpoint carries optimizer state but trainer has none")
+        for record in state.history:
+            history.append(EpochRecord(**record))
 
     def _per_tuple_epoch(self, order: np.ndarray, lr: float) -> None:
         model = self.model

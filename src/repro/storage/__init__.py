@@ -26,8 +26,20 @@ from .iomodel import (
     random_vs_sequential_curve,
 )
 from .page import DEFAULT_PAGE_BYTES, Page
+from .retry import (
+    ChecksumError,
+    ReadExhaustedError,
+    RetryableIOError,
+    RetryPolicy,
+    TransientReadError,
+)
 
 __all__ = [
+    "RetryPolicy",
+    "RetryableIOError",
+    "TransientReadError",
+    "ChecksumError",
+    "ReadExhaustedError",
     "TrainingTuple",
     "TupleBatch",
     "TupleSchema",

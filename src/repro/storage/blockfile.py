@@ -7,26 +7,35 @@ This module implements that format for real: a data file of concatenated
 encoded tuples plus a sidecar index recording ``(offset, length, n_tuples)``
 per block.
 
-The format is deliberately simple (no checksums, no varint framing) — the
-properties the reproduction needs are (a) block-granular random access and
-(b) accurate byte accounting for the I/O model.
+Index format v2 additionally records a CRC32 per block, and the reader
+verifies every block read against it before decoding (torn/corrupt reads
+raise :class:`~repro.storage.retry.ChecksumError`).  A
+:class:`~repro.storage.retry.RetryPolicy` can be attached so transient
+faults and checksum failures are absorbed by bounded re-reads — the fault
+plane (:mod:`repro.faults`) injects underneath this path via
+``FaultyBlockFileReader``.  v1 indexes (no checksums) still load; their
+reads simply skip verification.
 """
 
 from __future__ import annotations
 
 import json
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
 from ..data.dataset import Dataset
 from ..data.sparse import SparseMatrix
 from .codec import TrainingTuple, TupleBatch, TupleSchema, decode_block, encode_tuple
+from .retry import ChecksumError, RetryPolicy
 
 __all__ = ["BlockIndexEntry", "write_block_file", "BlockFileReader"]
 
 _INDEX_SUFFIX = ".index.json"
+_INDEX_FORMAT = 2  # v2 adds per-block crc32 checksums
 
 
 @dataclass(frozen=True)
@@ -37,6 +46,7 @@ class BlockIndexEntry:
     offset: int
     length: int
     n_tuples: int
+    crc32: int | None = None  # None for v1 indexes written without checksums
 
 
 def write_block_file(
@@ -66,15 +76,26 @@ def write_block_file(
                     features = dataset.X[i]
                 payload += encode_tuple(i, labels[i], features)
             f.write(payload)
-            entries.append(BlockIndexEntry(block_id, offset, len(payload), hi - lo))
+            entries.append(
+                BlockIndexEntry(
+                    block_id, offset, len(payload), hi - lo, zlib.crc32(bytes(payload))
+                )
+            )
             offset += len(payload)
             block_id += 1
     index_doc = {
+        "format": _INDEX_FORMAT,
         "n_features": dataset.n_features,
         "sparse": dataset.is_sparse,
         "n_tuples": dataset.n_tuples,
         "blocks": [
-            {"block_id": e.block_id, "offset": e.offset, "length": e.length, "n_tuples": e.n_tuples}
+            {
+                "block_id": e.block_id,
+                "offset": e.offset,
+                "length": e.length,
+                "n_tuples": e.n_tuples,
+                "crc32": e.crc32,
+            }
             for e in entries
         ],
     }
@@ -84,19 +105,43 @@ def write_block_file(
 
 
 class BlockFileReader:
-    """Random block-granular reader over a block file written above."""
+    """Random block-granular reader over a block file written above.
 
-    def __init__(self, path: str | Path):
+    Every block read is CRC-verified (when the index carries checksums)
+    before decoding.  With a ``retry`` policy, transient read errors and
+    checksum mismatches are retried up to the policy's budget; without one,
+    the first failure propagates.  ``storage_stats`` (duck-typed as
+    :class:`~repro.core.stats.StorageStats`) receives attempt/retry
+    counters either way.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        retry: RetryPolicy | None = None,
+        storage_stats: Any | None = None,
+        verify_checksums: bool = True,
+    ):
         self.path = Path(path)
         with open(str(self.path) + _INDEX_SUFFIX) as f:
             doc = json.load(f)
         self.schema = TupleSchema(doc["n_features"], sparse=doc["sparse"])
         self.n_tuples = int(doc["n_tuples"])
+        self.index_format = int(doc.get("format", 1))
         self.entries = [
-            BlockIndexEntry(b["block_id"], b["offset"], b["length"], b["n_tuples"])
+            BlockIndexEntry(
+                b["block_id"],
+                b["offset"],
+                b["length"],
+                b["n_tuples"],
+                b.get("crc32"),
+            )
             for b in doc["blocks"]
         ]
         self._file = open(self.path, "rb")
+        self.retry = retry
+        self.storage_stats = storage_stats
+        self.verify_checksums = bool(verify_checksums)
         self.bytes_read = 0
         self.blocks_read = 0
 
@@ -108,11 +153,56 @@ class BlockFileReader:
         """Read one block as per-tuple records (decoded via the bulk path)."""
         return self.read_block_batch(block_id).to_tuples()
 
-    def read_block_batch(self, block_id: int) -> TupleBatch:
-        """Read one block as a columnar :class:`TupleBatch` (vectorized decode)."""
-        entry = self.entries[block_id]
+    # ------------------------------------------------------------------
+    def _read_raw(self, entry: BlockIndexEntry, attempt: int) -> bytes:
+        """Read one block's raw bytes — the fault-injection seam.
+
+        The base reader seeks and reads; ``FaultyBlockFileReader`` overrides
+        this to consult its fault plan (raise a transient error, return
+        corrupted bytes, sleep, or crash) per ``attempt``.
+        """
+        del attempt
         self._file.seek(entry.offset)
-        buffer = self._file.read(entry.length)
+        return self._file.read(entry.length)
+
+    def _read_verified(self, entry: BlockIndexEntry, attempt: int) -> bytes:
+        buffer = self._read_raw(entry, attempt)
+        if self.verify_checksums and entry.crc32 is not None:
+            got = zlib.crc32(buffer)
+            if got != entry.crc32:
+                raise ChecksumError(
+                    f"block {entry.block_id}: checksum mismatch "
+                    f"(got {got:#010x}, want {entry.crc32:#010x})"
+                )
+        return buffer
+
+    def read_block_batch(self, block_id: int) -> TupleBatch:
+        """Read one block as a columnar :class:`TupleBatch` (vectorized decode).
+
+        Verified and (when a policy is attached) retried: the caller either
+        receives checksum-clean bytes or sees
+        :class:`~repro.storage.retry.ReadExhaustedError` once the budget is
+        spent.  Byte accounting only charges reads that succeeded.
+        """
+        entry = self.entries[block_id]
+        if self.retry is not None:
+            buffer = self.retry.run(
+                lambda attempt: self._read_verified(entry, attempt),
+                stats=self.storage_stats,
+                describe=f"block {block_id} of {self.path.name}",
+            )
+        else:
+            stats = self.storage_stats
+            if stats is not None:
+                stats.record_attempt()
+            try:
+                buffer = self._read_verified(entry, 1)
+            except ChecksumError as exc:
+                if stats is not None:
+                    stats.record_fault(exc)
+                raise
+            if stats is not None:
+                stats.record_ok()
         self.bytes_read += entry.length
         self.blocks_read += 1
         return decode_block(buffer, entry.n_tuples, self.schema)

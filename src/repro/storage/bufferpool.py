@@ -12,14 +12,25 @@ Pages are decoded in bulk into a columnar
 the per-tuple view consumed by the Volcano operators is materialised lazily
 from the cached batch, so batch consumers and tuple consumers share one LRU
 entry and the decode work is paid once either way.
+
+The pool is also the heap side's fault boundary: with a
+:class:`~repro.storage.retry.RetryPolicy` attached, page reads that raise a
+retryable fault (transient error, checksum mismatch) are reissued up to the
+budget.  Every failed attempt **invalidates any cached entry for that page
+before retrying** — a page that went through a fault window may have been
+cached from a pre-fault decode, and serving that stale batch would silently
+corrupt training; only checksum-verified reads may live in the cache
+(regression-tested in ``tests/test_bufferpool.py``).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Any
 
 from .codec import TrainingTuple, TupleBatch
 from .heapfile import HeapFile
+from .retry import RetryPolicy
 
 __all__ = ["BufferPool"]
 
@@ -45,14 +56,42 @@ class _PageEntry:
 class BufferPool:
     """Caches decoded pages of a single heap file."""
 
-    def __init__(self, heap: HeapFile, capacity_pages: int):
+    def __init__(
+        self,
+        heap: HeapFile,
+        capacity_pages: int,
+        retry: RetryPolicy | None = None,
+        storage_stats: Any | None = None,
+    ):
         if capacity_pages <= 0:
             raise ValueError("capacity_pages must be positive")
         self.heap = heap
         self.capacity_pages = capacity_pages
+        self.retry = retry
+        self.storage_stats = storage_stats
         self._cache: OrderedDict[int, _PageEntry] = OrderedDict()
         self.hits = 0
         self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _read_batch(self, page_id: int) -> TupleBatch:
+        """One verified page read, retried (with invalidation) under faults."""
+        if self.retry is None:
+            return self.heap.read_page_batch(page_id)
+
+        def on_retry(_exc: Exception) -> None:
+            # The fix for the stale-batch hazard: a failed attempt means the
+            # page is inside a fault window, so any batch cached from an
+            # earlier read of it can no longer be trusted.  Drop it *before*
+            # the retry, never after use.
+            self.invalidate(page_id)
+
+        return self.retry.run(
+            lambda attempt: self.heap.read_page_batch(page_id, attempt=attempt),
+            stats=self.storage_stats,
+            describe=f"page {page_id}",
+            on_retry=on_retry,
+        )
 
     def _entry_traced(self, page_id: int) -> tuple[_PageEntry, bool]:
         if page_id in self._cache:
@@ -60,7 +99,7 @@ class BufferPool:
             self.hits += 1
             return self._cache[page_id], True
         self.misses += 1
-        entry = _PageEntry(self.heap.read_page_batch(page_id))
+        entry = _PageEntry(self._read_batch(page_id))
         self._cache[page_id] = entry
         if len(self._cache) > self.capacity_pages:
             self._cache.popitem(last=False)
@@ -89,9 +128,30 @@ class BufferPool:
         entry, hit = self._entry_traced(page_id)
         return entry.batch, hit
 
+    # ------------------------------------------------------------------
+    def invalidate(self, page_id: int) -> bool:
+        """Drop the cached entry for one page (if present).
+
+        Called by the retry path after every failed read attempt, and by
+        chaos harnesses after a known fault window, so a stale pre-fault
+        batch can never be served as a "hit".
+        """
+        dropped = self._cache.pop(page_id, None) is not None
+        if dropped and self.storage_stats is not None:
+            self.storage_stats.record_cache_invalidation()
+        return dropped
+
+    def refresh(self, page_id: int) -> tuple[TrainingTuple, ...]:
+        """Invalidate and re-read one page through the verified path."""
+        self.invalidate(page_id)
+        return self.get_page(page_id)
+
     @property
     def cached_pages(self) -> int:
         return len(self._cache)
+
+    def is_cached(self, page_id: int) -> bool:
+        return page_id in self._cache
 
     @property
     def hit_rate(self) -> float:

@@ -23,6 +23,7 @@ from ..data.dataset import Dataset
 from ..data.sparse import SparseMatrix
 from .codec import TrainingTuple, TupleBatch, TupleSchema, decode_page, decode_tuple, encode_tuple
 from .page import DEFAULT_PAGE_BYTES, Page
+from .retry import ChecksumError
 
 __all__ = ["HeapFile"]
 
@@ -43,6 +44,10 @@ class HeapFile:
         self.pages: list[Page] = []
         self._refs: list[_TupleRef] = []
         self.decode_count = 0  # tuples decoded (CPU accounting)
+        # Verify every page read against the page's CRC32 before decoding.
+        # Off by default (the in-memory heap cannot tear); the fault plane's
+        # FaultyHeapFile turns it on so torn reads are caught, not decoded.
+        self.verify_checksums = False
 
     # ------------------------------------------------------------------
     @classmethod
@@ -105,24 +110,54 @@ class HeapFile:
         """Decode every tuple stored on ``page_id`` (in slot order)."""
         return self.read_page_batch(page_id).to_tuples()
 
-    def read_page_batch(self, page_id: int) -> TupleBatch:
+    def _read_page_payloads(self, page_id: int, attempt: int = 1) -> list[bytes]:
+        """The raw stored tuple payloads of one page — the *read* step.
+
+        This is the fault-injection seam: the base heap returns the page's
+        chunks verbatim; :class:`~repro.faults.store.FaultyHeapFile`
+        overrides it to raise transient errors or hand back corrupted bytes
+        according to its fault plan.  ``attempt`` is the 1-based retry
+        attempt of the caller's read.
+        """
+        del attempt  # the clean heap never fails, whatever the attempt
+        return self.pages[page_id].tuple_payloads()
+
+    def page_checksum(self, page_id: int) -> int:
+        """CRC32 ground truth for ``page_id`` (what a data file would store)."""
+        return self.pages[page_id].checksum()
+
+    def read_page_batch(self, page_id: int, attempt: int = 1) -> TupleBatch:
         """Decode a whole page in bulk into a columnar :class:`TupleBatch`.
+
+        With :attr:`verify_checksums` set, the bytes read are CRC-checked
+        against the page's stored checksum *before* decoding and a mismatch
+        raises :class:`~repro.storage.retry.ChecksumError` — a retryable
+        fault the buffer pool's bounded-retry read path absorbs.
 
         Compressed (TOAST-like) pages are decompressed tuple-by-tuple — that
         cost is inherent to the format — but the byte parse is still one bulk
         :func:`~repro.storage.codec.decode_page` call over the concatenation.
         """
         page = self.pages[page_id]
+        payloads = self._read_page_payloads(page_id, attempt)
+        if self.verify_checksums:
+            got = zlib.crc32(b"".join(payloads))
+            want = self.page_checksum(page_id)
+            if got != want:
+                raise ChecksumError(
+                    f"page {page_id}: checksum mismatch "
+                    f"(got {got:#010x}, want {want:#010x})"
+                )
         if self.compress:
             chunks = []
-            for payload in page.tuple_payloads():
+            for payload in payloads:
                 raw_len = int.from_bytes(payload[:4], "little")
                 raw = zlib.decompress(payload[4:])
                 assert len(raw) == raw_len
                 chunks.append(raw)
             buffer = b"".join(chunks)
         else:
-            buffer = page.raw()
+            buffer = b"".join(payloads)
         self.decode_count += page.n_tuples
         return decode_page(buffer, page.n_tuples, self.schema)
 

@@ -8,6 +8,7 @@ keeps the page layer reusable for compressed (TOAST-like) payloads.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 __all__ = ["Page", "DEFAULT_PAGE_BYTES"]
@@ -53,6 +54,12 @@ class Page:
     def raw(self) -> bytes:
         """The concatenated tuple payloads (without padding)."""
         return b"".join(self._chunks)
+
+    def checksum(self) -> int:
+        """CRC32 of the page payload — the ground truth the fault-aware
+        read path verifies reads against (PostgreSQL's ``data_checksums``).
+        """
+        return zlib.crc32(self.raw())
 
     def tuple_payloads(self) -> list[bytes]:
         return list(self._chunks)

@@ -1,0 +1,145 @@
+"""Bounded retry-with-backoff for the storage read path.
+
+Real deployments of an in-database trainer see *transient* storage faults —
+a read that fails once and succeeds when reissued, or a torn page whose
+checksum does not match the bytes read (Section 7's storage media are
+exactly where such faults live).  This module defines the error taxonomy the
+storage layer uses to distinguish retryable from fatal failures, plus the
+:class:`RetryPolicy` that every verified read path
+(:class:`~repro.storage.blockfile.BlockFileReader`,
+:class:`~repro.storage.bufferpool.BufferPool`) runs under:
+
+* :class:`RetryableIOError` — marker base class: reissuing the read may
+  succeed.  :class:`TransientReadError` (the device errored) and
+  :class:`ChecksumError` (the bytes read do not match the stored checksum —
+  a torn or corrupt page) are its two concrete forms.
+* :class:`ReadExhaustedError` — the bounded retry budget is spent; the fault
+  is treated as unrecoverable and surfaces to the caller (the db engine
+  translates it into a typed ``StorageError`` with partial progress).
+
+Retries are *invisible* above the storage layer: a read either returns
+verified bytes or raises :class:`ReadExhaustedError`.  Every attempt, retry,
+and exhaustion is recorded into an optional stats sink (duck-typed as
+:class:`~repro.core.stats.StorageStats`), so chaos runs can assert that
+faults really happened even though the model output is unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, TypeVar
+
+__all__ = [
+    "RetryableIOError",
+    "TransientReadError",
+    "ChecksumError",
+    "ReadExhaustedError",
+    "RetryPolicy",
+]
+
+T = TypeVar("T")
+
+
+class RetryableIOError(IOError):
+    """A storage read failure that may succeed if the read is reissued."""
+
+
+class TransientReadError(RetryableIOError):
+    """The device/file reported an error for this read attempt."""
+
+
+class ChecksumError(RetryableIOError):
+    """The bytes read do not match their stored checksum (torn/corrupt page)."""
+
+
+class ReadExhaustedError(IOError):
+    """A read kept failing after the full retry budget.
+
+    Carries the attempt count and the last underlying failure so the engine
+    layer can report *what* gave up, not just that something did.
+    """
+
+    def __init__(self, describe: str, attempts: int, last_error: Exception):
+        super().__init__(
+            f"{describe}: still failing after {attempts} attempt(s): {last_error}"
+        )
+        self.describe = describe
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class RetryPolicy:
+    """Bounded retry with (optional) exponential backoff.
+
+    ``max_attempts`` counts the first try: ``RetryPolicy(3)`` issues at most
+    three reads.  ``backoff_s`` sleeps before each *retry* and grows by
+    ``backoff_factor``; the default of zero keeps tests instant and
+    deterministic while production callers can opt into real backoff.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 4,
+        backoff_s: float = 0.0,
+        backoff_factor: float = 2.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if backoff_s < 0:
+            raise ValueError("backoff_s must be non-negative")
+        if backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be at least 1")
+        self.max_attempts = int(max_attempts)
+        self.backoff_s = float(backoff_s)
+        self.backoff_factor = float(backoff_factor)
+        self._sleep = sleep
+
+    def run(
+        self,
+        attempt_fn: Callable[[int], T],
+        stats: Any | None = None,
+        describe: str = "storage read",
+        on_retry: Callable[[Exception], None] | None = None,
+    ) -> T:
+        """Call ``attempt_fn(attempt)`` (1-based) until it returns.
+
+        Only :class:`RetryableIOError` triggers a retry — anything else
+        (including an injected crash) propagates immediately.  ``on_retry``
+        runs after each failed attempt, before the backoff sleep; callers
+        use it to drop state the failed read may have poisoned (e.g. the
+        buffer pool invalidating a cached page).
+        """
+        delay = self.backoff_s
+        last: Exception | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            if stats is not None:
+                stats.record_attempt()
+            try:
+                result = attempt_fn(attempt)
+            except RetryableIOError as exc:
+                last = exc
+                if stats is not None:
+                    stats.record_fault(exc)
+                if on_retry is not None:
+                    on_retry(exc)
+                if attempt < self.max_attempts:
+                    if stats is not None:
+                        stats.record_retry()
+                    if delay > 0:
+                        self._sleep(delay)
+                        delay *= self.backoff_factor
+                continue
+            if stats is not None:
+                stats.record_ok()
+            return result
+        if stats is not None:
+            stats.record_exhausted()
+        assert last is not None
+        raise ReadExhaustedError(describe, self.max_attempts, last)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"backoff_s={self.backoff_s}, backoff_factor={self.backoff_factor})"
+        )

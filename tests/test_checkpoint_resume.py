@@ -1,0 +1,230 @@
+"""Crash-safe checkpoint/resume: killed runs finish with identical weights.
+
+Satellite (b): a run killed at a randomized tuple N and resumed from its
+last checkpoint must produce final weights within 1e-12 of the
+uninterrupted run — for fused and scalar kernels, dense and sparse data,
+across ≥3 seeds.  The comparison baseline runs with the *same* checkpoint
+cadence, because the fused kernels flush their lazy L2 scaling at chunk
+boundaries (cadence is part of the numeric contract; see
+``CheckpointConfig``).  ``CHAOS_SEED`` shifts the seed set per CI job.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import CorgiPileDataset, DataLoader
+from repro.data import make_binary_dense, make_binary_sparse
+from repro.faults import FaultPlan, InjectedCrash
+from repro.ml import (
+    Adam,
+    CheckpointConfig,
+    LogisticRegression,
+    Trainer,
+    load_checkpoint,
+    save_checkpoint,
+    train_streaming,
+)
+from repro.shuffle import EpochShuffle
+from repro.storage import write_block_file
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
+SEEDS = [CHAOS_SEED * 3 + k for k in range(3)]
+
+N_TUPLES = 300
+EPOCHS = 3
+CADENCE = 64
+
+
+def _dataset(sparse: bool):
+    if sparse:
+        return make_binary_sparse(N_TUPLES, 60, nnz_per_row=8, separation=1.0, seed=13)
+    return make_binary_dense(N_TUPLES, 10, separation=1.2, seed=11)
+
+
+def _trainer(dataset, seed, fused, ckpath=None, plan=None, batch_size=1, optimizer=None):
+    model = LogisticRegression(dataset.n_features)
+    trainer = Trainer(
+        model,
+        dataset,
+        EpochShuffle(dataset.n_tuples, seed=seed),
+        epochs=EPOCHS,
+        fused=fused,
+        batch_size=batch_size,
+        optimizer=optimizer(model) if optimizer is not None else None,
+        checkpoint=CheckpointConfig(ckpath, every_tuples=CADENCE) if ckpath else None,
+        fault_plan=plan,
+    )
+    return model, trainer
+
+
+def _crash_point(seed: int) -> int:
+    # Randomized but reproducible: anywhere in the run except the very end.
+    rng = np.random.default_rng([seed, 991])
+    return int(rng.integers(1, EPOCHS * N_TUPLES - 1))
+
+
+class TestTrainerCrashResume:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("fused", [False, True])
+    @pytest.mark.parametrize("sparse", [False, True])
+    def test_killed_run_resumes_to_identical_weights(self, tmp_path, seed, fused, sparse):
+        dataset = _dataset(sparse)
+        crash_at = _crash_point(seed)
+        ckpath = tmp_path / "run.ckpt.npz"
+
+        # Baseline: uninterrupted, same checkpoint cadence.
+        base_model, base = _trainer(dataset, seed, fused, ckpath=tmp_path / "base.npz")
+        base_history = base.run()
+
+        # Crashed run: killed after crash_at tuples.
+        crash_model, crashed = _trainer(
+            dataset, seed, fused, ckpath=ckpath, plan=FaultPlan(crash_at_tuple=crash_at)
+        )
+        with pytest.raises(InjectedCrash):
+            crashed.run()
+
+        # Resume in a fresh process-equivalent: new model, new trainer.
+        resumed_model, resumed = _trainer(dataset, seed, fused, ckpath=ckpath)
+        resumed_history = resumed.run(resume_from=ckpath)
+
+        for key in base_model.params:
+            diff = np.max(np.abs(base_model.params[key] - resumed_model.params[key]))
+            assert diff <= 1e-12, (seed, fused, sparse, crash_at, diff)
+        assert len(resumed_history.records) == len(base_history.records)
+        assert resumed_history.final.tuples_seen == EPOCHS * N_TUPLES
+
+    @pytest.mark.parametrize("seed", SEEDS[:1])
+    def test_mini_batch_adam_resume_restores_optimizer_state(self, tmp_path, seed):
+        dataset = _dataset(sparse=False)
+        ckpath = tmp_path / "adam.ckpt.npz"
+        base_model, base = _trainer(
+            dataset, seed, False, ckpath=tmp_path / "b.npz", batch_size=16, optimizer=Adam
+        )
+        base.run()
+
+        crash_model, crashed = _trainer(
+            dataset,
+            seed,
+            False,
+            ckpath=ckpath,
+            plan=FaultPlan(crash_at_tuple=_crash_point(seed)),
+            batch_size=16,
+            optimizer=Adam,
+        )
+        with pytest.raises(InjectedCrash):
+            crashed.run()
+
+        resumed_model, resumed = _trainer(
+            dataset, seed, False, ckpath=ckpath, batch_size=16, optimizer=Adam
+        )
+        resumed.run(resume_from=ckpath)
+        for key in base_model.params:
+            # Adam's m/v/t slots must survive the round trip or the resumed
+            # trajectory diverges immediately.
+            assert np.max(np.abs(base_model.params[key] - resumed_model.params[key])) <= 1e-12
+
+    def test_crash_before_first_cadence_point_is_resumable(self, tmp_path):
+        dataset = _dataset(sparse=False)
+        ckpath = tmp_path / "early.ckpt.npz"
+        _, crashed = _trainer(
+            dataset, 0, True, ckpath=ckpath, plan=FaultPlan(crash_at_tuple=3)
+        )
+        with pytest.raises(InjectedCrash):
+            crashed.run()
+        state = load_checkpoint(ckpath)  # the run-start checkpoint exists
+        assert (state.epoch, state.cursor) == (0, 0)
+
+
+class TestCheckpointFormat:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        model = LogisticRegression(5)
+        shape = model.params["w"].shape
+        model.params["w"][...] = np.arange(np.prod(shape), dtype=np.float64).reshape(shape) / 7
+        path = save_checkpoint(
+            tmp_path / "ck.npz",
+            model,
+            epoch=2,
+            cursor=17,
+            tuples_seen=617,
+            optimizer_state={"velocity.w": np.ones(3)},
+            history=[{"epoch": 0}],
+            meta={"index_seed": 4},
+        )
+        state = load_checkpoint(path)
+        assert np.array_equal(state.model.params["w"], model.params["w"])
+        assert (state.epoch, state.cursor, state.tuples_seen) == (2, 17, 617)
+        assert np.array_equal(state.optimizer_state["velocity.w"], np.ones(3))
+        assert state.history == [{"epoch": 0}] and state.meta == {"index_seed": 4}
+
+    def test_write_is_atomic(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, LogisticRegression(3), epoch=0, cursor=0, tuples_seen=0)
+        assert not path.with_name(path.name + ".tmp").exists()
+
+    def test_corrupt_checkpoint_raises_value_error(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"not a checkpoint at all")
+        with pytest.raises(ValueError):
+            load_checkpoint(path)
+
+    def test_resume_guards_reject_mismatched_run(self, tmp_path):
+        dataset = _dataset(sparse=False)
+        ckpath = tmp_path / "g.ckpt.npz"
+        _, t = _trainer(dataset, 0, fused=True, ckpath=ckpath)
+        t.run()
+        # fused mismatch changes the update sequence -> refuse
+        _, scalar = _trainer(dataset, 0, fused=False)
+        with pytest.raises(ValueError, match="fused"):
+            scalar.run(resume_from=ckpath)
+        # different index seed replays a different order -> refuse
+        _, other_seed = _trainer(dataset, 1, fused=True)
+        with pytest.raises(ValueError, match="seed"):
+            other_seed.run(resume_from=ckpath)
+
+
+class TestStreamingCrashResume:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_streaming_killed_and_resumed_matches_uninterrupted(self, tmp_path, seed):
+        dataset = _dataset(sparse=False)
+        path = tmp_path / "stream.blocks"
+        write_block_file(dataset, path, tuples_per_block=25)
+        ckpath = tmp_path / "stream.ckpt.npz"
+
+        def run(model, plan=None, checkpoint=None, resume_from=None):
+            with CorgiPileDataset(path, buffer_blocks=2, seed=seed) as view:
+
+                def loader_factory(epoch):
+                    view.set_epoch(epoch)
+                    return DataLoader(view, batch_size=32)
+
+                train_streaming(
+                    model,
+                    loader_factory,
+                    epochs=2,
+                    per_tuple=True,
+                    fused=True,
+                    fault_plan=plan,
+                    checkpoint=checkpoint,
+                    resume_from=resume_from,
+                )
+
+        clean = LogisticRegression(dataset.n_features)
+        run(clean)
+
+        crashed = LogisticRegression(dataset.n_features)
+        with pytest.raises(InjectedCrash):
+            run(
+                crashed,
+                plan=FaultPlan(crash_at_tuple=_crash_point(seed) % (2 * N_TUPLES)),
+                checkpoint=CheckpointConfig(ckpath, every_tuples=CADENCE),
+            )
+
+        resumed = LogisticRegression(dataset.n_features)
+        run(resumed, resume_from=ckpath)
+        for key in clean.params:
+            # Streaming updates are per-batch, so resume is exactly bitwise.
+            assert np.array_equal(clean.params[key], resumed.params[key])
