@@ -9,11 +9,12 @@ re-exported here; subsystems live in their own subpackages:
 * :mod:`repro.data` -- synthetic datasets and physical orderings,
 * :mod:`repro.storage` -- pages, block files, buffer pool, I/O models,
 * :mod:`repro.db` -- the miniature in-DB ML engine,
+* :mod:`repro.parallel` -- the executing multi-process engine,
 * :mod:`repro.theory` -- the h_D factor and convergence bounds,
 * :mod:`repro.bench` -- the experiment harness.
 """
 
-from . import bench, core, data, db, ml, shuffle, storage, theory
+from . import bench, core, data, db, ml, parallel, shuffle, storage, theory
 from .core import CorgiPileDataset, CorgiPileShuffle, DataLoader, MultiProcessCorgiPile
 from .data import BlockLayout, Dataset, clustered_by_label, load
 from .ml import (
@@ -34,6 +35,7 @@ __all__ = [
     "bench",
     "core",
     "db",
+    "parallel",
     "theory",
     "data",
     "ml",

@@ -1,6 +1,7 @@
 """Benchmark harness: sweep runners, kernel microbenchmarks, result reporting."""
 
 from .kernelbench import FULL_SIZES, QUICK_SIZES, kernel_bench_rows, run_kernel_bench
+from .parallelbench import parallel_bench_rows, run_parallel_bench
 from .reporting import format_curve, format_table, print_table, save_records
 from .runners import ConvergenceSweep, history_row, run_convergence_sweep
 from .timing import ThroughputRecord, compare_throughput, time_best
@@ -18,6 +19,8 @@ __all__ = [
     "compare_throughput",
     "run_kernel_bench",
     "kernel_bench_rows",
+    "run_parallel_bench",
+    "parallel_bench_rows",
     "QUICK_SIZES",
     "FULL_SIZES",
 ]

@@ -6,6 +6,9 @@ Commands
 ``generate``  write a synthetic dataset to a LIBSVM or CSV file
 ``train``     train a model over a data file (or bundled dataset) with a
               chosen shuffling strategy; optionally save the model
+``parallel-train``  train with real worker processes — sharded CorgiPile
+              with sync/epoch/async aggregation (Section 5); can verify
+              equivalence against the single-process reference
 ``predict``   score a saved model against a data file
 ``explain``   print the physical plan a TRAIN query would execute
 ``bench-io``  print the Figure 20 random-vs-sequential throughput curve
@@ -54,6 +57,36 @@ __all__ = ["main", "build_parser"]
 _MODELS = ("lr", "svm", "linreg", "softmax")
 
 
+def _add_common_options(
+    parser: argparse.ArgumentParser,
+    *,
+    workers: int | None = None,
+    quick: bool = True,
+) -> None:
+    """The shared ``--seed/--workers/--quick`` group.
+
+    Every subcommand that takes any of these gets them from here, so the
+    flags spell and default the same way everywhere (``--seed 0``; ``--quick``
+    shrinks the workload for a smoke run; ``--workers`` appears only where a
+    worker count is meaningful, with the subcommand's natural default).
+    """
+    group = parser.add_argument_group("common options")
+    group.add_argument(
+        "--seed", type=int, default=0,
+        help="deterministic seed for shuffles, data generation, and faults",
+    )
+    if workers is not None:
+        group.add_argument(
+            "--workers", type=int, default=workers,
+            help=f"number of parallel workers (default {workers})",
+        )
+    if quick:
+        group.add_argument(
+            "--quick", action="store_true",
+            help="shrink the workload for a fast smoke run",
+        )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -72,7 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="shuffled",
         help="physical order: shuffled | clustered | feature:<index>",
     )
-    gen.add_argument("--seed", type=int, default=0)
+    _add_common_options(gen, quick=False)
 
     train = sub.add_parser("train", help="train a model with a shuffle strategy")
     source = train.add_mutually_exclusive_group(required=True)
@@ -89,8 +122,35 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--buffer-fraction", type=float, default=0.1)
     train.add_argument("--block-tuples", type=int, default=40)
     train.add_argument("--test-fraction", type=float, default=0.1)
-    train.add_argument("--seed", type=int, default=0)
     train.add_argument("--save-model", help="write the trained model to this .npz path")
+    _add_common_options(train, workers=1)
+
+    par = sub.add_parser(
+        "parallel-train",
+        help="multi-process data-parallel training (sharded CorgiPile, Section 5)",
+    )
+    par.add_argument("--dataset", choices=sorted(DATASETS), default="susy")
+    par.add_argument("--model", choices=_MODELS, default="lr")
+    par.add_argument(
+        "--mode", choices=("sync", "epoch", "async"), default="sync",
+        help="aggregation: per-batch gradient averaging | epoch-end model "
+        "averaging | Hogwild (default sync)",
+    )
+    par.add_argument("--epochs", type=int, default=5)
+    par.add_argument("--lr", type=float, default=0.05)
+    par.add_argument("--decay", type=float, default=0.95)
+    par.add_argument("--global-batch-size", type=int, default=32)
+    par.add_argument("--block-tuples", type=int, default=40)
+    par.add_argument("--buffer-blocks", type=int, default=2)
+    par.add_argument(
+        "--compare-single",
+        action="store_true",
+        help="also run the equivalent single-process reference and verify the "
+        "parallel model matches (sync: params within 1e-6; all modes: final "
+        "accuracy within 0.5 pp); non-zero exit on mismatch",
+    )
+    par.add_argument("--json", help="write the full run report to this path")
+    _add_common_options(par, workers=2)
 
     predict = sub.add_parser("predict", help="score a saved model on a data file")
     predict.add_argument("--model", required=True, help="saved .npz model")
@@ -113,14 +173,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the concurrent loaders and print their observability counters",
     )
     loader.add_argument("--dataset", choices=sorted(DATASETS), default="susy")
-    loader.add_argument("--workers", type=int, default=2)
     loader.add_argument("--buffer-blocks", type=int, default=2)
     loader.add_argument("--batch-size", type=int, default=32)
     loader.add_argument("--epochs", type=int, default=2)
     loader.add_argument("--block-tuples", type=int, default=40)
     loader.add_argument("--buffer-tuples", type=int, default=200)
     loader.add_argument("--prefetch-depth", type=int, default=2)
-    loader.add_argument("--seed", type=int, default=0)
+    _add_common_options(loader, workers=2)
 
     kernel = sub.add_parser(
         "kernel-bench",
@@ -131,16 +190,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="larger workloads for more stable numbers (default: quick)",
     )
-    kernel.add_argument("--seed", type=int, default=0)
     kernel.add_argument("--repeats", type=int, default=3, help="best-of-N repeats")
     kernel.add_argument("--json", help="also write the full bench document to this path")
+    _add_common_options(kernel, quick=False)
 
     chaos = sub.add_parser(
         "chaos",
         help="train under injected storage faults and verify fault-tolerance",
     )
     chaos.add_argument("--dataset", choices=sorted(DATASETS), default="susy")
-    chaos.add_argument("--seed", type=int, default=0, help="fault-plan and shuffle seed")
     chaos.add_argument("--epochs", type=int, default=2)
     chaos.add_argument("--p-transient", type=float, default=0.2)
     chaos.add_argument("--p-torn", type=float, default=0.1)
@@ -156,6 +214,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--block-tuples", type=int, default=40)
     chaos.add_argument("--buffer-blocks", type=int, default=2)
     chaos.add_argument("--batch-size", type=int, default=64)
+    _add_common_options(chaos)
 
     return parser
 
@@ -214,23 +273,69 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _parallel_batch(batch_size: int, workers: int) -> int:
+    """Round the batch size up to a multiple of the worker count."""
+    per_worker = max(1, -(-batch_size // workers))
+    return per_worker * workers
+
+
 def _cmd_train(args) -> int:
     dataset = _load_input(args)
+    epochs = min(args.epochs, 3) if args.quick else args.epochs
     train_set, test_set = dataset.split(1.0 - args.test_fraction, seed=args.seed)
     model = _build_model(args.model, dataset)
-    layout = train_set.layout(args.block_tuples)
-    strategy = make_strategy(
-        args.strategy, layout, buffer_fraction=args.buffer_fraction, seed=args.seed
-    )
-    history = Trainer(
-        model,
-        train_set,
-        strategy,
-        epochs=args.epochs,
-        schedule=ExponentialDecay(args.lr, args.decay),
-        batch_size=args.batch_size,
-        test=test_set,
-    ).run()
+    if args.workers > 1:
+        # Real multi-process training: sharded CorgiPile over a materialised
+        # block file (Section 5); other strategies have no parallel plan.
+        import tempfile
+        from pathlib import Path
+
+        from .parallel import ParallelTrainer
+        from .storage import write_block_file
+
+        if args.strategy != "corgipile":
+            raise SystemExit(
+                f"--workers {args.workers} executes sharded CorgiPile; "
+                f"--strategy {args.strategy} has no parallel plan"
+            )
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "train.blocks"
+            write_block_file(train_set, path, args.block_tuples)
+            buffer_blocks = max(
+                1,
+                round(
+                    args.buffer_fraction
+                    * train_set.n_tuples
+                    / (args.workers * args.block_tuples)
+                ),
+            )
+            history = ParallelTrainer(
+                path,
+                model,
+                n_workers=args.workers,
+                mode="sync",
+                epochs=epochs,
+                global_batch_size=_parallel_batch(args.batch_size, args.workers),
+                buffer_blocks=buffer_blocks,
+                seed=args.seed,
+                schedule=ExponentialDecay(args.lr, args.decay),
+                test=test_set,
+                task=dataset.task,
+            ).run().history
+    else:
+        layout = train_set.layout(args.block_tuples)
+        strategy = make_strategy(
+            args.strategy, layout, buffer_fraction=args.buffer_fraction, seed=args.seed
+        )
+        history = Trainer(
+            model,
+            train_set,
+            strategy,
+            epochs=epochs,
+            schedule=ExponentialDecay(args.lr, args.decay),
+            batch_size=args.batch_size,
+            test=test_set,
+        ).run()
     rows = [
         {
             "epoch": r.epoch,
@@ -241,7 +346,8 @@ def _cmd_train(args) -> int:
         }
         for r in history.records
     ]
-    print(format_table(rows, title=f"{args.model} via {args.strategy}"))
+    suffix = f" x{args.workers} workers" if args.workers > 1 else ""
+    print(format_table(rows, title=f"{args.model} via {args.strategy}{suffix}"))
     if args.save_model:
         save_model(model, args.save_model)
         print(f"saved model to {args.save_model}")
@@ -289,6 +395,118 @@ def _cmd_bench_io(args) -> int:
     return 0
 
 
+def _cmd_parallel_train(args) -> int:
+    """Train with real worker processes; optionally verify against single-process.
+
+    ``--compare-single`` re-runs the equivalent single-process reference
+    over the same block file and checks the Section 5 equivalence for real:
+    in sync mode the parallel parameters must match the reference within
+    1e-6 (they match at float rounding), and in every mode the final
+    training accuracy must land within 0.5 pp.  Exit code 0 iff the checks
+    pass — the CI ``parallel-smoke`` job runs exactly this.
+    """
+    import json
+    import tempfile
+    from pathlib import Path
+
+    import numpy as np
+
+    from .parallel import ParallelTrainer, sync_reference_trainer
+    from .storage import write_block_file
+
+    dataset = load(args.dataset, seed=args.seed)
+    epochs = args.epochs
+    if args.quick:
+        epochs = min(epochs, 3)
+        if dataset.n_tuples > 1600:
+            dataset = dataset.subset(range(1600))
+    gbs = _parallel_batch(args.global_batch_size, args.workers)
+    model = _build_model(args.model, dataset)
+    ok = True
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "parallel.blocks"
+        write_block_file(dataset, path, args.block_tuples)
+        result = ParallelTrainer(
+            path,
+            model,
+            n_workers=args.workers,
+            mode=args.mode,
+            epochs=epochs,
+            global_batch_size=gbs,
+            buffer_blocks=args.buffer_blocks,
+            seed=args.seed,
+            schedule=ExponentialDecay(args.lr, args.decay),
+            task=dataset.task,
+        ).run()
+
+        rows = [
+            {
+                "epoch": r.epoch,
+                "lr": round(r.lr, 5),
+                "train_loss": round(r.train_loss, 4),
+                "train_score": round(r.train_score, 4),
+                "wall_s": round(result.epoch_walls[i], 3),
+            }
+            for i, r in enumerate(result.history.records)
+        ]
+        print(
+            format_table(
+                rows,
+                title=f"{args.model} x{result.n_workers} workers ({result.mode})",
+            )
+        )
+        loader = result.loader_stats.as_dict()
+        print(
+            f"\n{result.tuples_processed} tuples in {result.wall_seconds:.2f}s "
+            f"({result.tuples_per_second:,.0f} tuples/s); "
+            f"{loader['buffers_filled']} buffer fills across "
+            f"{len(result.per_worker)} workers, {loader['live_threads']} live threads"
+        )
+
+        if args.compare_single:
+            ref_model = _build_model(args.model, dataset)
+            ref = sync_reference_trainer(
+                path,
+                ref_model,
+                n_workers=args.workers,
+                epochs=epochs,
+                global_batch_size=gbs,
+                buffer_blocks=args.buffer_blocks,
+                seed=args.seed,
+                schedule=ExponentialDecay(args.lr, args.decay),
+                task=dataset.task,
+            ).run()
+            acc_gap = abs(result.history.final.train_score - ref.final.train_score)
+            print(
+                f"single-process reference accuracy {ref.final.train_score:.4f} "
+                f"vs parallel {result.history.final.train_score:.4f} "
+                f"(gap {100 * acc_gap:.3f} pp)"
+            )
+            ok &= acc_gap <= 0.005
+            if args.mode == "sync":
+                diff = float(
+                    np.max(
+                        np.abs(
+                            model.parameter_vector() - ref_model.parameter_vector()
+                        )
+                    )
+                )
+                print(f"max parameter diff vs reference: {diff:.3e}")
+                ok &= diff <= 1e-6
+            print(f"equivalence verdict: {'PASS' if ok else 'FAIL'}")
+
+    if args.json:
+        report = result.describe()
+        report["dataset"] = args.dataset
+        report["seed"] = args.seed
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if ok else 1
+
+
 def _cmd_loader_stats(args) -> int:
     """Exercise each concurrent loader for real and print its counters."""
     import tempfile
@@ -309,6 +527,8 @@ def _cmd_loader_stats(args) -> int:
     from .storage import SSD, write_block_file
 
     dataset = load(args.dataset, seed=args.seed)
+    epochs = 1 if args.quick else args.epochs
+    args.epochs = epochs
     rows = []
 
     with tempfile.TemporaryDirectory() as tmp:
@@ -360,6 +580,13 @@ def _cmd_loader_stats(args) -> int:
             op.rescan()
     op.close()
     rows.append(overlap_report(threaded_stats))
+
+    # One merged row across all loaders — the cross-process/-thread merge
+    # the parallel engine uses, exercised here on the CLI path.
+    total = LoaderStats("TOTAL")
+    for stats in (prefetch_stats, multi_stats, threaded_stats):
+        total.merge(stats)
+    rows.append(overlap_report(total))
 
     print(
         format_table(
@@ -418,6 +645,8 @@ def _cmd_chaos(args) -> int:
     from .ml import CheckpointConfig, train_streaming
     from .storage import write_block_file
 
+    if args.quick:
+        args.epochs = min(args.epochs, 1)
     dataset = load(args.dataset, seed=args.seed)
     model_clean = _build_model("lr", dataset)
     plan = FaultPlan(
@@ -507,6 +736,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "generate": _cmd_generate,
     "train": _cmd_train,
+    "parallel-train": _cmd_parallel_train,
     "predict": _cmd_predict,
     "explain": _cmd_explain,
     "bench-io": _cmd_bench_io,

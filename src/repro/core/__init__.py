@@ -8,6 +8,7 @@ from .distributed import MultiProcessCorgiPile
 from .lifecycle import THREADS, ManagedProducer, ProducerChannel, ThreadRegistry
 from .multiworker import MultiWorkerLoader
 from .prefetch import PrefetchLoader
+from .seeding import derive_rng, epoch_rng, fault_unit_rng, stream_rng, worker_rng
 from .stats import LoaderStats, StorageStats
 
 __all__ = [
@@ -24,6 +25,11 @@ __all__ = [
     "MultiWorkerLoader",
     "LoaderStats",
     "StorageStats",
+    "derive_rng",
+    "epoch_rng",
+    "worker_rng",
+    "stream_rng",
+    "fault_unit_rng",
     "ManagedProducer",
     "ProducerChannel",
     "ThreadRegistry",

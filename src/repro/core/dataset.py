@@ -27,6 +27,7 @@ import numpy as np
 from ..storage.blockfile import BlockFileReader
 from ..storage.codec import TrainingTuple
 from .buffer import ShuffleBuffer
+from .seeding import epoch_rng, worker_rng
 from .stats import LoaderStats
 
 __all__ = ["CorgiPileDataset"]
@@ -89,10 +90,8 @@ class CorgiPileDataset:
     def __iter__(self) -> Iterator[TrainingTuple]:
         # The block-shuffle RNG is shared across workers (same seed, same
         # epoch); the tuple-shuffle RNG is worker-local.
-        block_rng = np.random.default_rng(np.random.SeedSequence([self.seed, self.epoch]))
-        tuple_rng = np.random.default_rng(
-            np.random.SeedSequence([self.seed, self.epoch, 1 + self.worker_id])
-        )
+        block_rng = epoch_rng(self.seed, self.epoch)
+        tuple_rng = worker_rng(self.seed, self.epoch, self.worker_id)
         my_blocks = self._worker_blocks(block_rng)
         buffer: ShuffleBuffer[TrainingTuple] = ShuffleBuffer(
             max(1, self.buffer_blocks) * max(1, self._tuples_per_block()), tuple_rng

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..data.dataset import BlockLayout
 from .corgipile import CorgiPileShuffle
+from .seeding import epoch_rng, worker_rng
 
 __all__ = ["MultiProcessCorgiPile"]
 
@@ -54,27 +55,36 @@ class MultiProcessCorgiPile:
         worker ``i`` keeps the ``i``-th part — disjoint random subsets with
         no coordination (Section 5.1, step 2).
         """
-        rng = np.random.default_rng(np.random.SeedSequence([self.seed, epoch]))
-        order = rng.permutation(self.layout.n_blocks)
+        order = epoch_rng(self.seed, epoch).permutation(self.layout.n_blocks)
         return list(np.array_split(order, self.n_workers))
 
-    def worker_epoch_indices(self, epoch: int, worker_id: int) -> np.ndarray:
-        """Worker-local CorgiPile stream: buffer-fill groups, shuffled tuples."""
+    def worker_buffer_fills(self, epoch: int, worker_id: int) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Worker ``worker_id``'s stream, one entry per tuple-buffer fill.
+
+        Each entry is ``(block_group, shuffled_indices)``: the blocks read
+        into the buffer and the tuple visit order the drain produces.  The
+        executing engine (:mod:`repro.parallel`) consumes this form — one
+        fill is its unit of I/O — while :meth:`worker_epoch_indices` is the
+        flat concatenation, so execution provably matches the simulation.
+        """
         if not 0 <= worker_id < self.n_workers:
             raise IndexError("worker_id out of range")
         blocks = self.worker_blocks(epoch)[worker_id]
-        rng = np.random.default_rng(
-            np.random.SeedSequence([self.seed, epoch, 1 + worker_id])
-        )
-        chunks: list[np.ndarray] = []
+        rng = worker_rng(self.seed, epoch, worker_id)
+        fills: list[tuple[np.ndarray, np.ndarray]] = []
         for lo in range(0, blocks.size, self.buffer_blocks_per_worker):
             group = blocks[lo : lo + self.buffer_blocks_per_worker]
             indices = np.concatenate([self.layout.block_indices(b) for b in group])
             rng.shuffle(indices)
-            chunks.append(indices)
-        if not chunks:
+            fills.append((group, indices))
+        return fills
+
+    def worker_epoch_indices(self, epoch: int, worker_id: int) -> np.ndarray:
+        """Worker-local CorgiPile stream: buffer-fill groups, shuffled tuples."""
+        fills = self.worker_buffer_fills(epoch, worker_id)
+        if not fills:
             return np.empty(0, dtype=np.int64)
-        return np.concatenate(chunks)
+        return np.concatenate([indices for _, indices in fills])
 
     # ------------------------------------------------------------------
     def global_batches(self, epoch: int, global_batch_size: int) -> Iterator[np.ndarray]:

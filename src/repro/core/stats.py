@@ -25,13 +25,93 @@ import threading
 __all__ = ["LoaderStats", "StorageStats"]
 
 
-class LoaderStats:
+class _MergeableStats:
+    """Pickle + merge machinery shared by the counter classes.
+
+    Counters must cross process boundaries for the multi-process engine
+    (:mod:`repro.parallel`): workers pickle their stats back to the
+    coordinator, which folds them into one report.  Pickling snapshots the
+    counters and drops the lock (locks are not process-transportable); the
+    unpickled copy gets a fresh lock and stays fully functional.
+
+    Merging is declarative: ``_SUM_FIELDS`` add, ``_MAX_FIELDS`` take the
+    max (queue depths don't add across processes).
+    """
+
+    _SUM_FIELDS: tuple[str, ...] = ()
+    _MAX_FIELDS: tuple[str, ...] = ()
+
+    name: str
+    _lock: threading.Lock
+
+    def _counter_snapshot(self) -> dict:
+        with self._lock:
+            return {f: getattr(self, f) for f in self._SUM_FIELDS + self._MAX_FIELDS}
+
+    def __getstate__(self) -> dict:
+        state = self._counter_snapshot()
+        state["name"] = self.name
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.name = state["name"]
+        self._lock = threading.Lock()
+        self.reset()
+        for field in self._SUM_FIELDS + self._MAX_FIELDS:
+            setattr(self, field, state[field])
+
+    def reset(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def merge(self, other: "_MergeableStats") -> "_MergeableStats":
+        """Fold ``other``'s counters into this instance (in place)."""
+        if type(other) is not type(self):
+            raise TypeError(f"cannot merge {type(other).__name__} into {type(self).__name__}")
+        snap = other._counter_snapshot()
+        with self._lock:
+            for field in self._SUM_FIELDS:
+                setattr(self, field, getattr(self, field) + snap[field])
+            for field in self._MAX_FIELDS:
+                setattr(self, field, max(getattr(self, field), snap[field]))
+        return self
+
+    def __add__(self, other: "_MergeableStats") -> "_MergeableStats":
+        if type(other) is not type(self):
+            return NotImplemented
+        name = self.name if self.name == other.name else f"{self.name}+{other.name}"
+        total = type(self)(name)
+        total.merge(self)
+        total.merge(other)
+        return total
+
+    def __iadd__(self, other: "_MergeableStats") -> "_MergeableStats":
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.merge(other)
+
+
+class LoaderStats(_MergeableStats):
     """Thread-safe counters for one loader (or one family of loaders).
 
     A single instance may be shared by several producer threads (e.g. the
     per-worker prefetchers of a ``MultiWorkerLoader``); all counters then
-    aggregate across them.
+    aggregate across them.  Instances pickle (snapshot, fresh lock on load)
+    and merge across processes — see :class:`_MergeableStats`.
     """
+
+    _SUM_FIELDS = (
+        "items_produced",
+        "items_consumed",
+        "buffers_filled",
+        "buffers_drained",
+        "tuples_buffered",
+        "producer_stall_s",
+        "consumer_wait_s",
+        "puts_cancelled",
+        "threads_started",
+        "threads_joined",
+    )
+    _MAX_FIELDS = ("max_queue_depth",)
 
     def __init__(self, name: str = "loader"):
         self.name = name
@@ -149,7 +229,7 @@ class LoaderStats:
         return f"LoaderStats({self.name!r}, {body})"
 
 
-class StorageStats:
+class StorageStats(_MergeableStats):
     """Thread-safe counters for the fault-aware storage read path.
 
     One instance is shared by a fault injector
@@ -162,7 +242,23 @@ class StorageStats:
     transient-only fault plans every counter except ``exhausted_reads`` may
     be nonzero while the trained model stays bit-identical to a fault-free
     run — retries are invisible above the storage layer.
+
+    Instances pickle and merge across processes — see
+    :class:`_MergeableStats`.
     """
+
+    _SUM_FIELDS = (
+        "read_attempts",
+        "reads_ok",
+        "transient_errors",
+        "checksum_failures",
+        "retries",
+        "exhausted_reads",
+        "latency_events",
+        "latency_injected_s",
+        "crashes_injected",
+        "cache_invalidations",
+    )
 
     def __init__(self, name: str = "storage"):
         self.name = name

@@ -240,6 +240,8 @@ class MiniDB:
 
     def train(self, query: TrainQuery, test: Dataset | None = None) -> TrainResult:
         table = self.catalog.get(query.table)
+        if query.workers > 1:
+            return self._train_parallel(query, table, test)
         if query.strategy == "auto":
             from .planner import choose_access_path
 
@@ -341,6 +343,107 @@ class MiniDB:
         model_id = f"model_{self._model_counter}"
         self._models[model_id] = model
         return TrainResult(model_id, model, history, timeline, resources, query)
+
+    # ------------------------------------------------------------------
+    def _train_parallel(self, query: TrainQuery, table: TableInfo, test: Dataset | None) -> TrainResult:
+        """``WITH workers = PN``: real multi-process data-parallel training.
+
+        The table is materialised once as an on-disk block file (charged to
+        the timeline as setup, like the Shuffle-Once copy) and trained by
+        :class:`repro.parallel.ParallelTrainer`.  Unlike the single-process
+        path, every number here is *measured* wall-clock from the spawned
+        processes, not the device timing model — so the resource report sets
+        ``io_seconds`` to zero and folds everything into compute/wall.
+        """
+        import tempfile
+        import time as time_mod
+        from pathlib import Path
+
+        from ..parallel import AGGREGATION_MODES, ParallelTrainer
+        from ..storage import write_block_file
+
+        if query.aggregation not in AGGREGATION_MODES:
+            raise EngineError(
+                f"unknown aggregation {query.aggregation!r}; "
+                f"one of {AGGREGATION_MODES}"
+            )
+        if not query.strategy.startswith("corgipile"):
+            raise EngineError(
+                f"workers = {query.workers} requires a corgipile strategy; "
+                f"the parallel engine executes sharded CorgiPile only"
+            )
+        dataset = table.dataset
+        tuples_per_block = max(
+            1, min(dataset.n_tuples, round(query.block_size / max(1.0, table.tuple_bytes)))
+        )
+        # A block_size large enough to pack a small table into fewer blocks
+        # than there are workers would leave some shard empty — and sync mode
+        # silently trains nothing when the smallest shard is empty.  Cap the
+        # block so every worker owns at least four.
+        fair_share = max(1, dataset.n_tuples // (4 * query.workers))
+        tuples_per_block = min(tuples_per_block, fair_share)
+        buffer_tuples = max(1, round(query.buffer_fraction * dataset.n_tuples))
+        # Section 5: each worker holds a 1/PN share of the tuple buffer.
+        buffer_blocks = max(1, round(buffer_tuples / (query.workers * tuples_per_block)))
+        per_worker = max(1, math.ceil(query.batch_size / query.workers))
+        global_batch_size = per_worker * query.workers
+
+        model = self._build_model(query, table)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / f"{table.name}.blocks"
+            t0 = time_mod.perf_counter()
+            write_block_file(dataset, path, tuples_per_block)
+            setup_s = time_mod.perf_counter() - t0
+            result = ParallelTrainer(
+                path,
+                model,
+                n_workers=query.workers,
+                mode=query.aggregation,
+                epochs=query.max_epoch_num,
+                global_batch_size=global_batch_size,
+                buffer_blocks=buffer_blocks,
+                seed=query.seed,
+                schedule=ExponentialDecay(query.learning_rate, query.decay),
+                test=test,
+                task=dataset.task,
+            ).run()
+        if query.aggregation == "sync" and result.sync_steps == 0:
+            raise EngineError(
+                f"batch_size = {query.batch_size} needs {global_batch_size} tuples "
+                f"per sync step, but the smallest of the {query.workers} shards "
+                "never holds that many; lower batch_size or workers"
+            )
+
+        timeline = Timeline(
+            system=f"minidb/parallel-{query.aggregation}x{query.workers}",
+            setup_s=setup_s,
+            setup_note=f"materialise block file ({tuples_per_block} tuples/block)",
+        )
+        for record, wall in zip(result.history.records, result.epoch_walls):
+            timeline.append(
+                wall, record.epoch, record.train_loss, record.train_score, record.test_score
+            )
+        resources = ResourceUsage(
+            buffer_memory_bytes=float(
+                query.workers * buffer_blocks * tuples_per_block * table.tuple_bytes
+            ),
+            extra_disk_bytes=float(dataset.n_tuples * table.tuple_bytes),
+            io_seconds=0.0,
+            compute_seconds=result.wall_seconds,
+            wall_seconds=timeline.total_time_s,
+        )
+        query.extra["parallel"] = {
+            "n_workers": result.n_workers,
+            "mode": result.mode,
+            "sync_steps": result.sync_steps,
+            "tuples_processed": result.tuples_processed,
+            "tuples_per_second": result.tuples_per_second,
+            "plan": result.plan,
+        }
+        self._model_counter += 1
+        model_id = f"model_{self._model_counter}"
+        self._models[model_id] = model
+        return TrainResult(model_id, model, result.history, timeline, resources, query)
 
     # ------------------------------------------------------------------
     def predict(self, query: PredictQuery) -> np.ndarray:

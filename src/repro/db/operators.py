@@ -27,6 +27,13 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from ..core.buffer import ShuffleBuffer
+from ..core.seeding import (
+    MRS_STREAM,
+    SLIDING_WINDOW_STREAM,
+    TUPLE_SHUFFLE_STREAM,
+    epoch_rng,
+    stream_rng,
+)
 from ..ml.models.base import SupervisedModel
 from ..ml.trainer import ConvergenceHistory
 from ..storage.codec import TrainingTuple
@@ -145,7 +152,7 @@ class BlockShuffleOperator(PhysicalOperator):
         return self.table.heap.n_blocks(self.block_bytes)
 
     def open(self) -> None:
-        rng = np.random.default_rng(np.random.SeedSequence([self.seed, self._epoch]))
+        rng = epoch_rng(self.seed, self._epoch)
         self._block_order = rng.permutation(self.n_blocks)
         self._block_pos = 0
         self._pending = []
@@ -219,7 +226,7 @@ class TupleShuffleOperator(PhysicalOperator):
         self.buffer_tuples = int(buffer_tuples)
         self.seed = int(seed)
         self._epoch = 0
-        self._rng = np.random.default_rng(np.random.SeedSequence([seed, 0, 7]))
+        self._rng = stream_rng(seed, 0, TUPLE_SHUFFLE_STREAM)
         self._drained: list[TrainingTuple] = []
         self._slot = 0
         self._exhausted = False
@@ -258,7 +265,7 @@ class TupleShuffleOperator(PhysicalOperator):
 
     def rescan(self) -> None:
         self._epoch += 1
-        self._rng = np.random.default_rng(np.random.SeedSequence([self.seed, self._epoch, 7]))
+        self._rng = stream_rng(self.seed, self._epoch, TUPLE_SHUFFLE_STREAM)
         self.child.rescan()
         self._drained = []
         self._slot = 0
@@ -446,7 +453,7 @@ class PermutedScanOperator(PhysicalOperator):
                 self._slot_of.append(slot)
 
     def open(self) -> None:
-        rng = np.random.default_rng(np.random.SeedSequence([self.seed, self._epoch]))
+        rng = epoch_rng(self.seed, self._epoch)
         self._perm = rng.permutation(self.table.n_tuples)
         self._pos = 0
         if self.charge == "sort":
@@ -498,7 +505,7 @@ class SlidingWindowOperator(PhysicalOperator):
         self.window_tuples = int(window_tuples)
         self.seed = int(seed)
         self._epoch = 0
-        self._rng = np.random.default_rng(np.random.SeedSequence([seed, 0, 11]))
+        self._rng = stream_rng(seed, 0, SLIDING_WINDOW_STREAM)
         self._window: list[TrainingTuple] = []
         self._primed = False
 
@@ -533,7 +540,7 @@ class SlidingWindowOperator(PhysicalOperator):
 
     def rescan(self) -> None:
         self._epoch += 1
-        self._rng = np.random.default_rng(np.random.SeedSequence([self.seed, self._epoch, 11]))
+        self._rng = stream_rng(self.seed, self._epoch, SLIDING_WINDOW_STREAM)
         self.child.rescan()
         self._window = []
         self._primed = False
@@ -568,9 +575,7 @@ class MultiplexedReservoirOperator(PhysicalOperator):
         self._reset_state()
 
     def _reset_state(self) -> None:
-        self._rng = np.random.default_rng(
-            np.random.SeedSequence([self.seed, self._epoch, 13])
-        )
+        self._rng = stream_rng(self.seed, self._epoch, MRS_STREAM)
         self._reservoir: list[TrainingTuple] = []
         self._loop_buffer: list[TrainingTuple] = []
         self._scanned = 0

@@ -7,7 +7,8 @@ Supported model names: ``lr`` (logistic regression), ``svm``, ``linreg``
 (linear regression), ``softmax``.  Parameters mirror the paper's examples
 (``learning_rate = 0.1``, ``max_epoch_num = 20``, ``block_size = 10MB``)
 plus the knobs the experiments sweep (``buffer_fraction``, ``batch_size``,
-``strategy``, ``decay``, ``seed``, ``double_buffer``).
+``strategy``, ``decay``, ``seed``, ``double_buffer``) and the Section 5
+parallelism knobs (``workers``, ``aggregation``).
 """
 
 from __future__ import annotations
@@ -66,6 +67,12 @@ class TrainQuery:
     double_buffer: bool = True
     #: Route per-tuple SGD through the fused step_block kernels.
     fused: bool = False
+    #: Train with this many real worker processes (Section 5).  ``1`` keeps
+    #: the classic single-process Volcano pipeline; ``> 1`` routes the query
+    #: through :class:`repro.parallel.ParallelTrainer` over a materialised
+    #: block file, with ``aggregation`` picking the sync/epoch/async mode.
+    workers: int = 1
+    aggregation: str = "sync"
     extra: dict = field(default_factory=dict)
 
 

@@ -25,10 +25,9 @@ report the *measured* loading/compute overlap next to the analytic
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..core.buffer import ShuffleBuffer
 from ..core.lifecycle import END, Failure, ManagedProducer, ProducerChannel
+from ..core.seeding import TUPLE_SHUFFLE_STREAM, stream_rng
 from ..core.stats import LoaderStats
 from ..storage.codec import TrainingTuple
 from .operators import PhysicalOperator
@@ -66,7 +65,7 @@ class ThreadedTupleShuffleOperator(PhysicalOperator):
 
     # ------------------------------------------------------------------
     def _produce(self, channel: ProducerChannel, epoch: int) -> None:
-        rng = np.random.default_rng(np.random.SeedSequence([self.seed, epoch, 7]))
+        rng = stream_rng(self.seed, epoch, TUPLE_SHUFFLE_STREAM)
         while not channel.cancelled:
             buffer: ShuffleBuffer[TrainingTuple] = ShuffleBuffer(self.buffer_tuples, rng)
             while not buffer.full:

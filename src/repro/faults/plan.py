@@ -37,12 +37,10 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
-import numpy as np
+from ..core.seeding import FAULT_UNIT_CODES as _UNIT_CODES
+from ..core.seeding import fault_unit_rng
 
 __all__ = ["InjectedCrash", "FaultSpec", "FaultDecision", "FaultPlan"]
-
-# Stable small codes so the per-unit RNG stream is independent per unit kind.
-_UNIT_CODES = {"block": 1, "page": 2}
 
 KINDS = ("transient", "torn", "latency", "crash")
 
@@ -153,6 +151,23 @@ class FaultPlan:
         self._crash_fired = False
 
     # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle support: drop the lock, keep schedule + latch state.
+
+        The multi-process engine ships plans to spawned workers; random
+        draws are pure functions of ``(seed, unit, id)`` so the memo cache
+        travels harmlessly (it would be re-derived identically anyway).
+        """
+        with self._lock:
+            state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
     @classmethod
     def random(
         cls,
@@ -204,9 +219,7 @@ class FaultPlan:
             cached = self._draws.get(key)
             if cached is not None:
                 return cached
-        rng = np.random.default_rng(
-            np.random.SeedSequence([self.seed, _UNIT_CODES[unit], int(target)])
-        )
+        rng = fault_unit_rng(self.seed, unit, int(target))
         # One uniform per fault family keeps the stream layout stable as
         # probabilities change (the same seed afflicts the same units).
         u_transient, u_torn, u_latency, u_count = rng.random(4)

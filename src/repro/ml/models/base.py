@@ -97,6 +97,24 @@ class SupervisedModel(ABC):
         """All parameters flattened into one vector (for theory evaluations)."""
         return np.concatenate([p.ravel() for p in self.params.values()])
 
+    def load_parameter_vector(self, vector: np.ndarray) -> None:
+        """Inverse of :meth:`parameter_vector`: load a flat vector in place.
+
+        The multi-process engine moves parameters between the coordinator
+        and workers as flat shared-memory vectors; this scatters one back
+        into the live arrays (same key order as :meth:`parameter_vector`).
+        """
+        vector = np.asarray(vector, dtype=np.float64).ravel()
+        expected = sum(p.size for p in self.params.values())
+        if vector.size != expected:
+            raise ValueError(
+                f"parameter vector has {vector.size} entries, model needs {expected}"
+            )
+        offset = 0
+        for param in self.params.values():
+            param[...] = vector[offset : offset + param.size].reshape(param.shape)
+            offset += param.size
+
 
 def _as_batch(features: np.ndarray | SparseRow, label: float):
     from ...data.sparse import SparseMatrix

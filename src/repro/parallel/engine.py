@@ -1,0 +1,557 @@
+"""The coordinator: spawns workers, drives sync points, owns the model.
+
+This is the executing form of Section 5's multi-process CorgiPile.  The
+coordinator and the ``PN`` spawned workers agree on everything determinist-
+ically (the shard plan is a pure function of the seed), so the runtime
+protocol is nothing but shared-memory vectors plus a barrier:
+
+sync mode, per global step::
+
+    coordinator                         worker i
+    write params  ────────┐
+    barrier A  ───────────┼──────────▶  barrier A
+                          │             read params, grad over bs/PN slice
+    barrier B  ◀──────────┼──────────   write grad slot i, barrier B
+    average slots, optimiser step
+    (checkpoint at cadence)
+
+``epoch`` mode syncs once per epoch (tuple-count-weighted model average
+over the results queue); ``async`` mode lets workers push Hogwild deltas
+into the shared vector and only frames epochs with barriers.
+
+Checkpointing reuses PR 3's atomic format: the coordinator persists
+(model, optimiser slots, epoch, in-epoch tuple cursor) at sync points, and
+because worker streams are ``(seed, epoch)``-pure, a resumed run skips to
+the stored step and continues over the *exact* remaining update sequence —
+killed sync runs finish bit-exact (asserted at 1e-12 by
+``tests/test_parallel_engine.py``).
+
+Failure discipline: a dead or raising worker aborts the shared barrier;
+the coordinator translates that into :class:`WorkerError` (with the
+worker's traceback) and always reaps its children — no leaked processes,
+mirroring PR 1's no-leaked-threads guarantee.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..core.stats import LoaderStats, StorageStats
+from ..data.dataset import Dataset
+from ..ml.models.base import SupervisedModel
+from ..ml.optim import SGD, Optimizer
+from ..ml.persistence import (
+    CheckpointState,
+    load_checkpoint,
+    model_to_bytes,
+    save_checkpoint,
+)
+from ..ml.schedules import ExponentialDecay
+from ..ml.trainer import (
+    CheckpointConfig,
+    ConvergenceHistory,
+    EpochRecord,
+    Trainer,
+    fixed_order_source,
+)
+from ..storage.blockfile import BlockFileReader
+from .aggregate import (
+    AGGREGATION_MODES,
+    average_gradient_slots,
+    unpack_gradients,
+    weighted_average_models,
+)
+from .plan import ShardPlanner
+from .shm import alloc_vector, slab_view, vector_view, write_vector
+from .worker import BARRIER_TIMEOUT_S, WorkerConfig, worker_main
+
+__all__ = [
+    "WorkerError",
+    "ParallelResult",
+    "ParallelTrainer",
+    "load_block_dataset",
+    "sync_reference_trainer",
+]
+
+# How long the coordinator waits for end-of-run stats before declaring a
+# worker lost (it then terminates stragglers rather than leaking them).
+_COLLECT_TIMEOUT_S = 60.0
+
+
+class WorkerError(RuntimeError):
+    """A worker process died or raised; carries its traceback text."""
+
+
+def load_block_dataset(path: str | Path, task: str = "binary") -> Dataset:
+    """Materialise a block file back into an in-memory :class:`Dataset`.
+
+    Blocks store contiguous ascending tuple ids, so reading them in block
+    order *is* id order — used by the coordinator for end-of-epoch
+    evaluation and by the single-process reference run.
+    """
+    with BlockFileReader(path) as reader:
+        batches = [reader.read_block_batch(b) for b in range(reader.n_blocks)]
+        y = np.concatenate([b.labels for b in batches])
+        if batches[0].is_sparse:
+            from .worker import _stack_sparse
+
+            X = _stack_sparse(batches)
+        else:
+            X = np.concatenate([b.dense for b in batches])
+    return Dataset(X, y, name=Path(path).stem, task=task)
+
+
+@dataclass
+class ParallelResult:
+    """Everything one parallel training run produces."""
+
+    model: SupervisedModel
+    history: ConvergenceHistory
+    mode: str
+    n_workers: int
+    epochs_run: int
+    sync_steps: int
+    tuples_processed: int
+    epoch_walls: list[float]
+    loader_stats: LoaderStats
+    storage_stats: StorageStats
+    per_worker: list[dict] = field(default_factory=list)
+    plan: dict = field(default_factory=dict)
+
+    @property
+    def wall_seconds(self) -> float:
+        return float(sum(self.epoch_walls))
+
+    @property
+    def tuples_per_second(self) -> float:
+        wall = self.wall_seconds
+        return self.tuples_processed / wall if wall > 0 else 0.0
+
+    def describe(self) -> dict:
+        """A JSON-able report (used by the CLI and the scaling bench)."""
+        return {
+            "mode": self.mode,
+            "n_workers": self.n_workers,
+            "epochs_run": self.epochs_run,
+            "sync_steps": self.sync_steps,
+            "tuples_processed": self.tuples_processed,
+            "wall_seconds": self.wall_seconds,
+            "tuples_per_second": self.tuples_per_second,
+            "epoch_walls": [round(w, 6) for w in self.epoch_walls],
+            "final_train_score": (
+                self.history.final.train_score if self.history.records else None
+            ),
+            "final_train_loss": (
+                self.history.final.train_loss if self.history.records else None
+            ),
+            "loader": self.loader_stats.as_dict(),
+            "storage": self.storage_stats.as_dict(),
+            "per_worker": self.per_worker,
+            "plan": self.plan,
+        }
+
+
+class ParallelTrainer:
+    """Multi-process data-parallel SGD over one block file."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        model: SupervisedModel,
+        *,
+        n_workers: int,
+        mode: str = "sync",
+        epochs: int = 5,
+        global_batch_size: int = 32,
+        buffer_blocks: int = 2,
+        seed: int = 0,
+        schedule=None,
+        optimizer: Optimizer | None = None,
+        test: Dataset | None = None,
+        checkpoint: CheckpointConfig | None = None,
+        fault_plan=None,
+        start_method: str = "spawn",
+        task: str = "binary",
+    ):
+        if mode not in AGGREGATION_MODES:
+            raise ValueError(f"unknown mode {mode!r}; one of {AGGREGATION_MODES}")
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        self.path = str(path)
+        self.model = model
+        self.mode = mode
+        self.epochs = int(epochs)
+        self.global_batch_size = int(global_batch_size)
+        self.seed = int(seed)
+        self.schedule = schedule if schedule is not None else ExponentialDecay(0.01)
+        self.optimizer = optimizer if optimizer is not None else SGD(model)
+        self.test_set = test
+        self.checkpoint = checkpoint
+        self.fault_plan = fault_plan
+        self.start_method = start_method
+        self.planner = ShardPlanner.for_block_file(
+            self.path, n_workers, buffer_blocks, seed=self.seed
+        )
+        self.n_workers = self.planner.n_workers
+        self.planner.per_worker_batch(self.global_batch_size)  # validates divisibility
+        self.eval_set = load_block_dataset(self.path, task=task)
+        self._tuples_seen = 0
+        self._last_checkpoint_tuples = 0
+
+    # ------------------------------------------------------------------
+    def run(self, resume_from: CheckpointState | str | Path | None = None) -> ParallelResult:
+        history = ConvergenceHistory(
+            strategy=f"parallel-{self.mode}", model=type(self.model).__name__
+        )
+        start_epoch = 0
+        start_step = 0
+        self._tuples_seen = 0
+        if resume_from is not None:
+            state = (
+                resume_from
+                if isinstance(resume_from, CheckpointState)
+                else load_checkpoint(resume_from)
+            )
+            start_epoch, start_step = self._restore(state, history)
+        self._save_checkpoint(start_epoch, start_step * self.global_batch_size, history)
+
+        ctx = mp.get_context(self.start_method)
+        dim = int(self.model.parameter_vector().size)
+        param_raw = alloc_vector(dim)
+        grad_raw = alloc_vector(self.n_workers * dim)
+        write_vector(param_raw, self.model.parameter_vector())
+        barrier = ctx.Barrier(self.n_workers + 1)
+        stop = ctx.Event()
+        results = ctx.Queue()
+        blob = model_to_bytes(self.model)
+        procs = [
+            ctx.Process(
+                target=worker_main,
+                args=(
+                    WorkerConfig(
+                        worker_id=w,
+                        n_workers=self.n_workers,
+                        path=self.path,
+                        model_blob=blob,
+                        seed=self.seed,
+                        epochs=self.epochs,
+                        buffer_blocks=self.planner.buffer_blocks,
+                        mode=self.mode,
+                        global_batch_size=self.global_batch_size,
+                        schedule=self.schedule,
+                        start_epoch=start_epoch,
+                        start_step=start_step,
+                    ),
+                    param_raw,
+                    grad_raw,
+                    barrier,
+                    stop,
+                    results,
+                ),
+                daemon=True,
+                name=f"repro-parallel-w{w}",
+            )
+            for w in range(self.n_workers)
+        ]
+        for proc in procs:
+            proc.start()
+
+        epoch_walls: list[float] = []
+        total_steps = 0
+        epochs_run = 0
+        try:
+            for epoch in range(start_epoch, self.epochs):
+                t0 = time.perf_counter()
+                lr = float(self.schedule(epoch))
+                skip = start_step if epoch == start_epoch else 0
+                if self.mode == "sync":
+                    total_steps += self._sync_epoch(
+                        epoch, lr, skip, param_raw, grad_raw, barrier, stop, results, history
+                    )
+                elif self.mode == "epoch":
+                    self._epoch_mode_epoch(epoch, param_raw, barrier, stop, results)
+                    total_steps += 1
+                else:
+                    self._async_epoch(param_raw, barrier, stop, results)
+                    total_steps += 1
+                epoch_walls.append(time.perf_counter() - t0)
+                record = self._evaluate(epoch, lr)
+                history.append(record)
+                epochs_run += 1
+                self._save_checkpoint(epoch + 1, 0, history)
+        except BaseException:
+            stop.set()
+            barrier.abort()
+            raise
+        finally:
+            per_worker, merged_loader, merged_storage, worker_tuples = self._collect(
+                procs, results, stop, barrier
+            )
+
+        return ParallelResult(
+            model=self.model,
+            history=history,
+            mode=self.mode,
+            n_workers=self.n_workers,
+            epochs_run=epochs_run,
+            sync_steps=total_steps,
+            tuples_processed=worker_tuples,
+            epoch_walls=epoch_walls,
+            loader_stats=merged_loader,
+            storage_stats=merged_storage,
+            per_worker=per_worker,
+            plan=self.planner.describe(),
+        )
+
+    # ------------------------------------------------------------------
+    def _rendezvous(self, barrier, results) -> None:
+        try:
+            barrier.wait(timeout=BARRIER_TIMEOUT_S)
+        except threading.BrokenBarrierError:
+            raise self._worker_failure(results) from None
+
+    def _worker_failure(self, results) -> WorkerError:
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            try:
+                msg = results.get(timeout=0.2)
+            except queue_mod.Empty:
+                continue
+            if msg[0] == "error":
+                return WorkerError(f"worker {msg[1]} failed:\n{msg[2]}")
+        return WorkerError("a worker died without reporting an error")
+
+    def _sync_epoch(
+        self, epoch, lr, start_step, param_raw, grad_raw, barrier, stop, results, history
+    ) -> int:
+        params = vector_view(param_raw)
+        grads = slab_view(grad_raw, self.n_workers)
+        n_steps = self.planner.sync_steps(epoch, self.global_batch_size)
+        bs = self.global_batch_size
+        for step in range(start_step, n_steps):
+            if self.fault_plan is not None:
+                budget = self.fault_plan.tuples_before_crash(self._tuples_seen)
+                if budget is not None and budget < bs:
+                    # The crash lands inside the next global batch: abort the
+                    # fleet at the last durable sync point and die like a
+                    # killed process would (the checkpoint already exists).
+                    stop.set()
+                    barrier.abort()
+                    self.fault_plan.fire_crash(
+                        f"parallel sync epoch {epoch}, step {step}"
+                    )
+            self._rendezvous(barrier, results)  # A: params published
+            self._rendezvous(barrier, results)  # B: gradient slots ready
+            mean = average_gradient_slots(grads)
+            self.optimizer.step(unpack_gradients(mean, self.model), lr)
+            params[:] = self.model.parameter_vector()
+            self._tuples_seen += bs
+            if (
+                self.checkpoint is not None
+                and self.checkpoint.every_tuples > 0
+                and step + 1 < n_steps
+                and self._tuples_seen - self._last_checkpoint_tuples
+                >= self.checkpoint.every_tuples
+            ):
+                self._save_checkpoint(epoch, (step + 1) * bs, history)
+        return max(0, n_steps - start_step)
+
+    def _epoch_mode_epoch(self, epoch, param_raw, barrier, stop, results) -> None:
+        self._rendezvous(barrier, results)  # A: averaged params published
+        vectors: dict[int, np.ndarray] = {}
+        counts: dict[int, int] = {}
+        while len(vectors) < self.n_workers:
+            try:
+                msg = results.get(timeout=BARRIER_TIMEOUT_S)
+            except queue_mod.Empty:
+                raise WorkerError(
+                    f"epoch {epoch}: only {len(vectors)}/{self.n_workers} "
+                    "worker models arrived"
+                ) from None
+            if msg[0] == "error":
+                stop.set()
+                barrier.abort()
+                raise WorkerError(f"worker {msg[1]} failed:\n{msg[2]}")
+            _, worker_id, msg_epoch, vec, count = msg
+            if msg_epoch != epoch:
+                raise WorkerError(
+                    f"protocol error: got epoch {msg_epoch} model during epoch {epoch}"
+                )
+            vectors[worker_id] = vec
+            counts[worker_id] = count
+        order = sorted(vectors)
+        averaged = weighted_average_models(
+            [vectors[w] for w in order], [counts[w] for w in order]
+        )
+        self.model.load_parameter_vector(averaged)
+        write_vector(param_raw, averaged)
+        self._tuples_seen += int(sum(counts.values()))
+        self._rendezvous(barrier, results)  # B: release workers into next epoch
+
+    def _async_epoch(self, param_raw, barrier, stop, results) -> None:
+        self._rendezvous(barrier, results)  # A: epoch start
+        self._rendezvous(barrier, results)  # B: all workers finished the epoch
+        self.model.load_parameter_vector(vector_view(param_raw))
+        self._tuples_seen += int(self.eval_set.n_tuples)
+
+    # ------------------------------------------------------------------
+    def _collect(self, procs, results, stop, barrier):
+        """Drain worker stats and reap every child (leak-free by contract)."""
+        per_worker: list[dict] = []
+        merged_loader = LoaderStats("parallel")
+        merged_storage = StorageStats("parallel")
+        worker_tuples = 0
+        deadline = time.monotonic() + _COLLECT_TIMEOUT_S
+        got = 0
+        error: WorkerError | None = None
+        while got < len(procs) and time.monotonic() < deadline:
+            try:
+                msg = results.get(timeout=0.5)
+            except queue_mod.Empty:
+                if not any(p.is_alive() for p in procs) and results.empty():
+                    break
+                continue
+            if msg[0] == "error":
+                error = error or WorkerError(f"worker {msg[1]} failed:\n{msg[2]}")
+                got += 1
+                continue
+            if msg[0] != "stats":
+                continue  # stale model message from an aborted epoch
+            _, worker_id, loader, storage, tuples_done = msg
+            merged_loader.merge(loader)
+            merged_storage.merge(storage)
+            worker_tuples += int(tuples_done)
+            per_worker.append(
+                {
+                    "worker_id": worker_id,
+                    "tuples": int(tuples_done),
+                    "loader": loader.as_dict(),
+                    "storage": storage.as_dict(),
+                }
+            )
+            got += 1
+        for proc in procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():  # pragma: no cover - defensive reaping
+                proc.terminate()
+                proc.join(timeout=5.0)
+        per_worker.sort(key=lambda d: d["worker_id"])
+        if error is not None and not stop.is_set():
+            raise error
+        return per_worker, merged_loader, merged_storage, worker_tuples
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, epoch: int, lr: float) -> EpochRecord:
+        ev = self.eval_set
+        return EpochRecord(
+            epoch=epoch,
+            lr=lr,
+            train_loss=self.model.loss(ev.X, ev.y),
+            train_score=self.model.score(ev.X, ev.y),
+            test_score=(
+                self.model.score(self.test_set.X, self.test_set.y)
+                if self.test_set is not None
+                else None
+            ),
+            tuples_seen=self._tuples_seen,
+        )
+
+    def _save_checkpoint(self, epoch: int, cursor: int, history: ConvergenceHistory) -> None:
+        if self.checkpoint is None:
+            return
+        save_checkpoint(
+            self.checkpoint.path,
+            self.model,
+            epoch=epoch,
+            cursor=cursor,
+            tuples_seen=self._tuples_seen,
+            optimizer_state=self.optimizer.state_dict(),
+            history=[asdict(r) for r in history.records],
+            meta={
+                "strategy": f"parallel-{self.mode}",
+                "model": type(self.model).__name__,
+                "mode": self.mode,
+                "n_workers": self.n_workers,
+                "global_batch_size": self.global_batch_size,
+                "buffer_blocks": self.planner.buffer_blocks,
+                "index_seed": self.seed,
+            },
+        )
+        self._last_checkpoint_tuples = self._tuples_seen
+
+    def _restore(self, state: CheckpointState, history: ConvergenceHistory) -> tuple[int, int]:
+        meta = state.meta
+        for knob, have in (
+            ("mode", self.mode),
+            ("n_workers", self.n_workers),
+            ("global_batch_size", self.global_batch_size),
+            ("buffer_blocks", self.planner.buffer_blocks),
+            ("index_seed", self.seed),
+            ("model", type(self.model).__name__),
+        ):
+            want = meta.get(knob)
+            if want is not None and want != have:
+                raise ValueError(
+                    f"checkpoint was taken with {knob}={want!r}; resuming with "
+                    f"{have!r} would change the update sequence"
+                )
+        if state.cursor % self.global_batch_size != 0:
+            raise ValueError(
+                f"cursor {state.cursor} is not a sync-point multiple of the "
+                f"global batch size {self.global_batch_size}"
+            )
+        if self.mode == "async" and state.cursor:
+            raise ValueError("async mode only supports epoch-boundary resume")
+        for key, value in state.model.params.items():
+            self.model.params[key][...] = value
+        self.optimizer.load_state_dict(state.optimizer_state)
+        for record in state.history:
+            history.append(EpochRecord(**record))
+        self._tuples_seen = state.tuples_seen
+        self._last_checkpoint_tuples = state.tuples_seen
+        return state.epoch, state.cursor // self.global_batch_size
+
+
+# ----------------------------------------------------------------------
+# Single-process reference (Section 5.2 equivalence)
+# ----------------------------------------------------------------------
+
+
+def sync_reference_trainer(
+    path: str | Path,
+    model: SupervisedModel,
+    *,
+    n_workers: int,
+    epochs: int,
+    global_batch_size: int,
+    buffer_blocks: int = 2,
+    seed: int = 0,
+    schedule=None,
+    task: str = "binary",
+) -> Trainer:
+    """The single-process run a sync parallel run must match (≈1e-12).
+
+    Mini-batch SGD of ``global_batch_size`` over the interleaved multi-
+    process stream: mean-of-equal-slice-means equals the global batch
+    mean, so per-batch gradient averaging across ``PN`` processes applies
+    numerically the same update sequence as this trainer.
+    """
+    planner = ShardPlanner.for_block_file(path, n_workers, buffer_blocks, seed=seed)
+    orders = [planner.epoch_indices(e, global_batch_size) for e in range(epochs)]
+    train = load_block_dataset(path, task=task)
+    return Trainer(
+        model,
+        train,
+        fixed_order_source(f"mp-sim-{n_workers}w", orders),
+        epochs=epochs,
+        schedule=schedule if schedule is not None else ExponentialDecay(0.01),
+        batch_size=global_batch_size,
+        optimizer=SGD(model),
+    )

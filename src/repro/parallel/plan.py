@@ -1,0 +1,147 @@
+"""Shard planning: which blocks, tuples, and sync steps each worker owns.
+
+The planner is the bridge between the Section 5 *simulation*
+(:class:`~repro.core.distributed.MultiProcessCorgiPile`) and the executing
+engine (:mod:`repro.parallel.engine`): it wraps the simulation and exposes
+exactly the derived quantities the coordinator and the worker processes
+need — per-worker block shards from the shared per-epoch permutation,
+per-buffer-fill visit orders, and the synchronised step count.  Because
+every answer is delegated to ``MultiProcessCorgiPile``, the executed tuple
+order provably matches the simulated stream (pinned by
+``tests/test_parallel_plan.py``).
+
+The planner is a plain picklable value object: the coordinator builds one,
+and every spawned worker rebuilds an identical one from the same
+``(n_tuples, tuples_per_block, n_workers, buffer_blocks, seed)`` — no
+coordination is ever needed to agree on the plan, which is the heart of the
+paper's multi-process design.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from ..core.distributed import MultiProcessCorgiPile
+from ..data.dataset import BlockLayout
+
+__all__ = ["ShardPlanner"]
+
+_INDEX_SUFFIX = ".index.json"
+
+
+@dataclass(frozen=True)
+class ShardPlanner:
+    """Deterministic partitioning of a block file across ``n_workers``."""
+
+    n_tuples: int
+    tuples_per_block: int
+    n_workers: int
+    buffer_blocks: int
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        if self.buffer_blocks <= 0:
+            raise ValueError("buffer_blocks must be positive")
+        # Validates n_tuples / tuples_per_block via BlockLayout.
+        object.__setattr__(self, "_mp", MultiProcessCorgiPile(
+            BlockLayout(self.n_tuples, self.tuples_per_block),
+            self.n_workers,
+            self.buffer_blocks,
+            seed=self.seed,
+        ))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_block_file(
+        cls,
+        path: str | Path,
+        n_workers: int,
+        buffer_blocks: int,
+        seed: int = 0,
+    ) -> "ShardPlanner":
+        """Build a planner from a block file's sidecar index.
+
+        Block files store contiguous fixed-size blocks (a short final block
+        is fine — that is exactly :class:`BlockLayout`'s shape), so the
+        index pins the layout without reading any data bytes.
+        """
+        with open(str(Path(path)) + _INDEX_SUFFIX) as f:
+            doc = json.load(f)
+        blocks = doc["blocks"]
+        if not blocks:
+            raise ValueError(f"block file {path} has no blocks")
+        tuples_per_block = max(int(b["n_tuples"]) for b in blocks)
+        return cls(int(doc["n_tuples"]), tuples_per_block, n_workers, buffer_blocks, seed)
+
+    # ------------------------------------------------------------------
+    @property
+    def layout(self) -> BlockLayout:
+        return self._mp.layout
+
+    @property
+    def n_blocks(self) -> int:
+        return self._mp.layout.n_blocks
+
+    def worker_blocks(self, epoch: int) -> list[np.ndarray]:
+        """Per-worker shard of the shared epoch block permutation."""
+        return self._mp.worker_blocks(epoch)
+
+    def worker_buffer_fills(self, epoch: int, worker_id: int) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Worker ``worker_id``'s ``(block_group, shuffled_indices)`` fills."""
+        return self._mp.worker_buffer_fills(epoch, worker_id)
+
+    def worker_epoch_indices(self, epoch: int, worker_id: int) -> np.ndarray:
+        """Worker ``worker_id``'s flat visit order for ``epoch``."""
+        return self._mp.worker_epoch_indices(epoch, worker_id)
+
+    def shard_sizes(self, epoch: int) -> list[int]:
+        """Tuples owned by each worker this epoch (uneven splits allowed)."""
+        layout = self._mp.layout
+        return [
+            int(sum(layout.block_size(int(b)) for b in blocks))
+            for blocks in self.worker_blocks(epoch)
+        ]
+
+    # -- synchronous mode ------------------------------------------------
+    def per_worker_batch(self, global_batch_size: int) -> int:
+        if global_batch_size <= 0:
+            raise ValueError("global_batch_size must be positive")
+        if global_batch_size % self.n_workers != 0:
+            raise ValueError("global_batch_size must be divisible by n_workers")
+        return global_batch_size // self.n_workers
+
+    def sync_steps(self, epoch: int, global_batch_size: int) -> int:
+        """Gradient-sync steps this epoch (limited by the smallest shard).
+
+        Every worker derives the same number independently, so the barrier
+        protocol needs no negotiation; ``0`` means the epoch has no full
+        global batch (e.g. fewer tuples per shard than ``bs/PN``).
+        """
+        per_worker = self.per_worker_batch(global_batch_size)
+        smallest = min(self.shard_sizes(epoch))
+        return smallest // per_worker
+
+    def global_batches(self, epoch: int, global_batch_size: int) -> Iterator[np.ndarray]:
+        return self._mp.global_batches(epoch, global_batch_size)
+
+    def epoch_indices(self, epoch: int, global_batch_size: int) -> np.ndarray:
+        """The equivalent single-process visit order (for reference runs)."""
+        return self._mp.epoch_indices(epoch, global_batch_size)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        return {
+            "n_tuples": self.n_tuples,
+            "tuples_per_block": self.tuples_per_block,
+            "n_blocks": self.n_blocks,
+            "n_workers": self.n_workers,
+            "buffer_blocks": self.buffer_blocks,
+            "seed": self.seed,
+        }

@@ -1,0 +1,51 @@
+"""Shared-memory vectors for cross-process parameter/gradient exchange.
+
+The engine's hot state lives in ``multiprocessing`` ``RawArray`` buffers —
+one flat float64 vector for the model parameters, one slab of ``PN``
+per-worker gradient slots — created before the workers spawn and inherited
+by them as process arguments.  ``RawArray`` is deliberate: the barrier
+protocol provides all ordering (sync mode never has concurrent writers to
+the same slot), so the per-element lock of ``Array`` would be pure
+overhead, and the async Hogwild mode *wants* lock-free racy updates.
+
+Everything here works under the ``spawn`` start method (no fork-only
+inheritance tricks), which is the engine's portability requirement.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from multiprocessing import sharedctypes
+
+import numpy as np
+
+__all__ = ["alloc_vector", "vector_view", "slab_view", "write_vector"]
+
+
+def alloc_vector(size: int):
+    """Allocate a zeroed shared float64 vector of ``size`` entries."""
+    if size <= 0:
+        raise ValueError("size must be positive")
+    return sharedctypes.RawArray(ctypes.c_double, int(size))
+
+
+def vector_view(raw) -> np.ndarray:
+    """A numpy view over a shared vector (no copy; writes are visible)."""
+    return np.frombuffer(raw, dtype=np.float64)
+
+
+def slab_view(raw, n_slots: int) -> np.ndarray:
+    """View a shared slab as ``(n_slots, slot_size)`` rows (one per worker)."""
+    flat = vector_view(raw)
+    if n_slots <= 0 or flat.size % n_slots != 0:
+        raise ValueError(f"slab of {flat.size} entries does not split into {n_slots} slots")
+    return flat.reshape(int(n_slots), -1)
+
+
+def write_vector(raw, values: np.ndarray) -> None:
+    """Copy ``values`` into a shared vector (sizes must match)."""
+    view = vector_view(raw)
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size != view.size:
+        raise ValueError(f"cannot write {values.size} values into vector of {view.size}")
+    view[:] = values

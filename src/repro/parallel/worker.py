@@ -1,0 +1,322 @@
+"""The worker-process side of the multi-process engine.
+
+``worker_main`` is a module-level function (spawn-picklable) that each
+worker process runs: rebuild the model from its blob, open a private
+:class:`~repro.storage.blockfile.BlockFileReader` over the shared block
+file, derive the shard plan locally (it is a pure function of the seed, so
+no plan bytes ever cross the process boundary), and execute the configured
+aggregation mode against the shared-memory vectors under the coordinator's
+barrier protocol.
+
+Error discipline: any exception is reported through the results queue and
+the barrier is aborted so the coordinator never deadlocks on a dead
+worker; conversely a coordinator abort (stop event + broken barrier) is a
+clean shutdown path, after which the worker still ships its stats home.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.stats import LoaderStats, StorageStats
+from ..data.sparse import SparseMatrix
+from ..ml.persistence import model_from_bytes
+from ..storage.blockfile import BlockFileReader
+from .aggregate import pack_gradients
+from .plan import ShardPlanner
+from .shm import slab_view, vector_view
+
+__all__ = ["WorkerConfig", "ShardFetcher", "worker_main", "BARRIER_TIMEOUT_S"]
+
+# Generous: a stuck peer is a bug, not a slow disk; the coordinator's
+# no-leaked-children guard needs workers to give up rather than hang.
+BARRIER_TIMEOUT_S = 120.0
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything one worker needs, as picklable plain data."""
+
+    worker_id: int
+    n_workers: int
+    path: str
+    model_blob: bytes
+    seed: int
+    epochs: int
+    buffer_blocks: int
+    mode: str  # "sync" | "async" | "epoch"
+    global_batch_size: int
+    schedule: object  # callable epoch -> lr (plain dataclass, picklable)
+    start_epoch: int = 0
+    start_step: int = 0  # sync-mode resume: global steps already applied
+    extra: dict = field(default_factory=dict)
+
+
+class ShardFetcher:
+    """Reads one worker's buffer fills into columnar, visit-ordered arrays.
+
+    One fill = one tuple-shuffle buffer: the group's blocks are read
+    through the worker's own reader (each block once), then the rows are
+    gathered in the fill's shuffled visit order using the block file's
+    contiguous-id arithmetic (``row = base[block] + id - block_start``).
+    """
+
+    def __init__(
+        self,
+        reader: BlockFileReader,
+        tuples_per_block: int,
+        loader_stats: LoaderStats | None = None,
+    ):
+        self.reader = reader
+        self.tuples_per_block = int(tuples_per_block)
+        self.loader_stats = loader_stats
+
+    def fetch_fill(
+        self, group: np.ndarray, indices: np.ndarray
+    ) -> tuple[np.ndarray | SparseMatrix, np.ndarray]:
+        """``(X, y)`` for one fill, rows in ``indices`` (visit) order."""
+        batches = [self.reader.read_block_batch(int(b)) for b in group]
+        base: dict[int, int] = {}
+        offset = 0
+        for block_id, batch in zip(group, batches):
+            base[int(block_id)] = offset
+            offset += len(batch)
+        ids = np.asarray(indices, dtype=np.int64)
+        blocks_of = ids // self.tuples_per_block
+        local = np.array(
+            [base[int(b)] for b in blocks_of], dtype=np.int64
+        ) + (ids - blocks_of * self.tuples_per_block)
+        labels = np.concatenate([b.labels for b in batches])[local]
+        if batches[0].is_sparse:
+            stacked = _stack_sparse(batches)
+            X = stacked.take_rows(local)
+        else:
+            X = np.concatenate([b.dense for b in batches])[local]
+        if self.loader_stats is not None:
+            self.loader_stats.record_buffer_filled(int(ids.size))
+            self.loader_stats.record_buffer_drained(int(ids.size))
+        return X, labels
+
+
+def _stack_sparse(batches: list) -> SparseMatrix:
+    indptr = [np.zeros(1, dtype=np.int64)]
+    nnz_offset = 0
+    indices, values = [], []
+    n_rows = 0
+    for b in batches:
+        indptr.append(b.indptr[1:] + nnz_offset)
+        indices.append(b.indices)
+        values.append(b.values)
+        nnz_offset += int(b.indices.size)
+        n_rows += len(b)
+    return SparseMatrix(
+        np.concatenate(indptr),
+        np.concatenate(indices),
+        np.concatenate(values),
+        (n_rows, batches[0].n_features),
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker process entry point
+# ----------------------------------------------------------------------
+
+
+def worker_main(cfg: WorkerConfig, param_raw, grad_raw, barrier, stop, results) -> None:
+    """Entry point executed inside each spawned worker process."""
+    loader_stats = LoaderStats(f"parallel-worker{cfg.worker_id}")
+    storage_stats = StorageStats(f"parallel-worker{cfg.worker_id}")
+    tuples_done = 0
+    reader = None
+    try:
+        model = model_from_bytes(cfg.model_blob)
+        reader = BlockFileReader(cfg.path, storage_stats=storage_stats)
+        planner = ShardPlanner.for_block_file(
+            cfg.path, cfg.n_workers, cfg.buffer_blocks, seed=cfg.seed
+        )
+        fetcher = ShardFetcher(reader, planner.tuples_per_block, loader_stats)
+        loader_stats.record_thread_started()
+        runner = {"sync": _run_sync, "async": _run_async, "epoch": _run_epoch}[cfg.mode]
+        tuples_done = runner(cfg, planner, fetcher, model, param_raw, grad_raw, barrier, stop, results)
+    except _CoordinatorAbort:
+        pass  # clean shutdown requested; fall through to ship stats
+    except BaseException:
+        barrier.abort()
+        results.put(("error", cfg.worker_id, traceback.format_exc()))
+        return
+    finally:
+        if reader is not None:
+            reader.close()
+        loader_stats.record_thread_joined()
+    results.put(("stats", cfg.worker_id, loader_stats, storage_stats, tuples_done))
+
+
+class _CoordinatorAbort(Exception):
+    """The coordinator broke the barrier on purpose (stop event set)."""
+
+
+def _sync_point(barrier, stop) -> None:
+    """One barrier rendezvous; translate a deliberate abort into shutdown."""
+    try:
+        barrier.wait(timeout=BARRIER_TIMEOUT_S)
+    except threading.BrokenBarrierError:
+        if stop.is_set():
+            raise _CoordinatorAbort() from None
+        raise
+    if stop.is_set():
+        raise _CoordinatorAbort()
+
+
+def _epoch_slices(cfg, planner, fetcher, epoch: int, skip: int):
+    """Yield per-step ``(X, y)`` slices of ``bs/PN`` tuples, skipping ``skip`` steps.
+
+    Fills are fetched lazily; whole fills that fall before the resume
+    offset are skipped without touching storage (their visit order is
+    (seed, epoch)-pure, so nothing needs replaying).
+    """
+    per_worker = cfg.global_batch_size // cfg.n_workers
+    n_steps = planner.sync_steps(epoch, cfg.global_batch_size)
+    to_skip = skip * per_worker
+    pend_X: list = []
+    pend_y: list = []
+    pending = 0
+    emitted = skip
+    for group, indices in planner.worker_buffer_fills(epoch, cfg.worker_id):
+        if emitted >= n_steps:
+            break
+        if to_skip >= indices.size:
+            to_skip -= int(indices.size)
+            continue
+        X, y = fetcher.fetch_fill(group, indices)
+        if to_skip:
+            X, y = _tail(X, to_skip), y[to_skip:]
+            to_skip = 0
+        pend_X.append(X)
+        pend_y.append(y)
+        pending += int(y.size)
+        while pending >= per_worker and emitted < n_steps:
+            Xs, ys, pend_X, pend_y = _take(pend_X, pend_y, per_worker)
+            pending -= per_worker
+            emitted += 1
+            yield Xs, ys
+
+
+def _tail(X, skip: int):
+    if isinstance(X, SparseMatrix):
+        return X.take_rows(np.arange(skip, X.shape[0], dtype=np.int64))
+    return X[skip:]
+
+
+def _rows(X) -> int:
+    return X.shape[0]
+
+
+def _concat_features(parts: list):
+    if len(parts) == 1:
+        return parts[0]
+    if isinstance(parts[0], SparseMatrix):
+        indptr = [np.zeros(1, dtype=np.int64)]
+        indices, values = [], []
+        nnz = 0
+        rows = 0
+        for p in parts:
+            indptr.append(p.indptr[1:] + nnz)
+            indices.append(p.indices)
+            values.append(p.values)
+            nnz += int(p.indices.size)
+            rows += p.shape[0]
+        return SparseMatrix(
+            np.concatenate(indptr),
+            np.concatenate(indices),
+            np.concatenate(values),
+            (rows, parts[0].shape[1]),
+        )
+    return np.concatenate(parts)
+
+
+def _take(pend_X: list, pend_y: list, n: int):
+    """Pop the first ``n`` rows off the pending fill queue."""
+    got_X, got_y = [], []
+    need = n
+    while need > 0:
+        X, y = pend_X[0], pend_y[0]
+        if _rows(X) <= need:
+            got_X.append(X)
+            got_y.append(y)
+            need -= _rows(X)
+            pend_X.pop(0)
+            pend_y.pop(0)
+        else:
+            head = np.arange(0, need, dtype=np.int64)
+            if isinstance(X, SparseMatrix):
+                got_X.append(X.take_rows(head))
+                pend_X[0] = _tail(X, need)
+            else:
+                got_X.append(X[:need])
+                pend_X[0] = X[need:]
+            got_y.append(y[:need])
+            pend_y[0] = y[need:]
+            need = 0
+    return _concat_features(got_X), np.concatenate(got_y), pend_X, pend_y
+
+
+def _run_sync(cfg, planner, fetcher, model, param_raw, grad_raw, barrier, stop, results) -> int:
+    """Per-batch gradient averaging under the two-barrier step protocol."""
+    params = vector_view(param_raw)
+    grads = slab_view(grad_raw, cfg.n_workers)
+    done = 0
+    for epoch in range(cfg.start_epoch, cfg.epochs):
+        skip = cfg.start_step if epoch == cfg.start_epoch else 0
+        for Xs, ys in _epoch_slices(cfg, planner, fetcher, epoch, skip):
+            _sync_point(barrier, stop)  # A: coordinator published params
+            model.load_parameter_vector(params)
+            grads[cfg.worker_id, :] = pack_gradients(model.gradient(Xs, ys), model)
+            done += int(ys.size)
+            _sync_point(barrier, stop)  # B: all gradient slots ready
+    return done
+
+
+def _run_async(cfg, planner, fetcher, model, param_raw, grad_raw, barrier, stop, results) -> int:
+    """Hogwild-style delta pushes; barriers only frame whole epochs."""
+    params = vector_view(param_raw)
+    per_worker = max(1, cfg.global_batch_size // cfg.n_workers)
+    done = 0
+    for epoch in range(cfg.start_epoch, cfg.epochs):
+        _sync_point(barrier, stop)  # A: epoch start, params current
+        lr = float(cfg.schedule(epoch))
+        for group, indices in planner.worker_buffer_fills(epoch, cfg.worker_id):
+            X, y = fetcher.fetch_fill(group, indices)
+            for lo in range(0, int(y.size), per_worker):
+                rows = np.arange(lo, min(lo + per_worker, int(y.size)), dtype=np.int64)
+                Xs = X.take_rows(rows) if isinstance(X, SparseMatrix) else X[rows]
+                ys = y[rows]
+                before = np.array(params)  # racy snapshot, by design
+                model.load_parameter_vector(before)
+                model.step_block(Xs, ys, lr)
+                params += model.parameter_vector() - before  # racy add, by design
+                done += int(ys.size)
+        _sync_point(barrier, stop)  # B: epoch end, coordinator evaluates
+    return done
+
+
+def _run_epoch(cfg, planner, fetcher, model, param_raw, grad_raw, barrier, stop, results) -> int:
+    """Local SGD over the whole shard; epoch-end weighted model averaging."""
+    params = vector_view(param_raw)
+    done = 0
+    for epoch in range(cfg.start_epoch, cfg.epochs):
+        _sync_point(barrier, stop)  # A: averaged params published
+        model.load_parameter_vector(params)
+        lr = float(cfg.schedule(epoch))
+        count = 0
+        for group, indices in planner.worker_buffer_fills(epoch, cfg.worker_id):
+            X, y = fetcher.fetch_fill(group, indices)
+            model.step_block(X, y, lr)  # fused per-tuple kernels, visit order
+            count += int(y.size)
+        results.put(("model", cfg.worker_id, epoch, model.parameter_vector(), count))
+        done += count
+        _sync_point(barrier, stop)  # B: coordinator averaged the models
+    return done

@@ -37,8 +37,15 @@ EXTERNAL_SORT_PASSES = 4
 
 
 def epoch_rng(seed: int, epoch: int) -> np.random.Generator:
-    """Deterministic per-epoch random generator."""
-    return np.random.default_rng(np.random.SeedSequence([seed, epoch]))
+    """Deterministic per-epoch random generator.
+
+    Delegates to :func:`repro.core.seeding.epoch_rng` (imported at call time:
+    ``repro.core``'s package init imports this module, so a module-level
+    import back into it would be circular).
+    """
+    from ..core.seeding import epoch_rng as _epoch_rng
+
+    return _epoch_rng(seed, epoch)
 
 
 @dataclass(frozen=True)

@@ -127,3 +127,127 @@ class TestExplainAndBench:
         assert "threaded-tuple-shuffle" in out
         assert "overlap_fraction" in out
         assert threading.active_count() == baseline  # every loader thread joined
+
+
+class TestCommonOptionGroup:
+    """One shared --seed/--workers/--quick group, consistent everywhere."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["train", "--dataset", "susy"],
+            ["parallel-train"],
+            ["loader-stats"],
+            ["chaos"],
+            ["generate", "susy", "--out", "x"],
+            ["kernel-bench"],
+        ],
+    )
+    def test_seed_defaults_to_zero(self, argv):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(argv)
+        assert args.seed == 0
+
+    def test_workers_defaults(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        assert parser.parse_args(["train", "--dataset", "susy"]).workers == 1
+        assert parser.parse_args(["parallel-train"]).workers == 2
+        assert parser.parse_args(["loader-stats"]).workers == 2
+
+    @pytest.mark.parametrize(
+        "argv", [["train", "--dataset", "susy"], ["parallel-train"], ["chaos"]]
+    )
+    def test_quick_flag_available(self, argv):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(argv + ["--quick"])
+        assert args.quick is True
+
+
+class TestParallelTrain:
+    def test_quick_sync_with_equivalence_check(self, capsys):
+        assert (
+            main(
+                [
+                    "parallel-train",
+                    "--dataset",
+                    "susy",
+                    "--workers",
+                    "2",
+                    "--quick",
+                    "--epochs",
+                    "2",
+                    "--compare-single",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "x2 workers (sync)" in out
+        assert "equivalence verdict: PASS" in out
+        assert "0 live threads" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "par.json"
+        assert (
+            main(
+                [
+                    "parallel-train",
+                    "--dataset",
+                    "susy",
+                    "--workers",
+                    "2",
+                    "--mode",
+                    "epoch",
+                    "--quick",
+                    "--epochs",
+                    "1",
+                    "--json",
+                    str(report_path),
+                ]
+            )
+            == 0
+        )
+        report = json.loads(report_path.read_text())
+        assert report["mode"] == "epoch"
+        assert report["n_workers"] == 2
+        assert report["tuples_processed"] == 1600
+
+    def test_train_workers_routes_to_parallel_engine(self, capsys):
+        assert (
+            main(
+                [
+                    "train",
+                    "--dataset",
+                    "susy",
+                    "--workers",
+                    "2",
+                    "--quick",
+                    "--epochs",
+                    "2",
+                    "--block-tuples",
+                    "40",
+                ]
+            )
+            == 0
+        )
+        assert "x2 workers" in capsys.readouterr().out
+
+    def test_train_workers_rejects_non_corgipile(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "train",
+                    "--dataset",
+                    "susy",
+                    "--workers",
+                    "2",
+                    "--strategy",
+                    "no_shuffle",
+                ]
+            )

@@ -273,3 +273,73 @@ class TestModelTableValidation:
             "SELECT * FROM m TRAIN BY softmax WITH max_epoch_num = 2, block_size = 4KB"
         )
         assert result.history.epochs == 2
+
+
+class TestParallelWorkers:
+    """``WITH workers = PN`` routes through the multi-process engine."""
+
+    def test_sync_parallel_train_and_predict(self, db, problem):
+        train, test = problem
+        result = db.execute(
+            "SELECT * FROM higgs TRAIN BY lr WITH workers = 2, max_epoch_num = 2, "
+            "batch_size = 32, learning_rate = 0.05, block_size = 2KB",
+            test=test,
+        )
+        assert result.query.workers == 2
+        assert result.query.extra["parallel"]["n_workers"] == 2
+        assert result.query.extra["parallel"]["tuples_processed"] > 0
+        assert len(result.timeline.points) == 2
+        assert result.timeline.total_time_s > 0  # measured, not modeled
+        assert result.resources.io_seconds == 0.0
+        assert result.history.final.train_score > 0.7
+        preds = db.execute(f"SELECT * FROM higgs PREDICT BY {result.model_id}")
+        assert preds.shape == (train.n_tuples,)
+
+    def test_epoch_aggregation(self, db):
+        result = db.execute(
+            "SELECT * FROM higgs TRAIN BY lr WITH workers = 2, "
+            "aggregation = 'epoch', max_epoch_num = 2, learning_rate = 0.05, "
+            "block_size = 2KB"
+        )
+        assert result.query.extra["parallel"]["mode"] == "epoch"
+        assert result.history.final.train_score > 0.7
+
+    def test_default_block_size_still_shards(self, db):
+        # A block_size that would pack the whole table into fewer blocks than
+        # there are workers must be capped, not allowed to leave a shard
+        # empty (sync mode would silently train nothing).
+        result = db.execute(
+            "SELECT * FROM higgs TRAIN BY lr WITH workers = 2, max_epoch_num = 2, "
+            "batch_size = 32, learning_rate = 0.05, block_size = 64MB"
+        )
+        assert result.query.extra["parallel"]["sync_steps"] > 0
+        assert result.history.final.train_score > 0.7
+
+    def test_unfillable_sync_batch_rejected(self, db):
+        from repro.db import EngineError
+
+        tiny = make_binary_dense(40, 4, separation=1.0, seed=0)
+        db.create_table("tiny", tiny)
+        with pytest.raises(EngineError, match="sync step"):
+            db.execute(
+                "SELECT * FROM tiny TRAIN BY lr WITH workers = 2, "
+                "max_epoch_num = 1, batch_size = 64"
+            )
+
+    def test_bad_aggregation_rejected(self, db):
+        from repro.db import EngineError
+
+        with pytest.raises(EngineError, match="aggregation"):
+            db.execute(
+                "SELECT * FROM higgs TRAIN BY lr WITH workers = 2, "
+                "aggregation = 'gossip'"
+            )
+
+    def test_non_corgipile_strategy_rejected(self, db):
+        from repro.db import EngineError
+
+        with pytest.raises(EngineError, match="corgipile"):
+            db.execute(
+                "SELECT * FROM higgs TRAIN BY lr WITH workers = 2, "
+                "strategy = 'no_shuffle'"
+            )

@@ -126,3 +126,18 @@ class TestParserFuzz:
         assert query.table == table
         assert query.learning_rate == pytest.approx(lr)
         assert query.max_epoch_num == epochs
+
+
+class TestParallelKnobs:
+    def test_workers_and_aggregation_parse(self):
+        q = parse_query(
+            "SELECT * FROM t TRAIN BY lr WITH workers = 4, aggregation = 'epoch'"
+        )
+        assert isinstance(q, TrainQuery)
+        assert q.workers == 4
+        assert q.aggregation == "epoch"
+
+    def test_defaults_stay_single_process(self):
+        q = parse_query("SELECT * FROM t TRAIN BY lr")
+        assert q.workers == 1
+        assert q.aggregation == "sync"
