@@ -11,11 +11,15 @@ training on both orders.
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 from conftest import TUPLES_PER_BLOCK, report_loader_stats, report_table
 
-from repro.core import LoaderStats, MultiProcessCorgiPile, MultiWorkerLoader
+from repro import obs
+from repro.core import MultiProcessCorgiPile, MultiWorkerLoader
+from repro.db import overlap_crosscheck
+from repro.obs import LoaderMetrics
 from repro.data import DATASETS, clustered_by_label
 from repro.ml import ExponentialDecay, LogisticRegression, Trainer, fixed_order_source
 from repro.storage import write_block_file
@@ -96,15 +100,19 @@ def test_fig05_measured_loader_stats(tmp_path, glm_problems):
     write_block_file(train, path, TUPLES_PER_BLOCK)
 
     baseline_threads = threading.active_count()
-    stats = LoaderStats(f"multiworker-x{N_WORKERS}")
+    stats = LoaderMetrics(f"multiworker-x{N_WORKERS}")
     seen: list[int] = []
-    with MultiWorkerLoader(
-        path, N_WORKERS, buffer_blocks_per_worker=4, batch_size=BATCH, seed=0, stats=stats
-    ) as loader:
-        for epoch in range(2):
-            loader.set_epoch(epoch)
-            epoch_ids = [int(i) for batch in loader for i in batch.tuple_ids]
-            seen.append(len(set(epoch_ids)))
+    obs.reset()
+    with obs.trace_to() as (tracer, _registry):
+        wall_t0 = time.perf_counter()
+        with MultiWorkerLoader(
+            path, N_WORKERS, buffer_blocks_per_worker=4, batch_size=BATCH, seed=0, stats=stats
+        ) as loader:
+            for epoch in range(2):
+                loader.set_epoch(epoch)
+                epoch_ids = [int(i) for batch in loader for i in batch.tuple_ids]
+                seen.append(len(set(epoch_ids)))
+        wall_s = time.perf_counter() - wall_t0
 
     report_loader_stats(
         [stats],
@@ -121,3 +129,13 @@ def test_fig05_measured_loader_stats(tmp_path, glm_problems):
     assert d["buffers_filled"] == d["buffers_drained"] > 0
     assert d["items_produced"] == d["items_consumed"] > 0
     assert 0.0 <= d["overlap_fraction"] <= 1.0
+
+    # Counter-vs-span overlap audit over the same wall (N producers share
+    # one stats sink, so producer lifetime sums across the worker threads).
+    check = overlap_crosscheck(stats, tracer.spans, wall_s)
+    report_table(
+        [{k: round(v, 6) if isinstance(v, float) else v for k, v in check.items()}],
+        title="Figure 5: overlap cross-check (counters vs spans)",
+        json_name="fig05_overlap_crosscheck.json",
+    )
+    assert check["ok"], check

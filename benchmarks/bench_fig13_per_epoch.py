@@ -9,12 +9,14 @@ and small datasets run at memory speed after the first epoch.
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 from conftest import ENGINE_BLOCK_BYTES, GLM_DATASETS, report_loader_stats, report_table
 
-from repro.core import LoaderStats
-from repro.db import Catalog, run_in_db_system
+from repro import obs
+from repro.obs import LoaderMetrics
+from repro.db import Catalog, overlap_crosscheck, run_in_db_system
 from repro.db.engine import ENGINE_PROFILE
 from repro.db.operators import SeqScanOperator
 from repro.db.threaded import ThreadedTupleShuffleOperator
@@ -88,23 +90,28 @@ def test_fig13_measured_overlap(glm_problems):
     buffer_tuples = max(1, table.n_tuples // 10)
 
     baseline_threads = threading.active_count()
-    stats = LoaderStats("threaded-tuple-shuffle")
+    stats = LoaderMetrics("threaded-tuple-shuffle")
     ctx = RuntimeContext(device=SSD_SCALED, compute=ENGINE_PROFILE)
     op = ThreadedTupleShuffleOperator(
         SeqScanOperator(table, ctx), buffer_tuples, seed=0, stats=stats
     )
-    op.open()
-    sink = 0.0
-    for epoch in range(2):
-        record = op.next()
-        while record is not None:
-            # A stand-in for the per-tuple SGD update the read side performs.
-            features = np.asarray(record.features, dtype=np.float64)
-            sink += float(features @ features)
+    # Trace the run so the span-derived overlap can audit the counters.
+    obs.reset()
+    with obs.trace_to() as (tracer, _registry):
+        wall_t0 = time.perf_counter()
+        op.open()
+        sink = 0.0
+        for epoch in range(2):
             record = op.next()
-        if epoch == 0:
-            op.rescan()
-    op.close()
+            while record is not None:
+                # A stand-in for the per-tuple SGD update the read side performs.
+                features = np.asarray(record.features, dtype=np.float64)
+                sink += float(features @ features)
+                record = op.next()
+            if epoch == 0:
+                op.rescan()
+        op.close()
+        wall_s = time.perf_counter() - wall_t0
 
     report_loader_stats(
         [stats],
@@ -120,3 +127,13 @@ def test_fig13_measured_overlap(glm_problems):
     assert 0.0 <= d["overlap_fraction"] <= 1.0
     assert threading.active_count() == baseline_threads
     assert sink > 0.0
+
+    # Cross-check: the counter-derived overlap must match the independent
+    # span-derived overlap (producer busy + consumer busy − wall).
+    check = overlap_crosscheck(stats, tracer.spans, wall_s)
+    report_table(
+        [{k: round(v, 6) if isinstance(v, float) else v for k, v in check.items()}],
+        title="Figure 13: overlap cross-check (counters vs spans)",
+        json_name="fig13_overlap_crosscheck.json",
+    )
+    assert check["ok"], check

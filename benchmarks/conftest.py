@@ -46,7 +46,7 @@ def report_table(rows, columns=None, title=None, json_name=None) -> None:
 def report_loader_stats(stats_list, title, json_name=None) -> None:
     """Print the measured loader-observability counters for a bench target.
 
-    Each element of ``stats_list`` is a :class:`repro.core.LoaderStats` (or
+    Each element of ``stats_list`` is a :class:`repro.obs.LoaderMetrics` (or
     a snapshot dict); rows show queue depth, producer stall / consumer wait,
     buffers filled/drained, thread counts, and the measured overlap
     fraction, so figures that previously only had the analytic

@@ -11,10 +11,11 @@ re-exported here; subsystems live in their own subpackages:
 * :mod:`repro.db` -- the miniature in-DB ML engine,
 * :mod:`repro.parallel` -- the executing multi-process engine,
 * :mod:`repro.theory` -- the h_D factor and convergence bounds,
-* :mod:`repro.bench` -- the experiment harness.
+* :mod:`repro.bench` -- the experiment harness,
+* :mod:`repro.obs` -- the unified observability layer (metrics + tracing).
 """
 
-from . import bench, core, data, db, ml, parallel, shuffle, storage, theory
+from . import bench, core, data, db, ml, obs, parallel, shuffle, storage, theory
 from .core import CorgiPileDataset, CorgiPileShuffle, DataLoader, MultiProcessCorgiPile
 from .data import BlockLayout, Dataset, clustered_by_label, load
 from .ml import (
@@ -35,6 +36,7 @@ __all__ = [
     "bench",
     "core",
     "db",
+    "obs",
     "parallel",
     "theory",
     "data",

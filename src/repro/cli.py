@@ -19,13 +19,22 @@ Commands
 ``chaos``     train through fault-injected storage (transient errors, torn
               pages, latency, optional crash+resume) and verify the result
               is bit-identical to the fault-free run
+``obs-report``  render (and optionally validate) an exported trace file as
+              the human span-tree/metrics summary
+
+Telemetry: every workload command takes ``--trace-out PATH`` /
+``--metrics-out PATH`` (shared argument group) and then emits through the
+one :mod:`repro.obs` session — a JSONL span trace and/or a flat JSON
+metrics snapshot, both re-renderable with ``repro obs-report``.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
+from . import obs
 from .bench import format_table
 from .data import (
     DATASETS,
@@ -62,13 +71,16 @@ def _add_common_options(
     *,
     workers: int | None = None,
     quick: bool = True,
+    telemetry: bool = True,
 ) -> None:
-    """The shared ``--seed/--workers/--quick`` group.
+    """The shared ``--seed/--workers/--quick/--trace-out/--metrics-out`` group.
 
     Every subcommand that takes any of these gets them from here, so the
     flags spell and default the same way everywhere (``--seed 0``; ``--quick``
     shrinks the workload for a smoke run; ``--workers`` appears only where a
     worker count is meaningful, with the subcommand's natural default).
+    ``telemetry`` adds the unified ``--trace-out``/``--metrics-out`` export
+    flags on every workload command.
     """
     group = parser.add_argument_group("common options")
     group.add_argument(
@@ -85,6 +97,36 @@ def _add_common_options(
             "--quick", action="store_true",
             help="shrink the workload for a fast smoke run",
         )
+    if telemetry:
+        group.add_argument(
+            "--trace-out", metavar="PATH", default=None,
+            help="enable span tracing and write the JSONL trace here",
+        )
+        group.add_argument(
+            "--metrics-out", metavar="PATH", default=None,
+            help="write the flat JSON metrics snapshot here",
+        )
+
+
+@contextlib.contextmanager
+def _telemetry(args):
+    """Scope one command's run under the requested obs exports.
+
+    No flags → no-op (tracing stays off).  With ``--trace-out`` and/or
+    ``--metrics-out`` the session tracer records for the duration and the
+    files are written on the way out — one code path for every command.
+    """
+    trace_path = getattr(args, "trace_out", None)
+    metrics_path = getattr(args, "metrics_out", None)
+    if trace_path is None and metrics_path is None:
+        yield
+        return
+    obs.reset()  # each CLI run exports its own telemetry, not stale state
+    with obs.trace_to(trace_path, metrics_path=metrics_path):
+        yield
+    for path in (trace_path, metrics_path):
+        if path is not None:
+            print(f"wrote {path}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -105,7 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="shuffled",
         help="physical order: shuffled | clustered | feature:<index>",
     )
-    _add_common_options(gen, quick=False)
+    _add_common_options(gen, quick=False, telemetry=False)
 
     train = sub.add_parser("train", help="train a model with a shuffle strategy")
     source = train.add_mutually_exclusive_group(required=True)
@@ -215,6 +257,26 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--buffer-blocks", type=int, default=2)
     chaos.add_argument("--batch-size", type=int, default=64)
     _add_common_options(chaos)
+
+    obsr = sub.add_parser(
+        "obs-report",
+        help="render (and optionally validate) an exported obs trace",
+    )
+    obsr.add_argument("trace", help="JSONL trace written by --trace-out")
+    obsr.add_argument(
+        "--metrics",
+        help="also render a metrics snapshot written by --metrics-out",
+    )
+    obsr.add_argument(
+        "--validate", action="store_true",
+        help="check the trace against the checked-in JSON schema; "
+        "non-zero exit on violations",
+    )
+    obsr.add_argument(
+        "--schema", default=None,
+        help="alternate schema path (default docs/obs_trace.schema.json)",
+    )
+    obsr.add_argument("--max-depth", type=int, default=6)
 
     return parser
 
@@ -515,11 +577,11 @@ def _cmd_loader_stats(args) -> int:
     from .core import (
         CorgiPileDataset,
         DataLoader as CoreDataLoader,
-        LoaderStats,
         MultiWorkerLoader,
         PrefetchLoader,
     )
     from .db import Catalog, overlap_report
+    from .obs import LoaderMetrics
     from .db.engine import ENGINE_PROFILE
     from .db.operators import SeqScanOperator
     from .db.threaded import ThreadedTupleShuffleOperator
@@ -535,7 +597,7 @@ def _cmd_loader_stats(args) -> int:
         path = Path(tmp) / "loader.blocks"
         write_block_file(dataset, path, args.block_tuples)
 
-        prefetch_stats = LoaderStats("prefetch")
+        prefetch_stats = LoaderMetrics("prefetch")
         with CorgiPileDataset(
             path, buffer_blocks=args.buffer_blocks, seed=args.seed, stats=prefetch_stats
         ) as single:
@@ -550,7 +612,7 @@ def _cmd_loader_stats(args) -> int:
                     pass
         rows.append(overlap_report(prefetch_stats))
 
-        multi_stats = LoaderStats("multiworker")
+        multi_stats = LoaderMetrics("multiworker")
         with MultiWorkerLoader(
             path,
             args.workers,
@@ -566,7 +628,7 @@ def _cmd_loader_stats(args) -> int:
                     pass
         rows.append(overlap_report(multi_stats))
 
-    threaded_stats = LoaderStats("threaded-tuple-shuffle")
+    threaded_stats = LoaderMetrics("threaded-tuple-shuffle")
     table = Catalog(page_bytes=1024).create_table(args.dataset, dataset)
     ctx = RuntimeContext(device=SSD, compute=ENGINE_PROFILE)
     op = ThreadedTupleShuffleOperator(
@@ -582,11 +644,15 @@ def _cmd_loader_stats(args) -> int:
     rows.append(overlap_report(threaded_stats))
 
     # One merged row across all loaders — the cross-process/-thread merge
-    # the parallel engine uses, exercised here on the CLI path.
-    total = LoaderStats("TOTAL")
+    # the parallel engine uses, exercised here on the CLI path.  Each
+    # loader's counters are also projected into the session registry, so a
+    # --metrics-out snapshot carries the same numbers the table shows:
+    # the printed rows are views over the exported snapshot format.
+    total = LoaderMetrics("TOTAL")
     for stats in (prefetch_stats, multi_stats, threaded_stats):
         total.merge(stats)
-    rows.append(overlap_report(total))
+        stats.to_registry(obs.get_registry(), prefix=f"loader.{stats.name}")
+    rows.append(overlap_report(total.as_dict()))
 
     print(
         format_table(
@@ -640,8 +706,9 @@ def _cmd_chaos(args) -> int:
 
     import numpy as np
 
-    from .core import CorgiPileDataset, DataLoader as CoreDataLoader, StorageStats
+    from .core import CorgiPileDataset, DataLoader as CoreDataLoader
     from .faults import FaultPlan, InjectedCrash, chaos_report, faulty_reader_factory
+    from .obs import StorageMetrics
     from .ml import CheckpointConfig, train_streaming
     from .storage import write_block_file
 
@@ -658,7 +725,7 @@ def _cmd_chaos(args) -> int:
         max_failures=args.max_failures,
         crash_at_tuple=args.crash_at,
     )
-    stats = StorageStats("chaos")
+    stats = StorageMetrics("chaos")
     ok = True
 
     with tempfile.TemporaryDirectory() as tmp:
@@ -696,7 +763,10 @@ def _cmd_chaos(args) -> int:
             for k in model_clean.params
         )
         ok &= identical
-        print(format_table([chaos_report(stats, plan)], title="chaos run counters"))
+        # The printed table is a view over the exported snapshot format:
+        # the same dict lands in --metrics-out via the session registry.
+        stats.to_registry(obs.get_registry(), prefix="chaos")
+        print(format_table([chaos_report(stats.as_dict(), plan)], title="chaos run counters"))
         print(
             f"\nfaults injected: {stats.faults_injected}, retries: {stats.retries} — "
             f"faulty-run weights {'bit-identical to' if identical else 'DIFFER from'} "
@@ -732,6 +802,46 @@ def _cmd_chaos(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_obs_report(args) -> int:
+    """Render an exported trace (and metrics) as the summary tree.
+
+    With ``--validate``, the trace is first checked against the pinned
+    JSON schema (``docs/obs_trace.schema.json``); any violation prints and
+    fails the command — this is what the CI ``obs-smoke`` job runs.
+    """
+    import json
+
+    from .obs import (
+        Registry,
+        load_schema,
+        read_trace_jsonl,
+        render_report,
+        validate_events,
+    )
+
+    meta, events = read_trace_jsonl(args.trace)
+    if args.validate:
+        errors = validate_events(meta, events, load_schema(args.schema))
+        if errors:
+            for problem in errors:
+                print(f"INVALID: {problem}")
+            print(f"\n{args.trace}: {len(errors)} schema violation(s)")
+            return 1
+        print(
+            f"{args.trace}: valid (version {meta.get('version')}, "
+            f"{meta.get('span_count')} spans, {meta.get('dropped')} dropped)"
+        )
+    registry = None
+    snapshot = next((e for e in events if e.get("type") == "metrics"), None)
+    if args.metrics:
+        with open(args.metrics) as fh:
+            snapshot = json.load(fh)
+    if snapshot is not None:
+        registry = Registry.from_snapshot(snapshot)
+    print(render_report(events, registry=registry, max_depth=args.max_depth))
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "generate": _cmd_generate,
@@ -743,13 +853,15 @@ _COMMANDS = {
     "loader-stats": _cmd_loader_stats,
     "kernel-bench": _cmd_kernel_bench,
     "chaos": _cmd_chaos,
+    "obs-report": _cmd_obs_report,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        return _COMMANDS[args.command](args)
+        with _telemetry(args):
+            return _COMMANDS[args.command](args)
     except BrokenPipeError:  # e.g. `repro info | head`
         return 0
 

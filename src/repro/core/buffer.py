@@ -17,6 +17,8 @@ from typing import Generic, Iterable, Sequence, TypeVar
 
 import numpy as np
 
+from .. import obs
+
 __all__ = ["ShuffleBuffer", "pipelined_time", "serial_time"]
 
 T = TypeVar("T")
@@ -67,6 +69,8 @@ class ShuffleBuffer(Generic[T]):
         order = self._rng.permutation(len(self._items))
         drained = [self._items[i] for i in order]
         self._items.clear()
+        obs.inc("shuffle.buffer.drains")
+        obs.inc("shuffle.buffer.tuples_drained", len(drained))
         return drained
 
 

@@ -28,7 +28,7 @@ from ..storage.blockfile import BlockFileReader
 from ..storage.codec import TrainingTuple
 from .buffer import ShuffleBuffer
 from .seeding import epoch_rng, worker_rng
-from .stats import LoaderStats
+from ..obs import LoaderMetrics
 
 __all__ = ["CorgiPileDataset"]
 
@@ -43,7 +43,7 @@ class CorgiPileDataset:
         seed: int = 0,
         worker_id: int = 0,
         n_workers: int = 1,
-        stats: LoaderStats | None = None,
+        stats: LoaderMetrics | None = None,
         reader_factory: Callable[[str | Path], BlockFileReader] | None = None,
     ):
         if buffer_blocks <= 0:

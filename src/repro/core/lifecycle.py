@@ -18,9 +18,10 @@ primitives here, which provide the guarantees a per-loader thread cannot:
   to unblock it, joins the thread, and **asserts that it actually died** —
   a zombie raises instead of leaking.
 * **Observability.**  Every hand-over is timed into a
-  :class:`~repro.core.stats.LoaderStats`, and every spawned thread is
-  tracked by a :class:`ThreadRegistry` so tests and dashboards can ask how
-  many loader threads are alive right now.
+  :class:`~repro.obs.LoaderMetrics`, producer lifetimes and genuine
+  stall/wait intervals become :mod:`repro.obs` spans when tracing is on,
+  and every spawned thread is tracked by a :class:`ThreadRegistry` so tests
+  and dashboards can ask how many loader threads are alive right now.
 
 Sentinels: producers finish by enqueueing :data:`END`; producer exceptions
 travel as :class:`Failure` wrappers and are re-raised on the consumer side.
@@ -33,7 +34,8 @@ import threading
 import time
 from typing import Any, Callable
 
-from .stats import LoaderStats
+from .. import obs
+from ..obs import LoaderMetrics
 
 __all__ = [
     "END",
@@ -122,7 +124,7 @@ class ProducerChannel:
     consumer abandoned iteration mid-epoch can always run to completion.
     """
 
-    def __init__(self, depth: int, stop: threading.Event, stats: LoaderStats):
+    def __init__(self, depth: int, stop: threading.Event, stats: LoaderMetrics):
         if depth < 1:
             raise ValueError("depth must be at least 1")
         self._q: queue.Queue = queue.Queue(maxsize=depth)
@@ -141,6 +143,20 @@ class ProducerChannel:
         ``terminal`` marks sentinel puts (:data:`END` / :class:`Failure`),
         which are not counted as produced items.
         """
+        if not self._stop.is_set():
+            # Fast path: a put into a queue with room is not a stall.  The
+            # timed slow path below costs microseconds of lock traffic per
+            # put, which used to be booked as producer stall — thousands of
+            # non-blocking puts accumulated into a phantom stall total that
+            # skewed overlap_fraction toward the producer (caught by the
+            # span/counter cross-check in repro.db.timing).
+            try:
+                self._q.put_nowait(item)
+            except queue.Full:
+                pass
+            else:
+                self.stats.record_put(self._q.qsize(), 0.0, counted=not terminal)
+                return True
         start = time.perf_counter()
         while not self._stop.is_set():
             try:
@@ -149,8 +165,14 @@ class ProducerChannel:
                 continue
             stalled = time.perf_counter() - start
             self.stats.record_put(self._q.qsize(), stalled, counted=not terminal)
+            if stalled > 0.0 and obs.enabled():
+                end = start + stalled
+                obs.add_span(
+                    "loader.producer_stall", start, end, loader=self.stats.name
+                )
             return True
-        self.stats.record_cancelled_put(time.perf_counter() - start)
+        stalled = time.perf_counter() - start
+        self.stats.record_cancelled_put(stalled)
         return False
 
     # -- consumer side --------------------------------------------------
@@ -163,6 +185,10 @@ class ProducerChannel:
             start = time.perf_counter()
             item = self._q.get()
             waited = time.perf_counter() - start
+            if waited > 0.0 and obs.enabled():
+                obs.add_span(
+                    "loader.consumer_wait", start, start + waited, loader=self.stats.name
+                )
         self.stats.record_get(waited, counted=not (item is END or isinstance(item, Failure)))
         return item
 
@@ -202,14 +228,14 @@ class ManagedProducer:
         body: Callable[[ProducerChannel], None],
         depth: int,
         name: str = "producer",
-        stats: LoaderStats | None = None,
+        stats: LoaderMetrics | None = None,
         registry: ThreadRegistry = THREADS,
         join_timeout: float = 5.0,
     ):
         self._body = body
         self._depth = int(depth)
         self.name = name
-        self.stats = stats if stats is not None else LoaderStats(name)
+        self.stats = stats if stats is not None else LoaderMetrics(name)
         self._registry = registry
         self._join_timeout = float(join_timeout)
         self._stop = threading.Event()
@@ -225,12 +251,17 @@ class ManagedProducer:
         channel = self.channel
 
         def run() -> None:
-            try:
-                self._body(channel)
-            except BaseException as error:
-                channel.put(Failure(error), terminal=True)
-            else:
-                channel.put(END, terminal=True)
+            # The span covers the producer's whole lifetime (body + terminal
+            # put); its duration minus the recorded stall spans is the
+            # producer's *busy* time in the overlap identity checked by
+            # repro.db.timing.overlap_crosscheck.
+            with obs.span("loader.producer", loader=self.stats.name):
+                try:
+                    self._body(channel)
+                except BaseException as error:
+                    channel.put(Failure(error), terminal=True)
+                else:
+                    channel.put(END, terminal=True)
 
         self.stats.record_thread_started()
         self._thread = self._registry.spawn(run, name=self.name)

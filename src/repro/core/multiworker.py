@@ -11,7 +11,7 @@ PyTorch's ``DataLoader(num_workers=N)`` over an iterable dataset.
 The union of the workers' streams covers every tuple exactly once per
 epoch, and loading overlaps both training and the other workers' I/O.
 
-All worker streams share one :class:`~repro.core.stats.LoaderStats`, so the
+All worker streams share one :class:`~repro.obs.LoaderMetrics`, so the
 loader reports aggregate queue/stall/wait counters; abandoning iteration
 mid-epoch explicitly closes every per-worker stream, which joins every
 producer thread deterministically (see :mod:`repro.core.lifecycle`).
@@ -25,7 +25,7 @@ from typing import Iterator
 from .dataloader import Batch, DataLoader
 from .dataset import CorgiPileDataset
 from .prefetch import PrefetchLoader
-from .stats import LoaderStats
+from ..obs import LoaderMetrics
 
 __all__ = ["MultiWorkerLoader"]
 
@@ -42,7 +42,7 @@ class MultiWorkerLoader:
         seed: int = 0,
         prefetch_depth: int = 2,
         drop_last: bool = False,
-        stats: LoaderStats | None = None,
+        stats: LoaderMetrics | None = None,
         reader_factory=None,
     ):
         if n_workers <= 0:
@@ -52,7 +52,7 @@ class MultiWorkerLoader:
         self.batch_size = int(batch_size)
         self.drop_last = bool(drop_last)
         self.prefetch_depth = int(prefetch_depth)
-        self.stats = stats if stats is not None else LoaderStats("multiworker")
+        self.stats = stats if stats is not None else LoaderMetrics("multiworker")
         self._workers = [
             CorgiPileDataset(
                 path,

@@ -14,7 +14,7 @@ producer are re-raised in the consumer, terminal puts are cancellable, and
 every exit path — exhaustion, a consumer exception, or abandoning iteration
 mid-epoch — deterministically joins the producer thread (a zombie raises
 instead of leaking).  Hand-over timing flows into a
-:class:`~repro.core.stats.LoaderStats` for the observability layer.
+:class:`~repro.obs.LoaderMetrics` for the observability layer.
 """
 
 from __future__ import annotations
@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Generic, Iterable, Iterator, TypeVar
 
 from .lifecycle import END, Failure, ManagedProducer, ProducerChannel
-from .stats import LoaderStats
+from ..obs import LoaderMetrics
 
 __all__ = ["PrefetchLoader"]
 
@@ -44,14 +44,14 @@ class PrefetchLoader(Generic[T]):
         self,
         source: Iterable[T],
         depth: int = 2,
-        stats: LoaderStats | None = None,
+        stats: LoaderMetrics | None = None,
         name: str = "prefetch",
     ):
         if depth < 1:
             raise ValueError("depth must be at least 1")
         self.source = source
         self.depth = int(depth)
-        self.stats = stats if stats is not None else LoaderStats(name)
+        self.stats = stats if stats is not None else LoaderMetrics(name)
         self.name = name
 
     def __iter__(self) -> Iterator[T]:

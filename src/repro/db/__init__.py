@@ -37,7 +37,7 @@ from .systems import (
 )
 from .threaded import ThreadedTupleShuffleOperator
 from .timeline import Timeline, TimelinePoint
-from .timing import ComputeProfile, RuntimeContext, overlap_report
+from .timing import ComputeProfile, RuntimeContext, overlap_crosscheck, overlap_report
 
 __all__ = [
     "Catalog",
@@ -63,6 +63,7 @@ __all__ = [
     "SlidingWindowOperator",
     "MultiplexedReservoirOperator",
     "ThreadedTupleShuffleOperator",
+    "overlap_crosscheck",
     "overlap_report",
     "PhysicalDesign",
     "advise",

@@ -142,7 +142,7 @@ class MiniDB:
         ``plan`` is a :class:`repro.faults.FaultPlan`; subsequent queries on
         the table read through checksum-verified, bounded-retry wrappers
         that inject the plan's faults.  Returns the
-        :class:`~repro.core.stats.StorageStats` that will accumulate the
+        :class:`~repro.obs.StorageMetrics` that will accumulate the
         fault/retry counters.  The logical data is untouched — drop and
         re-create (or re-inject a null plan) to restore clean storage.
         """

@@ -26,6 +26,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from .. import obs
 from ..core.buffer import ShuffleBuffer
 from ..core.seeding import (
     MRS_STREAM,
@@ -166,26 +167,29 @@ class BlockShuffleOperator(PhysicalOperator):
         tuples: list[TrainingTuple] = []
         device_bytes = 0.0
         memory_bytes = 0.0
-        for page_id in self.table.heap.block_pages(block_id, self.block_bytes):
-            try:
-                page_tuples, hit = self.table.pool.get_page_traced(page_id)
-            except ReadExhaustedError as exc:
-                raise StorageError(
-                    f"block shuffle scan of table {self.table.name!r}, "
-                    f"block {block_id}: {exc}"
-                ) from exc
-            page_bytes = self.table.heap.pages[page_id].used_bytes
-            if hit:
-                memory_bytes += page_bytes
-            else:
-                device_bytes += page_bytes
-            tuples.extend(page_tuples)
+        with obs.span("db.block", block_id=block_id) as sp:
+            for page_id in self.table.heap.block_pages(block_id, self.block_bytes):
+                try:
+                    page_tuples, hit = self.table.pool.get_page_traced(page_id)
+                except ReadExhaustedError as exc:
+                    raise StorageError(
+                        f"block shuffle scan of table {self.table.name!r}, "
+                        f"block {block_id}: {exc}"
+                    ) from exc
+                page_bytes = self.table.heap.pages[page_id].used_bytes
+                if hit:
+                    memory_bytes += page_bytes
+                else:
+                    device_bytes += page_bytes
+                tuples.extend(page_tuples)
+            sp.set(n_tuples=len(tuples), device_bytes=device_bytes)
         # One random positioning per block; the pages inside a block are
         # contiguous, so they transfer at sequential bandwidth.
         if device_bytes:
             self.ctx.charge_device_read(device_bytes, random=True)
         if memory_bytes:
             self.ctx.charge_memory_read(memory_bytes)
+        obs.inc("db.blocks_loaded")
         self._pending = tuples
         self._slot = 0
         return True
@@ -241,13 +245,15 @@ class TupleShuffleOperator(PhysicalOperator):
         if self._exhausted:
             return False
         buffer: ShuffleBuffer[TrainingTuple] = ShuffleBuffer(self.buffer_tuples, self._rng)
-        while not buffer.full:
-            record = self.child.next()
-            if record is None:
-                self._exhausted = True
-                break
-            buffer.add(record)
-        n = len(buffer)
+        with obs.span("db.fill") as sp:
+            while not buffer.full:
+                record = self.child.next()
+                if record is None:
+                    self._exhausted = True
+                    break
+                buffer.add(record)
+            n = len(buffer)
+            sp.set(n_tuples=n)
         if n == 0:
             return False
         self._drained = buffer.shuffle_and_drain()
@@ -402,8 +408,12 @@ class SGDOperator:
         try:
             for epoch in range(self.epochs):
                 lr = float(self.schedule(epoch))
-                tuples_seen += self._run_epoch(lr)
-                self.epoch_wall_times.append(self.ctx.epoch_wall_time())
+                with obs.span("db.epoch", epoch=epoch, lr=lr) as sp:
+                    tuples_seen += self._run_epoch(lr)
+                    simulated_wall = self.ctx.epoch_wall_time()
+                    sp.set(tuples_seen=tuples_seen, simulated_wall_s=simulated_wall)
+                self.epoch_wall_times.append(simulated_wall)
+                obs.inc("db.epochs")
                 history.append(evaluate(epoch, lr, tuples_seen))
                 if epoch + 1 < self.epochs:
                     self.child.rescan()

@@ -18,17 +18,18 @@ The writer thread rides on :class:`~repro.core.lifecycle.ManagedProducer`:
 terminal put is cancellable, and ``open()`` after ``close()`` restarts from
 epoch 0 so a reopened operator replays the first epoch's order instead of
 silently resuming mid-sequence.  Fill/drain counts and stall/wait times are
-recorded in a :class:`~repro.core.stats.LoaderStats` so benchmarks can
+recorded in a :class:`~repro.obs.LoaderMetrics` so benchmarks can
 report the *measured* loading/compute overlap next to the analytic
 :func:`~repro.core.buffer.pipelined_time` model.
 """
 
 from __future__ import annotations
 
+from .. import obs
 from ..core.buffer import ShuffleBuffer
 from ..core.lifecycle import END, Failure, ManagedProducer, ProducerChannel
 from ..core.seeding import TUPLE_SHUFFLE_STREAM, stream_rng
-from ..core.stats import LoaderStats
+from ..obs import LoaderMetrics
 from ..storage.codec import TrainingTuple
 from .operators import PhysicalOperator
 
@@ -49,14 +50,14 @@ class ThreadedTupleShuffleOperator(PhysicalOperator):
         child: PhysicalOperator,
         buffer_tuples: int,
         seed: int = 0,
-        stats: LoaderStats | None = None,
+        stats: LoaderMetrics | None = None,
     ):
         if buffer_tuples <= 0:
             raise ValueError("buffer_tuples must be positive")
         self.child = child
         self.buffer_tuples = int(buffer_tuples)
         self.seed = int(seed)
-        self.stats = stats if stats is not None else LoaderStats("tuple-shuffle")
+        self.stats = stats if stats is not None else LoaderMetrics("tuple-shuffle")
         self._epoch = 0
         self._producer: ManagedProducer | None = None
         self._drained: list[TrainingTuple] = []
@@ -68,13 +69,15 @@ class ThreadedTupleShuffleOperator(PhysicalOperator):
         rng = stream_rng(self.seed, epoch, TUPLE_SHUFFLE_STREAM)
         while not channel.cancelled:
             buffer: ShuffleBuffer[TrainingTuple] = ShuffleBuffer(self.buffer_tuples, rng)
-            while not buffer.full:
-                if channel.cancelled:
-                    return
-                record = self.child.next()
-                if record is None:
-                    break
-                buffer.add(record)
+            with obs.span("db.fill", loader=self.stats.name, epoch=epoch) as sp:
+                while not buffer.full:
+                    if channel.cancelled:
+                        return
+                    record = self.child.next()
+                    if record is None:
+                        break
+                    buffer.add(record)
+                sp.set(n_tuples=len(buffer))
             if len(buffer) == 0:
                 return
             self.stats.record_buffer_filled(len(buffer))

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
+
 __all__ = ["TimelinePoint", "Timeline"]
 
 
@@ -45,6 +47,17 @@ class Timeline:
         self.points.append(
             TimelinePoint(last + epoch_wall_s, epoch, train_loss, train_score, test_score)
         )
+        # Simulated-clock span: start/end are modelled seconds on the
+        # timeline's own axis, not perf_counter time — marked so exporters
+        # and reports can keep the two clocks apart.
+        obs.add_span(
+            "timeline.epoch",
+            last,
+            last + epoch_wall_s,
+            clock="simulated",
+            system=self.system,
+            epoch=epoch,
+        )
 
     @property
     def total_time_s(self) -> float:
@@ -68,3 +81,19 @@ class Timeline:
         if mine is None or theirs is None or mine == 0:
             return None
         return theirs / mine
+
+    def to_registry(self, registry=None, prefix: str | None = None) -> None:
+        """Project this timeline's aggregates into an obs registry.
+
+        Publishes total simulated wall-clock and setup time as gauges and
+        the epoch count as a counter, under ``timeline.<system>`` (or
+        ``prefix``), so end-to-end runs land in the same metrics snapshot
+        as the live counters.
+        """
+        reg = registry if registry is not None else obs.get_registry()
+        base = prefix if prefix is not None else f"timeline.{self.system}"
+        reg.set_max(f"{base}.total_time_s", self.total_time_s)
+        reg.set_max(f"{base}.setup_s", self.setup_s)
+        reg.inc(f"{base}.epochs", len(self.points))
+        if self.final_test_score is not None:
+            reg.set_max(f"{base}.final_test_score", float(self.final_test_score))

@@ -21,10 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.buffer import pipelined_time, serial_time
-from ..core.stats import LoaderStats
+from ..obs import LoaderMetrics
 from ..storage.iomodel import MEMORY, DeviceModel
 
-__all__ = ["ComputeProfile", "RuntimeContext", "overlap_report"]
+__all__ = ["ComputeProfile", "RuntimeContext", "overlap_report", "overlap_crosscheck"]
 
 
 @dataclass(frozen=True)
@@ -115,19 +115,19 @@ class RuntimeContext:
         return wall
 
 
-def overlap_report(stats: "LoaderStats | dict", digits: int = 6) -> dict:
+def overlap_report(stats: "LoaderMetrics | dict", digits: int = 6) -> dict:
     """Flatten a loader's *measured* overlap counters into one report row.
 
     The analytic model above predicts double-buffered wall-clock from
     per-fill I/O and compute; the real threaded loaders measure the same
     phenomenon directly (producer stall = loading hidden behind compute,
     consumer wait = compute starved by loading).  This helper reduces a
-    :class:`~repro.core.stats.LoaderStats` (or its :meth:`as_dict`
+    :class:`~repro.obs.LoaderMetrics` (or its :meth:`as_dict`
     snapshot) to the row shape the benchmarks and CLI print, so the
     double-buffering figures can show measured overlap next to the analytic
     ``pipelined_time``.
     """
-    d = stats.as_dict() if isinstance(stats, LoaderStats) else dict(stats)
+    d = stats.as_dict() if hasattr(stats, "as_dict") else dict(stats)
     return {
         "loader": d.get("name", "loader"),
         "items": d.get("items_consumed", 0),
@@ -139,4 +139,85 @@ def overlap_report(stats: "LoaderStats | dict", digits: int = 6) -> dict:
         "overlap_fraction": round(float(d.get("overlap_fraction", 1.0)), 4),
         "threads_started": d.get("threads_started", 0),
         "live_threads": d.get("live_threads", 0),
+    }
+
+
+def overlap_crosscheck(
+    stats: "LoaderMetrics | dict",
+    spans,
+    wall_s: float,
+    tolerance_s: float | None = None,
+) -> dict:
+    """Audit the counter-measured overlap against independent span data.
+
+    Two routes to the same physical quantity — the seconds during which
+    loading genuinely overlapped compute over a consumer-side wall of
+    ``wall_s``:
+
+    * **counters** (``LoaderMetrics``): the consumer was computing except
+      while it waited, and the producer was loading except while it
+      stalled, so ``overlap = wall − stall − wait`` (clamped at 0);
+    * **spans** (:mod:`repro.obs`): producer busy is the measured
+      ``loader.producer`` lifetime minus its ``loader.producer_stall``
+      spans; consumer busy is the wall minus the ``loader.consumer_wait``
+      spans; the inclusion–exclusion identity gives
+      ``overlap = producer_busy + consumer_busy − wall``.
+
+    The two must agree within ``tolerance_s`` (defaults to
+    ``max(0.05, 10%·wall)`` — span timestamps and counter sums are taken
+    at slightly different instants).  This cross-check is what exposed the
+    phantom-stall accounting bug in ``ProducerChannel.put`` (non-blocking
+    puts booking microseconds of lock traffic as stall); it stays wired
+    into the fig05/fig13 benches and ``tests/test_obs.py`` as a
+    regression guard.
+
+    ``spans`` accepts :class:`~repro.obs.Span` objects or exported span
+    events (dicts); only the ``loader.*`` spans matching this loader's name
+    are consulted.  Returns a verdict row — callers assert ``row["ok"]``.
+    """
+    d = stats.as_dict() if hasattr(stats, "as_dict") else dict(stats)
+    name = d.get("name", "loader")
+    wall_s = float(wall_s)
+
+    def _fields(span) -> tuple[str, float, str]:
+        if isinstance(span, dict):
+            return (
+                span.get("name", ""),
+                float(span.get("duration_s", 0.0)),
+                str(span.get("attrs", {}).get("loader", "")),
+            )
+        return span.name, span.duration_s, str(span.attrs.get("loader", ""))
+
+    producer_life = stall_span_s = wait_span_s = 0.0
+    for span in spans:
+        span_name, duration, loader = _fields(span)
+        if loader != name:
+            continue
+        if span_name == "loader.producer":
+            producer_life += duration
+        elif span_name == "loader.producer_stall":
+            stall_span_s += duration
+        elif span_name == "loader.consumer_wait":
+            wait_span_s += duration
+
+    producer_busy = max(0.0, producer_life - stall_span_s)
+    consumer_busy = max(0.0, wall_s - wait_span_s)
+    span_overlap = producer_busy + consumer_busy - wall_s
+    counter_overlap = max(
+        0.0,
+        wall_s - float(d.get("producer_stall_s", 0.0)) - float(d.get("consumer_wait_s", 0.0)),
+    )
+    if tolerance_s is None:
+        tolerance_s = max(0.05, 0.10 * wall_s)
+    gap = abs(span_overlap - counter_overlap)
+    return {
+        "loader": name,
+        "wall_s": wall_s,
+        "producer_busy_s": producer_busy,
+        "consumer_busy_s": consumer_busy,
+        "span_overlap_s": span_overlap,
+        "counter_overlap_s": counter_overlap,
+        "gap_s": gap,
+        "tolerance_s": tolerance_s,
+        "ok": gap <= tolerance_s,
     }

@@ -14,7 +14,7 @@ from dataclasses import replace
 from pathlib import Path
 from typing import Any, Callable
 
-from ..core.stats import StorageStats
+from ..obs import StorageMetrics
 from ..storage.blockfile import BlockFileReader
 from ..storage.retry import RetryPolicy
 from .plan import FaultPlan
@@ -25,7 +25,7 @@ __all__ = ["faulty_reader_factory", "faulty_table", "chaos_report"]
 
 def faulty_reader_factory(
     plan: FaultPlan,
-    stats: StorageStats | None = None,
+    stats: StorageMetrics | None = None,
     retry: RetryPolicy | None = None,
 ) -> Callable[[str | Path], BlockFileReader]:
     """A ``reader_factory`` for :class:`~repro.core.dataset.CorgiPileDataset`.
@@ -45,9 +45,9 @@ def faulty_reader_factory(
 def faulty_table(
     table: Any,
     plan: FaultPlan,
-    stats: StorageStats | None = None,
+    stats: StorageMetrics | None = None,
     retry: RetryPolicy | None = None,
-) -> tuple[Any, StorageStats]:
+) -> tuple[Any, StorageMetrics]:
     """Rebuild a catalog ``TableInfo`` over a fault-injecting heap.
 
     Returns ``(faulty_table, stats)``: the same logical table whose page
@@ -57,7 +57,7 @@ def faulty_table(
     queries under the plan.
     """
     if stats is None:
-        stats = StorageStats(f"{table.name}-faults")
+        stats = StorageMetrics(f"{table.name}-faults")
     heap = FaultyHeapFile(table.heap, plan, storage_stats=stats)
     if retry is None:
         retry = heap.recommended_retry()
@@ -71,9 +71,14 @@ def faulty_table(
     return replace(table, heap=heap, pool=new_pool), stats
 
 
-def chaos_report(stats: StorageStats, plan: FaultPlan | None = None) -> dict:
-    """One flat row of fault/retry counters (for ``format_table``)."""
-    d = stats.as_dict()
+def chaos_report(stats: StorageMetrics | dict, plan: FaultPlan | None = None) -> dict:
+    """One flat row of fault/retry counters (for ``format_table``).
+
+    Accepts a live :class:`~repro.obs.StorageMetrics` or its ``as_dict()``
+    snapshot — so the CLI can re-render a report from an exported metrics
+    file without reconstructing the stats object.
+    """
+    d = stats.as_dict() if hasattr(stats, "as_dict") else dict(stats)
     row = {
         "store": d["name"],
         "attempts": d["read_attempts"],

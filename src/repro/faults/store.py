@@ -7,7 +7,7 @@ a read returns — not the stored data — are what the plan corrupts, so a
 retry really does observe a clean re-read, exactly like a transient torn
 read on real hardware.  Checksum verification and bounded retry live in the
 clean classes; the wrappers only decide each attempt's fate and record the
-injections into a shared :class:`~repro.core.stats.StorageStats`.
+injections into a shared :class:`~repro.obs.StorageMetrics`.
 """
 
 from __future__ import annotations

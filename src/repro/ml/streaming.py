@@ -16,6 +16,7 @@ from typing import Callable, Iterable
 
 import numpy as np
 
+from .. import obs
 from ..core.dataloader import Batch
 from ..data.dataset import Dataset
 from .optim import Optimizer, SGD
@@ -118,42 +119,51 @@ def train_streaming(
         skip = start_batch if epoch == start_epoch else 0
         batches_done = skip
         since_checkpoint = 0
-        for batch_index, batch in enumerate(loader):
-            if batch_index < skip:
-                continue
-            if fault_plan is not None:
-                budget = fault_plan.tuples_before_crash(tuples_seen)
-                if budget is not None and budget < len(batch):
-                    fault_plan.fire_crash(f"epoch {epoch}, batch {batch_index}")
-            y = batch.y
-            if classification_int_labels and not per_tuple and _looks_multiclass(model):
-                y = y.astype(np.int64)
-            if per_tuple:
-                if fused:
-                    model.step_block(batch.X, batch.y, lr)
-                else:
-                    from ..data.sparse import SparseMatrix
-
-                    labels = np.asarray(batch.y, dtype=np.float64).tolist()
-                    if isinstance(batch.X, SparseMatrix):
-                        for i in range(len(batch)):
-                            model.step_example(batch.X.row(i), labels[i], lr)
+        with obs.span("ml.epoch", epoch=epoch, lr=lr, strategy="streaming") as sp:
+            for batch_index, batch in enumerate(loader):
+                if batch_index < skip:
+                    continue
+                if fault_plan is not None:
+                    budget = fault_plan.tuples_before_crash(tuples_seen)
+                    if budget is not None and budget < len(batch):
+                        fault_plan.fire_crash(f"epoch {epoch}, batch {batch_index}")
+                y = batch.y
+                if (
+                    classification_int_labels
+                    and not per_tuple
+                    and _looks_multiclass(model)
+                ):
+                    y = y.astype(np.int64)
+                if per_tuple:
+                    if fused:
+                        obs.inc("ml.fused_steps")
+                        obs.inc("ml.fused_tuples", len(batch))
+                        model.step_block(batch.X, batch.y, lr)
                     else:
-                        for i in range(len(batch)):
-                            model.step_example(batch.X[i], labels[i], lr)
-            else:
-                grads = model.gradient(batch.X, y)
-                optimizer.step(grads, lr)
-            tuples_seen += len(batch)
-            batches_done += 1
-            since_checkpoint += len(batch)
-            if (
-                checkpoint is not None
-                and checkpoint.every_tuples > 0
-                and since_checkpoint >= checkpoint.every_tuples
-            ):
-                _save(epoch, batches_done)
-                since_checkpoint = 0
+                        from ..data.sparse import SparseMatrix
+
+                        labels = np.asarray(batch.y, dtype=np.float64).tolist()
+                        if isinstance(batch.X, SparseMatrix):
+                            for i in range(len(batch)):
+                                model.step_example(batch.X.row(i), labels[i], lr)
+                        else:
+                            for i in range(len(batch)):
+                                model.step_example(batch.X[i], labels[i], lr)
+                else:
+                    grads = model.gradient(batch.X, y)
+                    optimizer.step(grads, lr)
+                tuples_seen += len(batch)
+                batches_done += 1
+                since_checkpoint += len(batch)
+                if (
+                    checkpoint is not None
+                    and checkpoint.every_tuples > 0
+                    and since_checkpoint >= checkpoint.every_tuples
+                ):
+                    _save(epoch, batches_done)
+                    since_checkpoint = 0
+            sp.set(tuples_seen=tuples_seen, batches=batches_done)
+        obs.inc("ml.epochs")
         history.append(
             EpochRecord(
                 epoch=epoch,

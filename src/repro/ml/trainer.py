@@ -31,6 +31,7 @@ from typing import Protocol, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..data.dataset import Dataset
 from ..data.sparse import SparseMatrix
 from .optim import Optimizer, SGD
@@ -261,8 +262,16 @@ class Trainer:
             lr = float(self.schedule(epoch))
             order = np.asarray(self.index_source.epoch_indices(epoch), dtype=np.int64)
             cursor = start_cursor if epoch == start_epoch else 0
-            tuples_seen = self._run_epoch(order, lr, epoch, cursor, tuples_seen, history)
-            record = self._evaluate(epoch, lr, tuples_seen)
+            with obs.span(
+                "ml.epoch", epoch=epoch, lr=lr, strategy=history.strategy
+            ) as sp:
+                tuples_seen = self._run_epoch(
+                    order, lr, epoch, cursor, tuples_seen, history
+                )
+                sp.set(tuples_seen=tuples_seen)
+            obs.inc("ml.epochs")
+            with obs.span("ml.evaluate", epoch=epoch):
+                record = self._evaluate(epoch, lr, tuples_seen)
             history.append(record)
             for callback in self.callbacks:
                 callback(epoch, self.model, record)
@@ -411,6 +420,8 @@ class Trainer:
                 model.step_example(X[i], labels[i], lr)
 
     def _fused_epoch(self, order: np.ndarray, lr: float) -> None:
+        obs.inc("ml.fused_steps")
+        obs.inc("ml.fused_tuples", int(order.size))
         self.model.step_block(
             self.train_set.X,
             np.asarray(self.train_set.y, dtype=np.float64),

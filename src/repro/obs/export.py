@@ -1,0 +1,290 @@
+"""Exporters for :mod:`repro.obs`: JSONL traces, JSON metrics, text reports.
+
+Three output shapes, one source of truth (the session tracer + registry):
+
+* :func:`write_trace_jsonl` — one JSON object per line: a ``meta`` header
+  followed by one ``span`` event per finished span.  The format is pinned
+  by ``docs/obs_trace.schema.json`` and validated in CI.
+* :func:`write_metrics_json` — the registry's flat snapshot as one JSON
+  document (counters/gauges/histogram summaries).
+* :func:`render_report` — the human ``repro obs-report`` summary: spans
+  aggregated into a tree by call path with count/total/mean per node.
+
+The schema validator is a deliberately small hand-rolled subset of JSON
+Schema (type/required/properties/enum) — enough to pin the trace format in
+CI without adding a dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = [
+    "DEFAULT_SCHEMA_PATH",
+    "span_event",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "write_metrics_json",
+    "render_report",
+    "validate_events",
+    "load_schema",
+]
+
+#: The checked-in schema the CI ``obs-smoke`` job validates traces against.
+DEFAULT_SCHEMA_PATH = (
+    Path(__file__).resolve().parents[3] / "docs" / "obs_trace.schema.json"
+)
+
+_TRACE_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# JSONL trace
+# ----------------------------------------------------------------------
+
+
+def span_event(span, base_wall: float) -> dict:
+    """One span as its wire-format JSON object."""
+    return {
+        "type": "span",
+        "id": span.span_id,
+        "parent": span.parent_id,
+        "name": span.name,
+        "start_s": span.start,
+        "end_s": span.end,
+        "duration_s": span.end - span.start,
+        "wall_start": base_wall + span.start,
+        "attrs": dict(span.attrs),
+    }
+
+
+def write_trace_jsonl(path, tracer, registry=None) -> int:
+    """Write ``tracer`` (and optionally a metrics snapshot) as JSONL.
+
+    Returns the number of span events written.  The first line is always
+    the ``meta`` header; a ``metrics`` line follows it when a registry is
+    given, so one trace file can carry the whole telemetry picture.
+    """
+    state = tracer.__getstate__()
+    spans = state["spans"]
+    with open(path, "w") as fh:
+        json.dump(
+            {
+                "type": "meta",
+                "version": _TRACE_VERSION,
+                "base_wall": state["base_wall"],
+                "span_count": len(spans),
+                "dropped": state["dropped"],
+            },
+            fh,
+        )
+        fh.write("\n")
+        if registry is not None:
+            json.dump({"type": "metrics", **registry.snapshot()}, fh)
+            fh.write("\n")
+        for span in spans:
+            json.dump(span_event(span, state["base_wall"]), fh)
+            fh.write("\n")
+    return len(spans)
+
+
+def read_trace_jsonl(path) -> tuple[dict, list[dict]]:
+    """Load a trace file back as ``(meta, events)``.
+
+    ``events`` keeps every non-meta line (span and metrics events alike) in
+    file order.
+    """
+    meta: dict = {}
+    events: list[dict] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if obj.get("type") == "meta" and not meta:
+                meta = obj
+            else:
+                events.append(obj)
+    return meta, events
+
+
+# ----------------------------------------------------------------------
+# Metrics snapshot
+# ----------------------------------------------------------------------
+
+
+def write_metrics_json(path, registry) -> dict:
+    """Write the registry snapshot as one JSON document; returns it."""
+    snapshot = registry.snapshot()
+    with open(path, "w") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return snapshot
+
+
+# ----------------------------------------------------------------------
+# Human summary tree
+# ----------------------------------------------------------------------
+
+
+def _span_events(source) -> list[dict]:
+    """Normalise a tracer / event list / trace path into span events."""
+    if hasattr(source, "__getstate__") and hasattr(source, "spans"):
+        state = source.__getstate__()
+        return [span_event(s, state["base_wall"]) for s in state["spans"]]
+    if isinstance(source, (str, Path)):
+        _, events = read_trace_jsonl(source)
+        return [e for e in events if e.get("type") == "span"]
+    return [e for e in source if e.get("type") == "span"]
+
+
+def render_report(source, registry=None, max_depth: int = 6) -> str:
+    """The ``repro obs-report`` text: a span tree plus top counters.
+
+    Spans are aggregated by *call path* (root span name / child name / …);
+    each tree node shows invocation count, total seconds, and mean.
+    ``source`` may be a live tracer, a list of span events, or a trace file
+    path.
+    """
+    events = _span_events(source)
+    by_id = {e["id"]: e for e in events}
+
+    def path_of(event: dict) -> tuple:
+        path = [event["name"]]
+        seen = {event["id"]}
+        parent = event.get("parent")
+        while parent is not None and parent in by_id and len(path) < max_depth:
+            if parent in seen:  # defensive: a cycle would hang the report
+                break
+            seen.add(parent)
+            node = by_id[parent]
+            path.append(node["name"])
+            parent = node.get("parent")
+        return tuple(reversed(path))
+
+    agg: dict[tuple, dict] = {}
+    for event in events:
+        node = agg.setdefault(path_of(event), {"count": 0, "total": 0.0})
+        node["count"] += 1
+        node["total"] += float(event["duration_s"])
+
+    lines = [f"spans: {len(events)} across {len(agg)} call paths"]
+    if not events:
+        lines.append("  (no spans recorded — was tracing enabled?)")
+    # Children sort under their parents because tuple order is prefix order;
+    # ties broken by total time so hot paths surface first at each level.
+    for path in sorted(agg, key=lambda p: (p[:-1], -agg[p]["total"])):
+        node = agg[path]
+        mean = node["total"] / node["count"]
+        indent = "  " * len(path)
+        lines.append(
+            f"{indent}{path[-1]:<28s} n={node['count']:<6d} "
+            f"total={node['total']:>10.4f}s  mean={mean:.6f}s"
+        )
+    if registry is not None:
+        snap = registry.snapshot()
+        if snap["counters"]:
+            lines.append("\ncounters:")
+            for name in sorted(snap["counters"]):
+                lines.append(f"  {name:<44s} {snap['counters'][name]}")
+        if snap["gauges"]:
+            lines.append("gauges:")
+            for name in sorted(snap["gauges"]):
+                lines.append(f"  {name:<44s} {snap['gauges'][name]}")
+        if snap["histograms"]:
+            lines.append("histograms:")
+            for name in sorted(snap["histograms"]):
+                h = snap["histograms"][name]
+                lines.append(
+                    f"  {name:<44s} n={h['count']} mean={h['mean']:.6f} "
+                    f"min={h['min']:.6f} max={h['max']:.6f}"
+                )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Minimal JSON-schema-subset validator (no external dependency)
+# ----------------------------------------------------------------------
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _check_type(value, expected: str) -> bool:
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    return isinstance(value, _TYPES[expected])
+
+
+def _validate(value, schema: dict, where: str, errors: list[str]) -> None:
+    expected = schema.get("type")
+    if expected is not None:
+        allowed = expected if isinstance(expected, list) else [expected]
+        if not any(_check_type(value, t) for t in allowed):
+            errors.append(f"{where}: expected {expected}, got {type(value).__name__}")
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{where}: {value!r} not in {schema['enum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                errors.append(f"{where}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                _validate(value[key], sub, f"{where}.{key}", errors)
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            _validate(item, schema["items"], f"{where}[{i}]", errors)
+
+
+def load_schema(path=None) -> dict:
+    with open(path or DEFAULT_SCHEMA_PATH) as fh:
+        return json.load(fh)
+
+
+def validate_events(meta: dict, events: list[dict], schema: dict | None = None) -> list[str]:
+    """Validate one loaded trace against the (subset) JSON schema.
+
+    Returns a list of human-readable problems — empty means valid.  Beyond
+    per-line shape checks, cross-line invariants are enforced: parent ids
+    must resolve, and span intervals must not be negative.
+    """
+    if schema is None:
+        schema = load_schema()
+    errors: list[str] = []
+    _validate(meta, schema["definitions"]["meta"], "meta", errors)
+    span_schema = schema["definitions"]["span"]
+    metrics_schema = schema["definitions"]["metrics"]
+    ids = set()
+    for i, event in enumerate(events):
+        kind = event.get("type")
+        if kind == "span":
+            _validate(event, span_schema, f"events[{i}]", errors)
+            if isinstance(event.get("id"), int):
+                ids.add(event["id"])
+        elif kind == "metrics":
+            _validate(event, metrics_schema, f"events[{i}]", errors)
+        else:
+            errors.append(f"events[{i}]: unknown event type {kind!r}")
+    for i, event in enumerate(events):
+        if event.get("type") != "span":
+            continue
+        parent = event.get("parent")
+        if parent is not None and parent not in ids:
+            errors.append(f"events[{i}]: parent {parent} does not resolve to a span")
+        if (
+            isinstance(event.get("start_s"), (int, float))
+            and isinstance(event.get("end_s"), (int, float))
+            and event["end_s"] < event["start_s"]
+        ):
+            errors.append(f"events[{i}]: negative duration")
+    return errors

@@ -1,0 +1,219 @@
+"""The metrics half of :mod:`repro.obs`: one process-safe registry.
+
+A :class:`Registry` holds three metric kinds under dotted names
+(``"storage.bufferpool.hits"``):
+
+* **counters** — monotonically increasing sums (``inc``);
+* **gauges** — last-observed level where *merging* keeps the max (queue
+  depths, pool occupancy — values that do not add across processes);
+* **histograms** — count/sum/min/max kept exactly, plus a bounded
+  reservoir of raw observations for percentile estimates.
+
+Like the legacy ``_MergeableStats`` counters, a registry is picklable
+(snapshot the values, drop the lock, fresh lock on load) and cross-process
+mergeable: workers ship theirs home and the coordinator folds them into one.
+The merge is associative — counters add, gauges max, histogram moments fold
+exactly and reservoirs concatenate-then-truncate — so any fold order over
+worker registries produces the same snapshot (asserted by
+``tests/test_obs.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Registry", "RESERVOIR_MAX"]
+
+#: Per-histogram cap on retained raw observations.  Concatenate-then-truncate
+#: keeps the merge associative (the survivors depend only on insertion order,
+#: which the fold preserves left-to-right).
+RESERVOIR_MAX = 512
+
+
+def _new_hist() -> dict:
+    return {"count": 0, "sum": 0.0, "min": None, "max": None, "reservoir": []}
+
+
+class Registry:
+    """A named bag of counters, gauges, and histograms behind one lock."""
+
+    def __init__(self, name: str = "registry"):
+        self.name = name
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._hists: dict[str, dict] = {}
+
+    # -- recording ------------------------------------------------------
+    def inc(self, name: str, n: float = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at zero on first use)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record the current level of gauge ``name``."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def set_max(self, name: str, value: float) -> None:
+        """Raise gauge ``name`` to ``value`` if it is a new high-water mark."""
+        with self._lock:
+            if value > self._gauges.get(name, float("-inf")):
+                self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Add one observation to histogram ``name``."""
+        value = float(value)
+        with self._lock:
+            h = self._hists.get(name)
+            if h is None:
+                h = self._hists[name] = _new_hist()
+            h["count"] += 1
+            h["sum"] += value
+            h["min"] = value if h["min"] is None else min(h["min"], value)
+            h["max"] = value if h["max"] is None else max(h["max"], value)
+            if len(h["reservoir"]) < RESERVOIR_MAX:
+                h["reservoir"].append(value)
+
+    # -- reading --------------------------------------------------------
+    def counter(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> float | None:
+        with self._lock:
+            return self._gauges.get(name)
+
+    def histogram(self, name: str) -> dict | None:
+        """A summary dict for histogram ``name`` (or None if never observed)."""
+        with self._lock:
+            h = self._hists.get(name)
+            if h is None:
+                return None
+            return self._hist_summary(h)
+
+    @staticmethod
+    def _hist_summary(h: dict) -> dict:
+        res = sorted(h["reservoir"])
+        summary = {
+            "count": h["count"],
+            "sum": h["sum"],
+            "min": h["min"],
+            "max": h["max"],
+            "mean": h["sum"] / h["count"] if h["count"] else None,
+        }
+        if res:
+            summary["p50"] = res[len(res) // 2]
+            summary["p95"] = res[min(len(res) - 1, int(len(res) * 0.95))]
+        return summary
+
+    def snapshot(self) -> dict:
+        """Everything, as one JSON-able dict (the flat metrics export)."""
+        with self._lock:
+            return {
+                "name": self.name,
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    name: self._hist_summary(h) for name, h in self._hists.items()
+                },
+            }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "Registry":
+        """Rebuild a registry from a :meth:`snapshot` dict (e.g. a metrics
+        export read back from disk).  Histogram moments are restored exactly;
+        the percentile reservoir is not part of the snapshot, so re-derived
+        percentiles are unavailable on the rebuilt registry.
+        """
+        reg = cls(snapshot.get("name", "snapshot"))
+        reg._counters = dict(snapshot.get("counters", {}))
+        reg._gauges = dict(snapshot.get("gauges", {}))
+        for name, s in snapshot.get("histograms", {}).items():
+            reg._hists[name] = {
+                "count": s["count"],
+                "sum": s["sum"],
+                "min": s["min"],
+                "max": s["max"],
+                "reservoir": [],
+            }
+        return reg
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._counters) + len(self._gauges) + len(self._hists)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._hists.clear()
+
+    # -- merge / pickle -------------------------------------------------
+    def merge(self, other: "Registry") -> "Registry":
+        """Fold ``other`` into this registry (in place); returns self."""
+        if not isinstance(other, Registry):
+            raise TypeError(f"cannot merge {type(other).__name__} into Registry")
+        state = other.__getstate__()
+        with self._lock:
+            for name, value in state["counters"].items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            for name, value in state["gauges"].items():
+                if value > self._gauges.get(name, float("-inf")):
+                    self._gauges[name] = value
+            for name, theirs in state["hists"].items():
+                h = self._hists.get(name)
+                if h is None:
+                    h = self._hists[name] = _new_hist()
+                h["count"] += theirs["count"]
+                h["sum"] += theirs["sum"]
+                for key, pick in (("min", min), ("max", max)):
+                    if theirs[key] is not None:
+                        h[key] = (
+                            theirs[key]
+                            if h[key] is None
+                            else pick(h[key], theirs[key])
+                        )
+                h["reservoir"] = (h["reservoir"] + theirs["reservoir"])[:RESERVOIR_MAX]
+        return self
+
+    def __add__(self, other: "Registry") -> "Registry":
+        if not isinstance(other, Registry):
+            return NotImplemented
+        name = self.name if self.name == other.name else f"{self.name}+{other.name}"
+        total = Registry(name)
+        total.merge(self)
+        total.merge(other)
+        return total
+
+    def __iadd__(self, other: "Registry") -> "Registry":
+        if not isinstance(other, Registry):
+            return NotImplemented
+        return self.merge(other)
+
+    def __getstate__(self) -> dict:
+        with self._lock:
+            return {
+                "name": self.name,
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                # Deep-copy the mutable histogram cells so the pickled
+                # snapshot cannot alias live state.
+                "hists": {
+                    k: {**h, "reservoir": list(h["reservoir"])}
+                    for k, h in self._hists.items()
+                },
+            }
+
+    def __setstate__(self, state: dict) -> None:
+        self.name = state["name"]
+        self._lock = threading.Lock()
+        self._counters = dict(state["counters"])
+        self._gauges = dict(state["gauges"])
+        self._hists = {
+            k: {**h, "reservoir": list(h["reservoir"])}
+            for k, h in state["hists"].items()
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self.name!r}, {len(self)} metrics)"

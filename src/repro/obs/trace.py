@@ -1,0 +1,264 @@
+"""The tracing half of :mod:`repro.obs`: structured spans.
+
+A :class:`Span` is one timed interval with a name, monotonic start/end
+timestamps, a parent id (spans nest per thread), and free-form attributes::
+
+    with tracer.span("epoch", epoch=3):
+        with tracer.span("fill", n_tuples=4096):
+            ...
+
+Design constraints, in priority order:
+
+* **Near-zero overhead when disabled.**  ``tracer.span(...)`` on a disabled
+  tracer returns a shared no-op singleton — no allocation, no lock, no
+  timestamp.  Hot call sites stay unguarded.
+* **Cross-process mergeable.**  Workers trace locally; the coordinator
+  folds worker tracers into its own timeline with :meth:`Tracer.merge`,
+  which remaps span ids (preserving parent links) and tags every imported
+  span with its worker id.  Tracers pickle like the stats counters do:
+  snapshot the spans, drop the lock, fresh lock on load.
+* **Two clocks.**  Live spans use ``time.perf_counter()``; simulated-time
+  producers (the analytic engine's :class:`~repro.db.timeline.Timeline`)
+  record explicit intervals via :meth:`Tracer.add_span` with
+  ``clock="simulated"``.  ``base_wall`` anchors monotonic times back to
+  wall-clock for export.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["Span", "Tracer", "NULL_SPAN", "MAX_SPANS"]
+
+#: Per-tracer retention cap; spans past it are counted in ``dropped``.
+MAX_SPANS = 100_000
+
+
+class Span:
+    """One finished interval (plain data; attrs is a JSON-able dict)."""
+
+    __slots__ = ("span_id", "parent_id", "name", "start", "end", "attrs")
+
+    def __init__(self, span_id, parent_id, name, start, end, attrs):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end = end
+        self.attrs = attrs
+
+    @property
+    def duration_s(self) -> float:
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id}, "
+            f"dur={self.duration_s:.6f}s, attrs={self.attrs})"
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def set(self, **attrs) -> None:
+        """Attribute writes vanish (matches :meth:`_ActiveSpan.set`)."""
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager recording one live span into its tracer."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_start", "_parent_id", "span_id")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def set(self, **attrs) -> None:
+        """Attach/overwrite attributes while the span is open."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_ActiveSpan":
+        tracer = self._tracer
+        stack = tracer._stack()
+        self._parent_id = stack[-1] if stack else None
+        self.span_id = tracer._alloc_id()
+        stack.append(self.span_id)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = time.perf_counter()
+        stack = self._tracer._stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer._record(
+            Span(self.span_id, self._parent_id, self.name, self._start, end, self.attrs)
+        )
+        return None
+
+
+class Tracer:
+    """Collects spans for one process (or one worker within a run)."""
+
+    def __init__(self, enabled: bool = False, max_spans: int = MAX_SPANS):
+        self.enabled = bool(enabled)
+        self.max_spans = int(max_spans)
+        self.spans: list[Span] = []
+        self.dropped = 0
+        #: Anchors monotonic span times to wall-clock for export.
+        self.base_wall = time.time() - time.perf_counter()
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self._next_id = 1
+
+    # -- recording ------------------------------------------------------
+    def span(self, name: str, **attrs):
+        """Open a span; returns the shared no-op singleton when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _ActiveSpan(self, name, attrs)
+
+    def add_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        *,
+        parent_id: int | None = None,
+        **attrs,
+    ) -> int | None:
+        """Record a finished interval with explicit timestamps.
+
+        Used for intervals that were timed out-of-band (barrier waits,
+        producer stalls) or that live on a simulated clock (pass
+        ``clock="simulated"`` in ``attrs``).  Returns the span id, or None
+        while tracing is disabled.
+        """
+        if not self.enabled:
+            return None
+        span_id = self._alloc_id()
+        self._record(Span(span_id, parent_id, name, float(start), float(end), attrs))
+        return span_id
+
+    def current_span_id(self) -> int | None:
+        """Id of this thread's innermost open span (None at top level)."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- internals ------------------------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _alloc_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            return span_id
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            if len(self.spans) >= self.max_spans:
+                self.dropped += 1
+            else:
+                self.spans.append(span)
+
+    # -- aggregation ----------------------------------------------------
+    def total_s(self, name: str) -> float:
+        """Summed duration of every finished span called ``name``."""
+        with self._lock:
+            return sum(s.duration_s for s in self.spans if s.name == name)
+
+    def by_name(self, name: str) -> list[Span]:
+        with self._lock:
+            return [s for s in self.spans if s.name == name]
+
+    def reset(self) -> None:
+        with self._lock:
+            self.spans = []
+            self.dropped = 0
+            self._next_id = 1
+        self._tls = threading.local()
+
+    def merge(self, other: "Tracer", worker=None) -> "Tracer":
+        """Fold ``other``'s spans into this timeline (in place).
+
+        Span ids are remapped past this tracer's id space so parent links
+        survive; ``worker`` (if given) is stamped on every imported span so
+        a merged multi-process trace stays attributable.
+        """
+        if not isinstance(other, Tracer):
+            raise TypeError(f"cannot merge {type(other).__name__} into Tracer")
+        theirs = other.__getstate__()
+        with self._lock:
+            offset = self._next_id
+            max_seen = 0
+            for s in theirs["spans"]:
+                attrs = dict(s.attrs)
+                if worker is not None and "worker" not in attrs:
+                    attrs["worker"] = worker
+                # Re-anchor the foreign monotonic clock onto ours so merged
+                # spans share one timebase.
+                shift = theirs["base_wall"] - self.base_wall
+                clone = Span(
+                    s.span_id + offset,
+                    s.parent_id + offset if s.parent_id is not None else None,
+                    s.name,
+                    s.start + shift,
+                    s.end + shift,
+                    attrs,
+                )
+                max_seen = max(max_seen, s.span_id)
+                if len(self.spans) >= self.max_spans:
+                    self.dropped += 1
+                else:
+                    self.spans.append(clone)
+            self.dropped += theirs["dropped"]
+            self._next_id = offset + max_seen + 1
+        return self
+
+    # -- pickle ---------------------------------------------------------
+    def __getstate__(self) -> dict:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "max_spans": self.max_spans,
+                "spans": list(self.spans),
+                "dropped": self.dropped,
+                "base_wall": self.base_wall,
+                "next_id": self._next_id,
+            }
+
+    def __setstate__(self, state: dict) -> None:
+        self.enabled = state["enabled"]
+        self.max_spans = state["max_spans"]
+        self.spans = list(state["spans"])
+        self.dropped = state["dropped"]
+        self.base_wall = state["base_wall"]
+        self._next_id = state["next_id"]
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Tracer(enabled={self.enabled}, spans={len(self.spans)}, "
+            f"dropped={self.dropped})"
+        )

@@ -43,7 +43,8 @@ from pathlib import Path
 
 import numpy as np
 
-from ..core.stats import LoaderStats, StorageStats
+from .. import obs
+from ..obs import LoaderMetrics, StorageMetrics
 from ..data.dataset import Dataset
 from ..ml.models.base import SupervisedModel
 from ..ml.optim import SGD, Optimizer
@@ -120,8 +121,8 @@ class ParallelResult:
     sync_steps: int
     tuples_processed: int
     epoch_walls: list[float]
-    loader_stats: LoaderStats
-    storage_stats: StorageStats
+    loader_stats: LoaderMetrics
+    storage_stats: StorageMetrics
     per_worker: list[dict] = field(default_factory=list)
     plan: dict = field(default_factory=dict)
 
@@ -248,6 +249,9 @@ class ParallelTrainer:
                         schedule=self.schedule,
                         start_epoch=start_epoch,
                         start_step=start_step,
+                        # Workers trace locally iff the coordinator traces;
+                        # their spans ship home in the stats message.
+                        extra={"trace": obs.enabled()},
                     ),
                     param_raw,
                     grad_raw,
@@ -271,17 +275,23 @@ class ParallelTrainer:
                 t0 = time.perf_counter()
                 lr = float(self.schedule(epoch))
                 skip = start_step if epoch == start_epoch else 0
-                if self.mode == "sync":
-                    total_steps += self._sync_epoch(
-                        epoch, lr, skip, param_raw, grad_raw, barrier, stop, results, history
-                    )
-                elif self.mode == "epoch":
-                    self._epoch_mode_epoch(epoch, param_raw, barrier, stop, results)
-                    total_steps += 1
-                else:
-                    self._async_epoch(param_raw, barrier, stop, results)
-                    total_steps += 1
-                epoch_walls.append(time.perf_counter() - t0)
+                with obs.span(
+                    "parallel.epoch", epoch=epoch, mode=self.mode
+                ) as sp:
+                    if self.mode == "sync":
+                        total_steps += self._sync_epoch(
+                            epoch, lr, skip, param_raw, grad_raw, barrier, stop, results, history
+                        )
+                    elif self.mode == "epoch":
+                        self._epoch_mode_epoch(epoch, param_raw, barrier, stop, results)
+                        total_steps += 1
+                    else:
+                        self._async_epoch(param_raw, barrier, stop, results)
+                        total_steps += 1
+                    wall = time.perf_counter() - t0
+                    sp.set(wall_s=wall)
+                epoch_walls.append(wall)
+                obs.inc("parallel.epochs")
                 record = self._evaluate(epoch, lr)
                 history.append(record)
                 epochs_run += 1
@@ -405,8 +415,8 @@ class ParallelTrainer:
     def _collect(self, procs, results, stop, barrier):
         """Drain worker stats and reap every child (leak-free by contract)."""
         per_worker: list[dict] = []
-        merged_loader = LoaderStats("parallel")
-        merged_storage = StorageStats("parallel")
+        merged_loader = LoaderMetrics("parallel")
+        merged_storage = StorageMetrics("parallel")
         worker_tuples = 0
         deadline = time.monotonic() + _COLLECT_TIMEOUT_S
         got = 0
@@ -424,9 +434,13 @@ class ParallelTrainer:
                 continue
             if msg[0] != "stats":
                 continue  # stale model message from an aborted epoch
-            _, worker_id, loader, storage, tuples_done = msg
+            # Pre-obs workers sent 5-tuples; the optional 6th element is the
+            # worker's telemetry payload (local tracer + registry).
+            _, worker_id, loader, storage, tuples_done = msg[:5]
+            payload = msg[5] if len(msg) > 5 else None
             merged_loader.merge(loader)
             merged_storage.merge(storage)
+            self._merge_obs_payload(worker_id, payload)
             worker_tuples += int(tuples_done)
             per_worker.append(
                 {
@@ -446,6 +460,24 @@ class ParallelTrainer:
         if error is not None and not stop.is_set():
             raise error
         return per_worker, merged_loader, merged_storage, worker_tuples
+
+    @staticmethod
+    def _merge_obs_payload(worker_id: int, payload: dict | None) -> None:
+        """Fold one worker's shipped telemetry into the session obs state.
+
+        Worker spans keep their parent links and are stamped with
+        ``worker=<id>``; counters/gauges/histograms fold into the session
+        registry — so a parallel run produces one merged timeline and one
+        metrics snapshot.
+        """
+        if not payload:
+            return
+        tracer = payload.get("tracer")
+        if tracer is not None and obs.enabled():
+            obs.get_tracer().merge(tracer, worker=worker_id)
+        registry = payload.get("registry")
+        if registry is not None:
+            obs.get_registry().merge(registry)
 
     # ------------------------------------------------------------------
     def _evaluate(self, epoch: int, lr: float) -> EpochRecord:

@@ -17,12 +17,14 @@ clean shutdown path, after which the worker still ships its stats home.
 from __future__ import annotations
 
 import threading
+import time
 import traceback
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.stats import LoaderStats, StorageStats
+from .. import obs
+from ..obs import LoaderMetrics, StorageMetrics
 from ..data.sparse import SparseMatrix
 from ..ml.persistence import model_from_bytes
 from ..storage.blockfile import BlockFileReader
@@ -69,7 +71,7 @@ class ShardFetcher:
         self,
         reader: BlockFileReader,
         tuples_per_block: int,
-        loader_stats: LoaderStats | None = None,
+        loader_stats: LoaderMetrics | None = None,
     ):
         self.reader = reader
         self.tuples_per_block = int(tuples_per_block)
@@ -128,8 +130,13 @@ def _stack_sparse(batches: list) -> SparseMatrix:
 
 def worker_main(cfg: WorkerConfig, param_raw, grad_raw, barrier, stop, results) -> None:
     """Entry point executed inside each spawned worker process."""
-    loader_stats = LoaderStats(f"parallel-worker{cfg.worker_id}")
-    storage_stats = StorageStats(f"parallel-worker{cfg.worker_id}")
+    if cfg.extra.get("trace"):
+        # Spawned processes start with a fresh, disabled session tracer;
+        # turning it on here makes every span below land in this worker's
+        # local buffer, shipped home with the stats message.
+        obs.enable()
+    loader_stats = LoaderMetrics(f"parallel-worker{cfg.worker_id}")
+    storage_stats = StorageMetrics(f"parallel-worker{cfg.worker_id}")
     tuples_done = 0
     reader = None
     try:
@@ -141,7 +148,8 @@ def worker_main(cfg: WorkerConfig, param_raw, grad_raw, barrier, stop, results) 
         fetcher = ShardFetcher(reader, planner.tuples_per_block, loader_stats)
         loader_stats.record_thread_started()
         runner = {"sync": _run_sync, "async": _run_async, "epoch": _run_epoch}[cfg.mode]
-        tuples_done = runner(cfg, planner, fetcher, model, param_raw, grad_raw, barrier, stop, results)
+        with obs.span("worker", worker=cfg.worker_id, mode=cfg.mode):
+            tuples_done = runner(cfg, planner, fetcher, model, param_raw, grad_raw, barrier, stop, results)
     except _CoordinatorAbort:
         pass  # clean shutdown requested; fall through to ship stats
     except BaseException:
@@ -152,7 +160,25 @@ def worker_main(cfg: WorkerConfig, param_raw, grad_raw, barrier, stop, results) 
         if reader is not None:
             reader.close()
         loader_stats.record_thread_joined()
-    results.put(("stats", cfg.worker_id, loader_stats, storage_stats, tuples_done))
+    results.put(
+        (
+            "stats",
+            cfg.worker_id,
+            loader_stats,
+            storage_stats,
+            tuples_done,
+            _obs_payload(),
+        )
+    )
+
+
+def _obs_payload() -> dict:
+    """This process's telemetry, picklable for the results queue."""
+    tracer = obs.get_tracer()
+    return {
+        "tracer": tracer if tracer.enabled else None,
+        "registry": obs.get_registry(),
+    }
 
 
 class _CoordinatorAbort(Exception):
@@ -160,13 +186,25 @@ class _CoordinatorAbort(Exception):
 
 
 def _sync_point(barrier, stop) -> None:
-    """One barrier rendezvous; translate a deliberate abort into shutdown."""
+    """One barrier rendezvous; translate a deliberate abort into shutdown.
+
+    The wait itself is timed into the obs layer (histogram always, span
+    when tracing): barrier waits are exactly the slack between a worker's
+    busy time and the coordinator's wall-clock, so the merged timeline can
+    account for them explicitly.
+    """
+    start = time.perf_counter()
     try:
         barrier.wait(timeout=BARRIER_TIMEOUT_S)
     except threading.BrokenBarrierError:
         if stop.is_set():
             raise _CoordinatorAbort() from None
         raise
+    finally:
+        waited = time.perf_counter() - start
+        obs.observe("parallel.barrier_wait_s", waited)
+        if obs.enabled():
+            obs.add_span("parallel.barrier_wait", start, start + waited)
     if stop.is_set():
         raise _CoordinatorAbort()
 

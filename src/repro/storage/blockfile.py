@@ -27,6 +27,7 @@ from typing import Any
 
 import numpy as np
 
+from .. import obs
 from ..data.dataset import Dataset
 from ..data.sparse import SparseMatrix
 from .codec import TrainingTuple, TupleBatch, TupleSchema, decode_block, encode_tuple
@@ -111,7 +112,7 @@ class BlockFileReader:
     before decoding.  With a ``retry`` policy, transient read errors and
     checksum mismatches are retried up to the policy's budget; without one,
     the first failure propagates.  ``storage_stats`` (duck-typed as
-    :class:`~repro.core.stats.StorageStats`) receives attempt/retry
+    :class:`~repro.obs.StorageMetrics`) receives attempt/retry
     counters either way.
     """
 
@@ -205,6 +206,8 @@ class BlockFileReader:
                 stats.record_ok()
         self.bytes_read += entry.length
         self.blocks_read += 1
+        obs.inc("storage.blockfile.blocks_read")
+        obs.inc("storage.blockfile.bytes_read", entry.length)
         return decode_block(buffer, entry.n_tuples, self.schema)
 
     def close(self) -> None:

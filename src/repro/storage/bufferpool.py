@@ -28,6 +28,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any
 
+from .. import obs
 from .codec import TrainingTuple, TupleBatch
 from .heapfile import HeapFile
 from .retry import RetryPolicy
@@ -72,6 +73,7 @@ class BufferPool:
         self._cache: OrderedDict[int, _PageEntry] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     def _read_batch(self, page_id: int) -> TupleBatch:
@@ -94,15 +96,24 @@ class BufferPool:
         )
 
     def _entry_traced(self, page_id: int) -> tuple[_PageEntry, bool]:
+        # Page access is the hottest storage seam, so the registry counters
+        # are published only while telemetry is on; the local hit/miss ints
+        # stay always-available for hit_rate and the planner.
         if page_id in self._cache:
             self._cache.move_to_end(page_id)
             self.hits += 1
+            if obs.enabled():
+                obs.inc("storage.bufferpool.hits")
             return self._cache[page_id], True
         self.misses += 1
+        if obs.enabled():
+            obs.inc("storage.bufferpool.misses")
         entry = _PageEntry(self._read_batch(page_id))
         self._cache[page_id] = entry
         if len(self._cache) > self.capacity_pages:
             self._cache.popitem(last=False)
+            self.evictions += 1
+            obs.inc("storage.bufferpool.evictions")
         return entry, False
 
     def get_page(self, page_id: int) -> tuple[TrainingTuple, ...]:
@@ -137,8 +148,10 @@ class BufferPool:
         batch can never be served as a "hit".
         """
         dropped = self._cache.pop(page_id, None) is not None
-        if dropped and self.storage_stats is not None:
-            self.storage_stats.record_cache_invalidation()
+        if dropped:
+            obs.inc("storage.bufferpool.invalidations")
+            if self.storage_stats is not None:
+                self.storage_stats.record_cache_invalidation()
         return dropped
 
     def refresh(self, page_id: int) -> tuple[TrainingTuple, ...]:
@@ -165,3 +178,4 @@ class BufferPool:
     def reset_stats(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.evictions = 0

@@ -20,7 +20,7 @@ storage layer uses to distinguish retryable from fatal failures, plus the
 Retries are *invisible* above the storage layer: a read either returns
 verified bytes or raises :class:`ReadExhaustedError`.  Every attempt, retry,
 and exhaustion is recorded into an optional stats sink (duck-typed as
-:class:`~repro.core.stats.StorageStats`), so chaos runs can assert that
+:class:`~repro.obs.StorageMetrics`), so chaos runs can assert that
 faults really happened even though the model output is unchanged.
 """
 
@@ -28,6 +28,8 @@ from __future__ import annotations
 
 import time
 from typing import Any, Callable, TypeVar
+
+from .. import obs
 
 __all__ = [
     "RetryableIOError",
@@ -119,11 +121,13 @@ class RetryPolicy:
                 result = attempt_fn(attempt)
             except RetryableIOError as exc:
                 last = exc
+                obs.inc(f"storage.retry.{type(exc).__name__}")
                 if stats is not None:
                     stats.record_fault(exc)
                 if on_retry is not None:
                     on_retry(exc)
                 if attempt < self.max_attempts:
+                    obs.inc("storage.retry.retries")
                     if stats is not None:
                         stats.record_retry()
                     if delay > 0:
@@ -133,6 +137,7 @@ class RetryPolicy:
             if stats is not None:
                 stats.record_ok()
             return result
+        obs.inc("storage.retry.exhausted")
         if stats is not None:
             stats.record_exhausted()
         assert last is not None
