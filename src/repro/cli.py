@@ -21,6 +21,10 @@ Commands
               is bit-identical to the fault-free run
 ``obs-report``  render (and optionally validate) an exported trace file as
               the human span-tree/metrics summary
+``serve``     run the long-lived multi-client training daemon (sessions,
+              async TRAIN job queue, crash-safe resume) over a data dir
+``client``    connect to a running daemon: load tables, run statements,
+              poll/cancel jobs, print live daemon stats
 
 Telemetry: every workload command takes ``--trace-out PATH`` /
 ``--metrics-out PATH`` (shared argument group) and then emits through the
@@ -277,6 +281,78 @@ def build_parser() -> argparse.ArgumentParser:
         help="alternate schema path (default docs/obs_trace.schema.json)",
     )
     obsr.add_argument("--max-depth", type=int, default=6)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-client training daemon over a durable data dir",
+    )
+    serve.add_argument(
+        "--data-dir", required=True,
+        help="daemon state directory (job journal, checkpoints, server.json)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0 = ephemeral; the bound port is printed "
+        "and advertised in server.json)",
+    )
+    serve.add_argument(
+        "--max-queued", type=int, default=8,
+        help="admission-control bound on queued TRAIN jobs (default 8)",
+    )
+    serve.add_argument(
+        "--job-workers", type=int, default=2,
+        help="training worker threads (default 2)",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=256, metavar="TUPLES",
+        help="checkpoint cadence for TRAIN jobs (default 256 tuples)",
+    )
+    _add_common_options(serve, quick=False)
+
+    client = sub.add_parser(
+        "client",
+        help="connect to a running daemon and run statements / inspect jobs",
+    )
+    client.add_argument(
+        "--data-dir", default=None,
+        help="find the daemon via its server.json advertisement",
+    )
+    client.add_argument("--host", default=None, help="explicit daemon host")
+    client.add_argument("--port", type=int, default=None, help="explicit daemon port")
+    client.add_argument(
+        "--load", metavar="DATASET", default=None,
+        help="materialise a bundled dataset as a session table first",
+    )
+    client.add_argument(
+        "--order", default="shuffled", choices=("shuffled", "clustered"),
+        help="row order for --load (default shuffled)",
+    )
+    client.add_argument(
+        "--table", default=None,
+        help="table name for --load (default: the dataset name)",
+    )
+    client.add_argument(
+        "-e", "--execute", action="append", default=[], metavar="SQL",
+        help="run one statement (repeatable, in order); TRAIN BY prints the "
+        "job id and, with --wait, blocks for the result",
+    )
+    client.add_argument(
+        "--wait", action="store_true",
+        help="block on each submitted TRAIN job and print its final state",
+    )
+    client.add_argument("--status", metavar="JOB", default=None)
+    client.add_argument("--cancel", metavar="JOB", default=None)
+    client.add_argument(
+        "--jobs", action="store_true", help="list this daemon's jobs"
+    )
+    client.add_argument(
+        "--stats", action="store_true", help="print the live daemon stats"
+    )
+    client.add_argument(
+        "--shutdown", action="store_true", help="ask the daemon to stop"
+    )
+    _add_common_options(client, quick=False, telemetry=False)
 
     return parser
 
@@ -842,6 +918,104 @@ def _cmd_obs_report(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import signal
+
+    from .serve import ReproServer
+
+    server = ReproServer(
+        args.data_dir,
+        host=args.host,
+        port=args.port,
+        max_queued=args.max_queued,
+        job_workers=args.job_workers,
+        checkpoint_every_tuples=args.checkpoint_every,
+    )
+    server.start()
+    print(f"repro daemon listening on {server.host}:{server.port}")
+    print(f"state dir: {server.data_dir}")
+
+    def _graceful(_signum, _frame):
+        server._shutdown_requested.set()
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(ValueError):  # non-main threads in tests
+            signal.signal(sig, _graceful)
+    server.serve_forever()
+    print("daemon stopped")
+    return 0
+
+
+def _cmd_client(args) -> int:
+    from .serve import ReproClient, ServerError
+
+    if args.data_dir is None and (args.host is None or args.port is None):
+        print("client needs --data-dir or --host/--port", file=sys.stderr)
+        return 2
+    if args.data_dir is not None:
+        client = ReproClient.from_server_file(args.data_dir)
+    else:
+        client = ReproClient(args.host, args.port)
+    exit_code = 0
+    with client:
+        try:
+            if args.load:
+                info = client.load(
+                    args.load,
+                    table=args.table,
+                    order=args.order,
+                    seed=args.seed,
+                )
+                print(
+                    f"loaded {info['table']}: {info['n_tuples']} tuples x "
+                    f"{info['n_features']} features ({info['order']})"
+                )
+            for statement in args.execute:
+                response = client.sql(statement)
+                if "job_id" in response:
+                    print(f"submitted {response['job_id']}")
+                    if args.wait:
+                        final = client.wait(response["job_id"])
+                        print(f"{final['job_id']}: {final['state']}", end="")
+                        if final.get("result"):
+                            print(f" {final['result']}", end="")
+                        if final.get("error"):
+                            print(f" ({final['error']})", end="")
+                        print()
+                        if final["state"] != "done":
+                            exit_code = 1
+                else:
+                    _print_json(response)
+            if args.status:
+                _print_json(client.status(args.status))
+            if args.cancel:
+                _print_json(client.cancel(args.cancel))
+            if args.jobs:
+                for job in client.jobs(all_sessions=True):
+                    line = f"{job['job_id']:<8} {job['state']:<10} {job.get('table', '')}"
+                    if job.get("result"):
+                        line += f" loss={job['result'].get('final_train_loss')}"
+                    print(line)
+            if args.stats:
+                _print_json(client.stats())
+            if args.shutdown:
+                client.shutdown()
+                print("daemon shutting down")
+                return exit_code
+        except ServerError as exc:
+            print(f"server error: {exc}", file=sys.stderr)
+            return 1
+    return exit_code
+
+
+def _print_json(payload) -> None:
+    import json
+
+    payload = dict(payload)
+    payload.pop("ok", None)
+    print(json.dumps(payload, indent=2, default=str))
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "generate": _cmd_generate,
@@ -854,6 +1028,8 @@ _COMMANDS = {
     "kernel-bench": _cmd_kernel_bench,
     "chaos": _cmd_chaos,
     "obs-report": _cmd_obs_report,
+    "serve": _cmd_serve,
+    "client": _cmd_client,
 }
 
 

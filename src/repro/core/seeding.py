@@ -36,6 +36,7 @@ __all__ = [
     "TUPLE_SHUFFLE_STREAM",
     "SLIDING_WINDOW_STREAM",
     "MRS_STREAM",
+    "RETRY_BACKOFF_STREAM",
 ]
 
 # Stable small codes so the per-unit fault RNG stream is independent per
@@ -49,6 +50,8 @@ FAULT_UNIT_CODES = {"block": 1, "page": 2}
 TUPLE_SHUFFLE_STREAM = 7
 SLIDING_WINDOW_STREAM = 11
 MRS_STREAM = 13
+#: Stream code for storage retry-backoff jitter draws (`RetryPolicy`).
+RETRY_BACKOFF_STREAM = 17
 
 
 def derive_rng(*words: int) -> np.random.Generator:

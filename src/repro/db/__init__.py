@@ -24,7 +24,15 @@ from .operators import (
 )
 from .explain import explain_train_plan
 from .planner import AccessPathChoice, choose_access_path
-from .query import EvaluateQuery, ExplainQuery, PredictQuery, TrainQuery, parse_query, parse_size
+from .query import (
+    EvaluateQuery,
+    ExplainQuery,
+    PredictQuery,
+    SelectQuery,
+    TrainQuery,
+    parse_query,
+    parse_size,
+)
 from .systems import (
     BISMARCK_PROFILE,
     DL_FRAMEWORK_PROFILE,
@@ -75,6 +83,7 @@ __all__ = [
     "PredictQuery",
     "ExplainQuery",
     "EvaluateQuery",
+    "SelectQuery",
     "explain_train_plan",
     "parse_query",
     "parse_size",

@@ -29,6 +29,7 @@ with ids, as the paper describes (a C struct with an ID in the kernel).
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -56,7 +57,14 @@ from .operators import (
     TupleShuffleOperator,
 )
 from .explain import explain_train_plan
-from .query import EvaluateQuery, ExplainQuery, PredictQuery, TrainQuery, parse_query
+from .query import (
+    EvaluateQuery,
+    ExplainQuery,
+    PredictQuery,
+    SelectQuery,
+    TrainQuery,
+    parse_query,
+)
 from .timeline import Timeline
 from .timing import ComputeProfile, RuntimeContext
 
@@ -131,6 +139,11 @@ class MiniDB:
         self.cold_cache_per_query = cold_cache_per_query
         self._models: dict[str, SupervisedModel] = {}
         self._model_counter = 0
+        # Model-store mutations are the only cross-thread shared state in
+        # one MiniDB; the lock makes the engine re-entrant from worker
+        # threads (the serve daemon registers job-trained models into a
+        # session's engine while its connection thread runs PREDICTs).
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def create_table(self, name: str, dataset: Dataset, compress: bool = False) -> TableInfo:
@@ -166,6 +179,8 @@ class MiniDB:
             return self.predict(query)
         if isinstance(query, EvaluateQuery):
             return self.evaluate(query)
+        if isinstance(query, SelectQuery):
+            return self.select(query)
         return self.train(query, test=test)
 
     def explain(self, query: TrainQuery) -> str:
@@ -339,9 +354,7 @@ class MiniDB:
             wall_seconds=timeline.total_time_s,
         )
 
-        self._model_counter += 1
-        model_id = f"model_{self._model_counter}"
-        self._models[model_id] = model
+        model_id = self.register_model(model)
         return TrainResult(model_id, model, history, timeline, resources, query)
 
     # ------------------------------------------------------------------
@@ -440,19 +453,59 @@ class MiniDB:
             "tuples_per_second": result.tuples_per_second,
             "plan": result.plan,
         }
-        self._model_counter += 1
-        model_id = f"model_{self._model_counter}"
-        self._models[model_id] = model
+        model_id = self.register_model(model)
         return TrainResult(model_id, model, result.history, timeline, resources, query)
 
     # ------------------------------------------------------------------
+    def register_model(self, model: SupervisedModel, model_id: str | None = None) -> str:
+        """Store ``model`` under a fresh (or explicit) id; thread-safe.
+
+        Worker threads (the serve job runner) register models they trained
+        out-of-engine so the session's ``PREDICT BY`` / ``EVALUATE BY``
+        statements can address them.
+        """
+        with self._lock:
+            if model_id is None:
+                self._model_counter += 1
+                model_id = f"model_{self._model_counter}"
+            self._models[model_id] = model
+            return model_id
+
     def predict(self, query: PredictQuery) -> np.ndarray:
         table = self.catalog.get(query.table)
-        try:
-            model = self._models[query.model_id]
-        except KeyError:
-            raise UnknownModelError(query.model_id) from None
+        model = self.get_model(query.model_id)
         return model.predict(table.dataset.X)
+
+    def select(self, query: SelectQuery, max_rows: int = 20) -> dict:
+        """Inline row fetch: the first ``LIMIT n`` tuples of a table.
+
+        Rows are JSON-ready (plain floats), so the serve layer can put the
+        result straight on the wire.  ``max_rows`` caps an un-LIMITed
+        SELECT — this engine exists to train, not to dump tables.
+        """
+        table = self.catalog.get(query.table)
+        dataset = table.dataset
+        limit = max_rows if query.limit is None else min(query.limit, max_rows)
+        n = min(limit, dataset.n_tuples)
+        rows = []
+        for i in range(n):
+            features = dataset.X.row(i).to_dense() if hasattr(dataset.X, "row") else dataset.X[i]
+            rows.append(
+                {
+                    "rid": i,
+                    "label": float(np.asarray(dataset.y)[i]),
+                    "features": [float(v) for v in np.asarray(features)[:8]],
+                }
+            )
+        return {
+            "table": query.table,
+            "n_tuples": dataset.n_tuples,
+            "n_features": dataset.n_features,
+            "task": dataset.task,
+            "returned": n,
+            "truncated_features": dataset.n_features > 8,
+            "rows": rows,
+        }
 
     def evaluate(self, query: EvaluateQuery) -> dict:
         """Score a stored model against a table's labels."""
@@ -469,7 +522,12 @@ class MiniDB:
         }
 
     def get_model(self, model_id: str) -> SupervisedModel:
-        try:
-            return self._models[model_id]
-        except KeyError:
-            raise UnknownModelError(model_id) from None
+        with self._lock:
+            try:
+                return self._models[model_id]
+            except KeyError:
+                raise UnknownModelError(model_id) from None
+
+    def model_ids(self) -> list[str]:
+        with self._lock:
+            return list(self._models)

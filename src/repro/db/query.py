@@ -2,6 +2,7 @@
 
     SELECT * FROM table TRAIN BY model WITH param = value, ...
     SELECT * FROM table PREDICT BY model_id
+    SELECT * FROM table [LIMIT n]
 
 Supported model names: ``lr`` (logistic regression), ``svm``, ``linreg``
 (linear regression), ``softmax``.  Parameters mirror the paper's examples
@@ -18,7 +19,15 @@ from dataclasses import dataclass, field
 
 from .errors import ParseError
 
-__all__ = ["TrainQuery", "PredictQuery", "EvaluateQuery", "ExplainQuery", "parse_query", "parse_size"]
+__all__ = [
+    "TrainQuery",
+    "PredictQuery",
+    "EvaluateQuery",
+    "ExplainQuery",
+    "SelectQuery",
+    "parse_query",
+    "parse_size",
+]
 
 _SIZE_RE = re.compile(r"^(\d+(?:\.\d+)?)\s*(B|KB|MB|GB)$", re.IGNORECASE)
 _TRAIN_RE = re.compile(
@@ -31,6 +40,10 @@ _PREDICT_RE = re.compile(
 )
 _EVALUATE_RE = re.compile(
     r"^\s*SELECT\s+\*\s+FROM\s+(\w+)\s+EVALUATE\s+BY\s+(\w+)\s*$",
+    re.IGNORECASE,
+)
+_SELECT_RE = re.compile(
+    r"^\s*SELECT\s+\*\s+FROM\s+(\w+)\s*(?:LIMIT\s+(\d+))?\s*$",
     re.IGNORECASE,
 )
 
@@ -85,6 +98,18 @@ class PredictQuery:
 
 
 @dataclass(frozen=True)
+class SelectQuery:
+    """A plain ``SELECT * FROM table [LIMIT n]`` row fetch.
+
+    The serve layer runs these inline (no job queue); ``limit`` bounds how
+    many tuples cross the wire (``None`` = the engine's default cap).
+    """
+
+    table: str
+    limit: int | None = None
+
+
+@dataclass(frozen=True)
 class EvaluateQuery:
     """A parsed ``EVALUATE BY`` statement (score a model on a table)."""
 
@@ -117,7 +142,9 @@ def _parse_value(raw: str):
     return raw.strip("'\"")
 
 
-def parse_query(sql: str) -> TrainQuery | PredictQuery | EvaluateQuery | ExplainQuery:
+def parse_query(
+    sql: str,
+) -> TrainQuery | PredictQuery | EvaluateQuery | ExplainQuery | SelectQuery:
     """Parse one statement; raises :class:`ParseError` on malformed input."""
     stripped = sql.lstrip()
     if stripped[:8].upper() == "EXPLAIN ":
@@ -131,6 +158,12 @@ def parse_query(sql: str) -> TrainQuery | PredictQuery | EvaluateQuery | Explain
     match = _EVALUATE_RE.match(sql)
     if match:
         return EvaluateQuery(table=match.group(1), model_id=match.group(2))
+    match = _SELECT_RE.match(sql)
+    if match:
+        limit = match.group(2)
+        return SelectQuery(
+            table=match.group(1), limit=int(limit) if limit is not None else None
+        )
     match = _TRAIN_RE.match(sql)
     if not match:
         raise ParseError(f"cannot parse query: {sql!r}")

@@ -16,6 +16,7 @@ from .optim import SGD, AdaGrad, Adam, Optimizer, RMSprop
 from .schedules import ConstantLR, ExponentialDecay, InverseEpochDecay, StepDecay
 from .persistence import (
     CheckpointState,
+    durable_write,
     load_checkpoint,
     load_model,
     model_from_bytes,
@@ -73,6 +74,7 @@ __all__ = [
     "CheckpointConfig",
     "CheckpointState",
     "save_checkpoint",
+    "durable_write",
     "load_checkpoint",
     "grid_search",
     "GridResult",

@@ -12,8 +12,9 @@ and in-epoch tuple cursor, and run metadata (index-source seed, strategy).
 Because every index source derives its visit order as a pure function of
 ``(seed, epoch)``, storing just ``(epoch, cursor)`` pins the exact remaining
 visit order — no RNG state blob is needed.  ``save_checkpoint`` writes
-atomically (temp file + ``os.replace``), so a crash mid-write leaves the
-previous checkpoint intact.  Arrays round-trip through ``np.savez`` as raw
+atomically and durably (temp file + ``fsync`` + ``os.replace`` + directory
+``fsync``), so a crash mid-write leaves the previous checkpoint intact and
+a power loss after the rename cannot surface an empty file.  Arrays round-trip through ``np.savez`` as raw
 float64, which is lossless, hence resume-equivalence to the last bit.
 """
 
@@ -37,6 +38,7 @@ __all__ = [
     "load_model",
     "model_to_bytes",
     "model_from_bytes",
+    "durable_write",
     "CheckpointState",
     "save_checkpoint",
     "load_checkpoint",
@@ -130,6 +132,52 @@ def model_from_bytes(blob: bytes) -> SupervisedModel:
     return model
 
 
+def durable_write(path: str | Path, data: bytes) -> Path:
+    """Atomically and durably replace ``path`` with ``data``.
+
+    Crash-safe against both failure modes of a plain write-then-rename:
+
+    * the bytes go to ``path + '.tmp'`` first and move into place with
+      ``os.replace``, so a crash mid-write never destroys the previous
+      good file;
+    * the tmp file is ``fsync``\\ ed before the rename and the parent
+      directory after it, so a power loss after the rename cannot leave a
+      zero-length (page-cache-only) "file" behind.
+
+    If the write fails, the tmp file is unlinked rather than leaked.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    _fsync_dir(path.parent)
+    return path
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry (rename durability); no-op where unsupported."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. Windows
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - filesystem without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
 def save_model(model: SupervisedModel, path: str | Path) -> Path:
     """Save a model to ``path`` (conventionally ``*.npz``)."""
     path = Path(path)
@@ -180,10 +228,12 @@ def save_checkpoint(
 ) -> Path:
     """Atomically write a resumable training checkpoint to ``path``.
 
-    The write goes to ``path + '.tmp'`` first and is moved into place with
-    ``os.replace`` — a crash during checkpointing can therefore never
-    destroy the previous good checkpoint (crash-safety is regression-tested
-    in ``tests/test_checkpoint_resume.py``).
+    The write goes through :func:`durable_write`: tmp file + ``fsync`` +
+    ``os.replace`` + parent-directory ``fsync`` — a crash (or power loss)
+    during or just after checkpointing can therefore never destroy the
+    previous good checkpoint or leave a torn/empty one, and a failed write
+    never leaks its tmp file (regression-tested in
+    ``tests/test_checkpoint_resume.py``).
     """
     header = {
         "checkpoint_version": _CHECKPOINT_VERSION,
@@ -201,11 +251,7 @@ def save_checkpoint(
         arrays[f"opt__{key}"] = np.asarray(value)
     buffer = io.BytesIO()
     np.savez(buffer, **arrays)
-    path = Path(path)
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_bytes(buffer.getvalue())
-    os.replace(tmp, path)
-    return path
+    return durable_write(path, buffer.getvalue())
 
 
 def load_checkpoint(path: str | Path) -> CheckpointState:

@@ -114,18 +114,54 @@ class _ActiveSpan:
 
 
 class Tracer:
-    """Collects spans for one process (or one worker within a run)."""
+    """Collects spans for one process (or one worker within a run).
 
-    def __init__(self, enabled: bool = False, max_spans: int = MAX_SPANS):
+    ``base_wall`` anchors this tracer's monotonic timestamps to wall-clock.
+    Left to default, each tracer estimates its own anchor from a
+    ``time.time() - time.perf_counter()`` read — two such estimates taken at
+    different moments disagree by the read jitter plus any NTP step/slew in
+    between, so spans merged across tracers misalign by that skew even when
+    both live in one process and share a monotonic clock.  Same-process
+    tracers (serve sessions, per-job tracers) must therefore be constructed
+    with the coordinator's anchor (``Tracer(base_wall=coordinator.base_wall)``):
+    :meth:`merge` re-anchors by the anchor *difference*, which is then
+    exactly ``0.0`` and the merged timeline is skew-free.  Tracers in other
+    processes keep their own anchor — their ``perf_counter`` epoch genuinely
+    differs, and the anchor difference is precisely the cross-process shift.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        max_spans: int = MAX_SPANS,
+        base_wall: float | None = None,
+    ):
         self.enabled = bool(enabled)
         self.max_spans = int(max_spans)
         self.spans: list[Span] = []
         self.dropped = 0
         #: Anchors monotonic span times to wall-clock for export.
-        self.base_wall = time.time() - time.perf_counter()
+        self.base_wall = (
+            float(base_wall)
+            if base_wall is not None
+            else time.time() - time.perf_counter()
+        )
         self._lock = threading.Lock()
         self._tls = threading.local()
         self._next_id = 1
+
+    def fork(self) -> "Tracer":
+        """A fresh same-process tracer sharing this one's wall anchor.
+
+        The canonical way to give a session/job its own span buffer that
+        later merges back skew-free: ``child = parent.fork()`` then
+        ``parent.merge(child)`` shifts by exactly 0.0.
+        """
+        return Tracer(
+            enabled=self.enabled,
+            max_spans=self.max_spans,
+            base_wall=self.base_wall,
+        )
 
     # -- recording ------------------------------------------------------
     def span(self, name: str, **attrs):
@@ -203,11 +239,19 @@ class Tracer:
 
         Span ids are remapped past this tracer's id space so parent links
         survive; ``worker`` (if given) is stamped on every imported span so
-        a merged multi-process trace stays attributable.
+        a merged multi-process trace stays attributable.  Timestamps are
+        re-anchored by the difference of the two wall-clock anchors — a
+        tracer constructed with this coordinator's anchor (see class
+        docstring) merges with an exact-zero shift, so same-process
+        session/job tracers never skew.
         """
         if not isinstance(other, Tracer):
             raise TypeError(f"cannot merge {type(other).__name__} into Tracer")
         theirs = other.__getstate__()
+        # Shared anchor -> shift is exactly 0.0 (same monotonic timebase);
+        # foreign anchor -> shift re-bases the other process's clock onto
+        # ours.  Computed once, outside the per-span loop.
+        shift = theirs["base_wall"] - self.base_wall
         with self._lock:
             offset = self._next_id
             max_seen = 0
@@ -215,9 +259,6 @@ class Tracer:
                 attrs = dict(s.attrs)
                 if worker is not None and "worker" not in attrs:
                     attrs["worker"] = worker
-                # Re-anchor the foreign monotonic clock onto ours so merged
-                # spans share one timebase.
-                shift = theirs["base_wall"] - self.base_wall
                 clone = Span(
                     s.span_id + offset,
                     s.parent_id + offset if s.parent_id is not None else None,

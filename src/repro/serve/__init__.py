@@ -1,0 +1,60 @@
+"""The multi-client training service: daemon, wire protocol, client.
+
+The in-DB setting of the paper implies a *server*: a database is a
+long-lived process that many clients connect to, submit work against, and
+disconnect from — not a batch script.  This package promotes the MiniDB
+engine into exactly that shape:
+
+* :mod:`~repro.serve.protocol` — length-prefixed JSON frames;
+* :mod:`~repro.serve.session` — per-connection catalogs and model stores;
+* :mod:`~repro.serve.jobs` — the durable async TRAIN queue with admission
+  control, cancellation, and crash-safe bit-exact resume;
+* :mod:`~repro.serve.server` — the socket daemon tying them together;
+* :mod:`~repro.serve.client` — the Python/CLI client.
+
+``repro serve`` / ``repro client`` on the command line wrap these.
+"""
+
+from .client import ReproClient, SaturatedError, ServerError
+from .jobs import Job, JobManager, Saturated
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    ProtocolError,
+    decode_blob,
+    decode_frame,
+    encode_blob,
+    encode_frame,
+    err,
+    ok,
+    recv_frame,
+    send_frame,
+)
+from .server import SERVER_FILE, ReproServer, read_server_file
+from .session import Session
+
+__all__ = [
+    "ReproServer",
+    "ReproClient",
+    "Session",
+    "Job",
+    "JobManager",
+    "Saturated",
+    "SaturatedError",
+    "ServerError",
+    "SERVER_FILE",
+    "read_server_file",
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "ConnectionClosed",
+    "encode_frame",
+    "decode_frame",
+    "send_frame",
+    "recv_frame",
+    "ok",
+    "err",
+    "encode_blob",
+    "decode_blob",
+]

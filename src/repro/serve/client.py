@@ -1,0 +1,173 @@
+"""The Python client for the training daemon (and the CLI's backend).
+
+One :class:`ReproClient` is one session: connect, handshake, issue
+requests, close.  Not thread-safe — the protocol is strict
+request/response per connection, so share nothing or open one client per
+thread (sessions are cheap; that is the point of the daemon).
+
+    with ReproClient.from_server_file("~/.repro-serve") as db:
+        db.load("higgs_sub", order="clustered")
+        job = db.sql("SELECT * FROM higgs_sub TRAIN BY lr WITH max_epoch_num = 5")
+        final = db.wait(job["job_id"])
+        model = db.fetch_model(job["job_id"])
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from pathlib import Path
+
+from ..ml.persistence import model_from_bytes
+from .protocol import (
+    PROTOCOL_VERSION,
+    decode_blob,
+    recv_frame,
+    send_frame,
+)
+from .server import read_server_file
+
+__all__ = ["ReproClient", "ServerError", "SaturatedError"]
+
+#: Job states that will never change again.
+_TERMINAL = ("done", "failed", "cancelled")
+
+
+class ServerError(RuntimeError):
+    """The daemon answered ``ok: false``; ``code`` is machine-readable."""
+
+    def __init__(self, code: str, message: str, response: dict):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.response = response
+
+
+class SaturatedError(ServerError):
+    """Admission control said no; wait ``retry_after_s`` and resubmit."""
+
+    def __init__(self, code: str, message: str, response: dict):
+        super().__init__(code, message, response)
+        self.retry_after_s = float(response.get("retry_after_s", 1.0))
+
+
+class ReproClient:
+    """One connection / one session against a running daemon."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        hello = self._roundtrip({"type": "hello", "version": PROTOCOL_VERSION})
+        self.session_id = hello["session"]
+
+    @classmethod
+    def from_server_file(cls, data_dir: str | Path, timeout: float = 60.0):
+        """Connect using the daemon's ``server.json`` advertisement."""
+        info = read_server_file(data_dir)
+        return cls(info["host"], info["port"], timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def _roundtrip(self, request: dict) -> dict:
+        send_frame(self._sock, request)
+        response = recv_frame(self._sock)
+        if not response.get("ok"):
+            code = response.get("code", "internal")
+            message = response.get("error", "unknown server error")
+            if code == "saturated":
+                raise SaturatedError(code, message, response)
+            raise ServerError(code, message, response)
+        return response
+
+    # ------------------------------------------------------------------
+    # The request surface, one method per protocol type
+    # ------------------------------------------------------------------
+    def load(
+        self,
+        dataset: str,
+        table: str | None = None,
+        order: str = "shuffled",
+        seed: int = 0,
+    ) -> dict:
+        """Materialise a bundled dataset as a table in this session."""
+        return self._roundtrip(
+            {
+                "type": "load",
+                "dataset": dataset,
+                "table": table or dataset,
+                "order": order,
+                "seed": seed,
+            }
+        )
+
+    def sql(self, statement: str) -> dict:
+        """Run one statement; TRAIN BY returns ``{"job_id": ...}``."""
+        return self._roundtrip({"type": "sql", "sql": statement})
+
+    def submit(self, statement: str, retries: int = 0) -> str:
+        """Submit a TRAIN statement; returns the job id.
+
+        ``retries > 0`` honours ``saturated`` rejections by sleeping the
+        server's ``retry_after_s`` hint and resubmitting.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self.sql(statement)["job_id"]
+            except SaturatedError as exc:
+                attempt += 1
+                if attempt > retries:
+                    raise
+                time.sleep(exc.retry_after_s)
+
+    def status(self, job_id: str) -> dict:
+        return self._roundtrip({"type": "status", "job_id": job_id})["job"]
+
+    def jobs(self, all_sessions: bool = False) -> list[dict]:
+        return self._roundtrip({"type": "jobs", "all": all_sessions})["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._roundtrip({"type": "cancel", "job_id": job_id})["job"]
+
+    def wait(self, job_id: str, timeout: float = 300.0, poll_s: float = 0.1) -> dict:
+        """Poll until ``job_id`` reaches a terminal state; returns it."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.status(job_id)
+            if job["state"] in _TERMINAL:
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"{job_id} still {job['state']} after {timeout:.0f}s"
+                )
+            time.sleep(poll_s)
+
+    def fetch_model(self, job_id: str):
+        """Download and deserialise a finished job's model."""
+        response = self._roundtrip({"type": "fetch_model", "job_id": job_id})
+        return model_from_bytes(decode_blob(response["model"]))
+
+    def stats(self) -> dict:
+        return self._roundtrip({"type": "stats"})["stats"]
+
+    def shutdown(self) -> None:
+        """Ask the daemon to stop (acknowledged before it exits)."""
+        send_frame(self._sock, {"type": "shutdown"})
+        recv_frame(self._sock)
+
+    def close(self) -> None:
+        try:
+            send_frame(self._sock, {"type": "bye"})
+            recv_frame(self._sock)
+        except (OSError, ConnectionError):
+            pass
+        finally:
+            self._sock.close()
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReproClient(session={self.session_id!r})"

@@ -1,0 +1,530 @@
+"""The async TRAIN job queue: submit/poll/cancel with durable state.
+
+A ``TRAIN BY`` statement arriving at the daemon is not run inline — it is
+*admitted* (or rejected with a retry-after when the queue is full), written
+durably to the server's data directory, and executed by a worker-thread
+pool.  Clients poll by job id.  The paper's in-DB setting motivates the
+shape: a database is a long-lived server, and a multi-epoch SGD scan is the
+kind of statement you submit and poll, not hold a connection open for
+(MADlib runs it as an aggregate over many transactions for the same
+reason).
+
+Durability contract
+-------------------
+Every job owns three files under ``<data_dir>/jobs/``:
+
+* ``<id>.json``    — the job spec + state, rewritten via
+  :func:`repro.ml.persistence.durable_write` on every transition;
+* ``<id>.blocks``  — the training table materialised as a block file at
+  submit time (plus its ``.index.json``), so the job is self-contained and
+  survives its session;
+* ``<id>.ckpt.npz`` — the crash-safe training checkpoint, written on the
+  ``checkpoint_every_tuples`` cadence by the streaming trainer;
+* ``<id>.model.npz`` — the finished model (fetchable after any restart).
+
+Kill the daemon at any instant and restart it over the same data dir:
+``recover()`` re-enqueues every job found in a non-terminal state, and the
+streaming trainer resumes from the checkpoint **bit-exactly** — the visit
+order is a pure function of ``(seed, epoch)`` and checkpoint cadence never
+changes the numeric result (see :mod:`repro.ml.streaming`).
+
+Admission control
+-----------------
+The queue is bounded.  ``submit`` on a full queue raises
+:class:`Saturated` carrying a ``retry_after_s`` estimate derived from the
+recent per-job runtime and the backlog depth — the protocol layer turns it
+into a ``saturated`` error response, so a flooded daemon degrades into
+explicit backpressure instead of unbounded memory growth or hung clients.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import queue
+import re
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+import numpy as np
+
+from .. import obs
+from ..core.dataloader import DataLoader
+from ..core.dataset import CorgiPileDataset
+from ..db.query import TrainQuery
+from ..ml.models.linear import LinearRegression, LinearSVM, LogisticRegression
+from ..ml.models.softmax import SoftmaxRegression
+from ..ml.persistence import durable_write, model_to_bytes
+from ..ml.schedules import ExponentialDecay
+from ..ml.streaming import train_streaming
+from ..ml.trainer import CheckpointConfig
+from ..storage.blockfile import write_block_file
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "Saturated",
+    "JobCancelled",
+    "DaemonStopping",
+    "Job",
+    "JobManager",
+]
+
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: Loader batch size when the query asks for per-tuple SGD; part of the
+#: numeric contract (fused kernels flush at batch boundaries), so it is
+#: recorded in the job spec and reused verbatim on resume.
+_DEFAULT_LOADER_BATCH = 64
+
+
+class Saturated(RuntimeError):
+    """Admission control rejected the job; retry after ``retry_after_s``."""
+
+    def __init__(self, retry_after_s: float, depth: int):
+        super().__init__(
+            f"job queue full ({depth} queued); retry in {retry_after_s:.1f}s"
+        )
+        self.retry_after_s = retry_after_s
+        self.depth = depth
+
+
+class JobCancelled(Exception):
+    """Raised inside the training loop when a cancel lands mid-TRAIN."""
+
+
+class DaemonStopping(Exception):
+    """Raised inside the training loop on graceful daemon shutdown."""
+
+
+_MODEL_CONSTRUCTORS = {
+    "lr": lambda spec: LogisticRegression(spec["n_features"]),
+    "svm": lambda spec: LinearSVM(spec["n_features"]),
+    "linreg": lambda spec: LinearRegression(spec["n_features"]),
+    "softmax": lambda spec: SoftmaxRegression(spec["n_features"], spec["n_classes"]),
+}
+
+
+class Job:
+    """One TRAIN job: the durable spec plus in-process control state."""
+
+    def __init__(self, spec: dict, jobs_dir: Path):
+        self.spec = spec
+        self.jobs_dir = Path(jobs_dir)
+        self.cancel_event = threading.Event()
+        self._lock = threading.Lock()
+
+    # -- identity and paths ---------------------------------------------
+    @property
+    def job_id(self) -> str:
+        return self.spec["job_id"]
+
+    @property
+    def state(self) -> str:
+        return self.spec["state"]
+
+    @property
+    def session_id(self) -> str:
+        return self.spec["session_id"]
+
+    @property
+    def spec_path(self) -> Path:
+        return self.jobs_dir / f"{self.job_id}.json"
+
+    @property
+    def blocks_path(self) -> Path:
+        return self.jobs_dir / f"{self.job_id}.blocks"
+
+    @property
+    def ckpt_path(self) -> Path:
+        return self.jobs_dir / f"{self.job_id}.ckpt.npz"
+
+    @property
+    def model_path(self) -> Path:
+        return self.jobs_dir / f"{self.job_id}.model.npz"
+
+    # -- durable state transitions --------------------------------------
+    def transition(self, state: str, **fields) -> None:
+        """Move to ``state`` (journalled durably before it is visible)."""
+        if state not in JOB_STATES:
+            raise ValueError(f"unknown job state {state!r}")
+        with self._lock:
+            spec = dict(self.spec, state=state, **fields)
+            durable_write(self.spec_path, json.dumps(spec, indent=2).encode())
+            self.spec = spec
+
+    def describe(self) -> dict:
+        """The poll/status view (JSON-ready, no local paths)."""
+        with self._lock:
+            spec = dict(self.spec)
+        keep = (
+            "job_id", "session_id", "state", "sql", "table", "model",
+            "seed", "epochs", "error", "result", "submitted_at",
+            "started_at", "finished_at", "queue_wait_s",
+        )
+        return {k: spec.get(k) for k in keep if spec.get(k) is not None}
+
+
+class JobManager:
+    """Bounded queue + worker pool + durable journal for TRAIN jobs."""
+
+    def __init__(
+        self,
+        data_dir: str | Path,
+        max_queued: int = 8,
+        workers: int = 2,
+        checkpoint_every_tuples: int = 256,
+        on_done=None,
+    ):
+        self.jobs_dir = Path(data_dir) / "jobs"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.max_queued = int(max_queued)
+        self.n_workers = int(workers)
+        self.checkpoint_every_tuples = int(checkpoint_every_tuples)
+        #: Called as ``on_done(job, model)`` from the worker thread when a
+        #: job finishes training (the server registers the model into the
+        #: owning session's engine so PREDICT BY can address it).
+        self.on_done = on_done
+        self._queue: queue.Queue = queue.Queue(maxsize=self.max_queued)
+        self._jobs: dict[str, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._running: set[str] = set()
+        self._recent_runtimes: deque[float] = deque(maxlen=16)
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._stop.clear()
+        for i in range(self.n_workers):
+            t = threading.Thread(
+                target=self._worker_loop, name=f"serve-job-worker-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Graceful stop: interrupt running jobs at their next batch.
+
+        Interrupted jobs transition back to ``queued`` — their checkpoint
+        carries the progress, and the next ``recover()`` resumes them.
+        """
+        self._stop.set()
+        for _ in self._threads:
+            with contextlib.suppress(queue.Full):
+                self._queue.put_nowait(None)
+        for t in self._threads:
+            t.join(timeout=timeout)
+        leaked = [t.name for t in self._threads if t.is_alive()]
+        self._threads = []
+        if leaked:
+            raise RuntimeError(f"job workers failed to stop: {leaked}")
+
+    def recover(self) -> list[str]:
+        """Load the journal; re-enqueue every non-terminal job.
+
+        Returns the ids that were resumed.  Call before :meth:`start` so
+        recovered jobs keep their original submission order (specs sort by
+        id ordinal).
+        """
+        resumed = []
+        # Only true spec files: "job_<n>.json" — the glob must not pick up
+        # the block-file indexes ("job_<n>.blocks.index.json") beside them.
+        spec_paths = [
+            p
+            for p in self.jobs_dir.glob("job_*.json")
+            if re.fullmatch(r"job_\d+", p.stem)
+        ]
+        for spec_path in sorted(spec_paths, key=lambda p: self._ordinal(p.stem)):
+            try:
+                spec = json.loads(spec_path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue  # a spec mid-write when the power died; skip
+            job = Job(spec, self.jobs_dir)
+            with self._jobs_lock:
+                self._jobs[job.job_id] = job
+                self._counter = max(self._counter, self._ordinal(job.job_id))
+            if job.state in TERMINAL_STATES:
+                continue
+            if not job.blocks_path.exists():
+                job.transition("failed", error="block file lost before recovery")
+                continue
+            job.transition("queued", recovered=True)
+            self._queue.put(job)  # recovery happens before clients connect
+            resumed.append(job.job_id)
+            obs.inc("serve.jobs.recovered")
+        return resumed
+
+    @staticmethod
+    def _ordinal(job_id: str) -> int:
+        try:
+            return int(job_id.rsplit("_", 1)[1])
+        except (IndexError, ValueError):
+            return 0
+
+    # ------------------------------------------------------------------
+    # Submission / polling / cancellation
+    # ------------------------------------------------------------------
+    def submit(self, session_id: str, sql: str, query: TrainQuery, table) -> Job:
+        """Admit one TRAIN statement; raises :class:`Saturated` when full.
+
+        ``table`` is the session's :class:`~repro.db.catalog.TableInfo`;
+        its dataset is materialised into the job's own block file so the
+        job survives the session (and the daemon).
+        """
+        if query.model not in _MODEL_CONSTRUCTORS:
+            raise ValueError(f"unknown model {query.model!r}")
+        depth = self._queue.qsize()
+        if depth >= self.max_queued:
+            retry_after = self._retry_after(depth)
+            obs.inc("serve.jobs.rejected")
+            raise Saturated(retry_after, depth)
+
+        dataset = table.dataset
+        tuples_per_block = max(
+            1, min(dataset.n_tuples, round(query.block_size / max(1.0, table.tuple_bytes)))
+        )
+        # Keep at least four blocks so the block shuffle has something to
+        # permute (mirrors the engine's parallel-path fair-share cap).
+        tuples_per_block = min(tuples_per_block, max(1, dataset.n_tuples // 4))
+        buffer_tuples = max(1, round(query.buffer_fraction * dataset.n_tuples))
+        buffer_blocks = max(1, round(buffer_tuples / tuples_per_block))
+        with self._jobs_lock:
+            self._counter += 1
+            job_id = f"job_{self._counter}"
+        spec = {
+            "job_id": job_id,
+            "session_id": session_id,
+            "state": "queued",
+            "sql": sql,
+            "table": query.table,
+            "model": query.model,
+            "task": dataset.task,
+            "n_features": dataset.n_features,
+            "n_classes": (
+                dataset.n_classes if dataset.task != "regression" else None
+            ),
+            "n_tuples": dataset.n_tuples,
+            "seed": query.seed,
+            "epochs": query.max_epoch_num,
+            "learning_rate": query.learning_rate,
+            "decay": query.decay,
+            "loader_batch": (
+                query.batch_size if query.batch_size > 1 else _DEFAULT_LOADER_BATCH
+            ),
+            "tuples_per_block": tuples_per_block,
+            "buffer_blocks": buffer_blocks,
+            "checkpoint_every_tuples": self.checkpoint_every_tuples,
+            "submitted_at": time.time(),
+        }
+        job = Job(spec, self.jobs_dir)
+        # Blocks first, then the spec: a job whose spec exists always has
+        # its data, so recovery never sees a spec pointing at nothing.
+        write_block_file(dataset, job.blocks_path, tuples_per_block)
+        job.transition("queued")
+        with self._jobs_lock:
+            self._jobs[job_id] = job
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            # Lost the race against other submitters between the depth
+            # check and the put; reject exactly like the early check.
+            job.transition("cancelled", error="rejected: queue saturated")
+            obs.inc("serve.jobs.rejected")
+            raise Saturated(self._retry_after(self._queue.qsize()), self.max_queued)
+        obs.inc("serve.jobs.submitted")
+        obs.inc(f"serve.session.{session_id}.jobs_submitted")
+        return job
+
+    def _retry_after(self, depth: int) -> float:
+        recent = list(self._recent_runtimes)
+        per_job = (sum(recent) / len(recent)) if recent else 1.0
+        return round(max(0.5, per_job * (depth + 1) / max(1, self.n_workers)), 2)
+
+    def get(self, job_id: str) -> Job:
+        with self._jobs_lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise KeyError(f"unknown job {job_id!r}") from None
+
+    def list(self, session_id: str | None = None) -> list[dict]:
+        with self._jobs_lock:
+            jobs = sorted(self._jobs.values(), key=lambda j: self._ordinal(j.job_id))
+        return [
+            j.describe()
+            for j in jobs
+            if session_id is None or j.session_id == session_id
+        ]
+
+    def cancel(self, job_id: str) -> dict:
+        job = self.get(job_id)
+        job.cancel_event.set()
+        if job.state == "queued":
+            # The worker loop skips cancelled jobs; journal it now so a
+            # crash between here and the dequeue stays cancelled.
+            job.transition("cancelled", finished_at=time.time())
+            obs.inc("serve.jobs.cancelled")
+        return job.describe()
+
+    def model_bytes(self, job_id: str) -> bytes:
+        job = self.get(job_id)
+        if job.state != "done":
+            raise ValueError(f"{job_id} is {job.state}, not done")
+        return job.model_path.read_bytes()
+
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    def running(self) -> list[str]:
+        with self._jobs_lock:
+            return sorted(self._running)
+
+    def counts(self) -> dict:
+        with self._jobs_lock:
+            jobs = list(self._jobs.values())
+        out = {state: 0 for state in JOB_STATES}
+        for j in jobs:
+            out[j.state] = out.get(j.state, 0) + 1
+        return out
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            try:
+                if job is None or self._stop.is_set():
+                    if job is not None:
+                        # Drained during shutdown: leave it queued for the
+                        # next recover().
+                        pass
+                    return
+                self._execute(job)
+            finally:
+                self._queue.task_done()
+
+    def _execute(self, job: Job) -> None:
+        if job.cancel_event.is_set() or job.state == "cancelled":
+            if job.state != "cancelled":
+                job.transition("cancelled", finished_at=time.time())
+                obs.inc("serve.jobs.cancelled")
+            return
+        spec = job.spec
+        wait_s = max(0.0, time.time() - spec.get("submitted_at", time.time()))
+        obs.observe("serve.queue.wait_s", wait_s)
+        obs.inc(f"serve.session.{job.session_id}.jobs_started")
+        job.transition("running", started_at=time.time(), queue_wait_s=round(wait_s, 4))
+        with self._jobs_lock:
+            self._running.add(job.job_id)
+        t0 = time.perf_counter()
+        try:
+            with obs.span("serve.job", job_id=job.job_id, model=spec["model"]):
+                model, summary = self._train(job)
+        except JobCancelled:
+            job.transition("cancelled", finished_at=time.time())
+            obs.inc("serve.jobs.cancelled")
+        except DaemonStopping:
+            # Progress lives in the checkpoint; hand the job back to the
+            # journal so the restarted daemon resumes it.
+            job.transition("queued", interrupted=True)
+        except Exception as exc:  # noqa: BLE001 - job failure is data
+            job.transition("failed", error=str(exc), finished_at=time.time())
+            obs.inc("serve.jobs.failed")
+        else:
+            durable_write(job.model_path, model_to_bytes(model))
+            job.transition(
+                "done",
+                finished_at=time.time(),
+                result=dict(summary, wall_s=round(time.perf_counter() - t0, 4)),
+            )
+            with contextlib.suppress(OSError):
+                job.ckpt_path.unlink()
+            obs.inc("serve.jobs.completed")
+            obs.inc(f"serve.session.{job.session_id}.jobs_completed")
+            if self.on_done is not None:
+                self.on_done(job, model)
+        finally:
+            self._recent_runtimes.append(max(1e-3, time.perf_counter() - t0))
+            with self._jobs_lock:
+                self._running.discard(job.job_id)
+
+    def _train(self, job: Job):
+        """Run (or resume) one TRAIN job through the streaming trainer."""
+        spec = job.spec
+        model = _MODEL_CONSTRUCTORS[spec["model"]](spec)
+        resume = job.ckpt_path if job.ckpt_path.exists() else None
+        with CorgiPileDataset(
+            job.blocks_path, buffer_blocks=spec["buffer_blocks"], seed=spec["seed"]
+        ) as view:
+
+            def loader_factory(epoch: int):
+                view.set_epoch(epoch)
+                return self._interruptible(
+                    DataLoader(view, batch_size=spec["loader_batch"]), job
+                )
+
+            history = train_streaming(
+                model,
+                loader_factory,
+                epochs=spec["epochs"],
+                schedule=ExponentialDecay(spec["learning_rate"], spec["decay"]),
+                per_tuple=True,
+                fused=True,
+                checkpoint=CheckpointConfig(
+                    job.ckpt_path, every_tuples=spec["checkpoint_every_tuples"]
+                ),
+                resume_from=resume,
+            )
+        summary = {
+            "epochs": len(history.records),
+            "tuples_seen": (
+                history.records[-1].tuples_seen if history.records else 0
+            ),
+        }
+        # Final quality numbers come from the job's own on-disk copy, so
+        # they are identical no matter which daemon incarnation ran it.
+        eval_set = _block_file_arrays(job.blocks_path, spec)
+        if eval_set is not None:
+            X, y = eval_set
+            summary["final_train_loss"] = float(model.loss(X, y))
+            summary["final_train_score"] = float(model.score(X, y))
+        return model, summary
+
+    def _interruptible(self, loader, job: Job):
+        """Yield batches, surfacing cancel/stop between batches."""
+        stop = self._stop
+
+        def generate():
+            for batch in loader:
+                if stop.is_set():
+                    raise DaemonStopping()
+                if job.cancel_event.is_set():
+                    raise JobCancelled()
+                yield batch
+
+        return generate()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JobManager(queued={self._queue.qsize()}/{self.max_queued}, "
+            f"workers={self.n_workers}, jobs={len(self._jobs)})"
+        )
+
+
+def _block_file_arrays(path: Path, spec: dict):
+    """Materialise (X, y) from a job's block file for final evaluation."""
+    try:
+        from ..parallel.engine import load_block_dataset
+
+        dataset = load_block_dataset(path, task=spec.get("task", "binary"))
+    except Exception:  # noqa: BLE001 - evaluation is best-effort
+        return None
+    return dataset.X, np.asarray(dataset.y)

@@ -71,12 +71,24 @@ class ReadExhaustedError(IOError):
 
 
 class RetryPolicy:
-    """Bounded retry with (optional) exponential backoff.
+    """Bounded retry with capped, jittered exponential backoff.
 
     ``max_attempts`` counts the first try: ``RetryPolicy(3)`` issues at most
-    three reads.  ``backoff_s`` sleeps before each *retry* and grows by
-    ``backoff_factor``; the default of zero keeps tests instant and
-    deterministic while production callers can opt into real backoff.
+    three reads.  ``backoff_s`` seeds the backoff envelope before each
+    *retry*; the envelope grows by ``backoff_factor`` and is capped at
+    ``max_backoff_s``.  The default ``backoff_s`` of zero keeps tests
+    instant and deterministic while production callers opt into real
+    backoff.
+
+    With ``jitter`` (the default) each sleep is drawn uniformly from
+    ``[0, envelope]`` ("full jitter") so concurrent sessions retrying the
+    same faulty device spread out instead of synchronising into a
+    thundering herd of simultaneous re-reads.  The draws come from a
+    :mod:`repro.core.seeding` stream keyed by ``(seed,
+    RETRY_BACKOFF_STREAM)``: chaos runs stay bit-reproducible for a given
+    seed, and callers de-synchronise by giving each session its own seed
+    (the serve daemon uses the session ordinal).  ``jitter=False`` restores
+    the deterministic pure-exponential schedule.
     """
 
     def __init__(
@@ -84,6 +96,9 @@ class RetryPolicy:
         max_attempts: int = 4,
         backoff_s: float = 0.0,
         backoff_factor: float = 2.0,
+        max_backoff_s: float = 30.0,
+        jitter: bool = True,
+        seed: int = 0,
         sleep: Callable[[float], None] = time.sleep,
     ):
         if max_attempts < 1:
@@ -92,10 +107,29 @@ class RetryPolicy:
             raise ValueError("backoff_s must be non-negative")
         if backoff_factor < 1.0:
             raise ValueError("backoff_factor must be at least 1")
+        if max_backoff_s <= 0:
+            raise ValueError("max_backoff_s must be positive")
         self.max_attempts = int(max_attempts)
         self.backoff_s = float(backoff_s)
         self.backoff_factor = float(backoff_factor)
+        self.max_backoff_s = float(max_backoff_s)
+        self.jitter = bool(jitter)
+        self.seed = int(seed)
         self._sleep = sleep
+        self._rng = None  # lazily derived; zero-backoff policies never draw
+
+    def _next_delay(self, envelope: float) -> float:
+        """One backoff sleep: the capped envelope, jittered when enabled."""
+        envelope = min(envelope, self.max_backoff_s)
+        if not self.jitter:
+            return envelope
+        if self._rng is None:
+            # Imported lazily: repro.core pulls in the storage package, so a
+            # module-level import here would be circular.
+            from ..core.seeding import RETRY_BACKOFF_STREAM, derive_rng
+
+            self._rng = derive_rng(self.seed, RETRY_BACKOFF_STREAM)
+        return float(self._rng.uniform(0.0, envelope))
 
     def run(
         self,
@@ -131,8 +165,10 @@ class RetryPolicy:
                     if stats is not None:
                         stats.record_retry()
                     if delay > 0:
-                        self._sleep(delay)
-                        delay *= self.backoff_factor
+                        self._sleep(self._next_delay(delay))
+                        delay = min(
+                            delay * self.backoff_factor, self.max_backoff_s
+                        )
                 continue
             if stats is not None:
                 stats.record_ok()
@@ -146,5 +182,7 @@ class RetryPolicy:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"RetryPolicy(max_attempts={self.max_attempts}, "
-            f"backoff_s={self.backoff_s}, backoff_factor={self.backoff_factor})"
+            f"backoff_s={self.backoff_s}, backoff_factor={self.backoff_factor}, "
+            f"max_backoff_s={self.max_backoff_s}, jitter={self.jitter}, "
+            f"seed={self.seed})"
         )

@@ -171,6 +171,38 @@ class TestCheckpointFormat:
         with pytest.raises(ValueError):
             load_checkpoint(path)
 
+    def test_write_fsyncs_tmp_file_and_directory(self, tmp_path, monkeypatch):
+        # Durability, not just atomicity: without an fsync of the tmp file
+        # before the rename (and of the directory after it), a power loss
+        # can surface a zero-length "checkpoint" under the final name.
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd)))
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, LogisticRegression(3), epoch=0, cursor=0, tuples_seen=0)
+        # One fsync for the tmp file's fd, one for the parent directory.
+        assert len(synced) >= 2
+
+    def test_failed_write_leaks_no_tmp_and_keeps_previous(self, tmp_path, monkeypatch):
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, LogisticRegression(3), epoch=1, cursor=5, tuples_seen=50)
+        before = path.read_bytes()
+
+        def exploding_fsync(fd):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(os, "fsync", exploding_fsync)
+        with pytest.raises(OSError):
+            save_checkpoint(
+                path, LogisticRegression(3), epoch=2, cursor=0, tuples_seen=99
+            )
+        monkeypatch.undo()
+        # The failed attempt neither leaked its tmp file nor touched the
+        # previous good checkpoint.
+        assert not path.with_name(path.name + ".tmp").exists()
+        assert path.read_bytes() == before
+        assert load_checkpoint(path).epoch == 1
+
     def test_resume_guards_reject_mismatched_run(self, tmp_path):
         dataset = _dataset(sparse=False)
         ckpath = tmp_path / "g.ckpt.npz"

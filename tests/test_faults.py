@@ -192,14 +192,55 @@ class TestRetryPolicy:
                 lambda a: (_ for _ in ()).throw(InjectedCrash("kill -9"))
             )
 
-    def test_backoff_schedule(self):
+    def test_backoff_schedule_without_jitter(self):
         slept = []
         policy = RetryPolicy(
-            max_attempts=4, backoff_s=0.1, backoff_factor=2.0, sleep=slept.append
+            max_attempts=4, backoff_s=0.1, backoff_factor=2.0,
+            jitter=False, sleep=slept.append,
         )
         with pytest.raises(ReadExhaustedError):
             policy.run(lambda a: (_ for _ in ()).throw(TransientReadError("x")))
         assert slept == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_backoff_cap_bounds_the_envelope(self):
+        slept = []
+        policy = RetryPolicy(
+            max_attempts=6, backoff_s=1.0, backoff_factor=10.0,
+            max_backoff_s=2.5, jitter=False, sleep=slept.append,
+        )
+        with pytest.raises(ReadExhaustedError):
+            policy.run(lambda a: (_ for _ in ()).throw(TransientReadError("x")))
+        # 1.0 -> 10.0 (capped 2.5) -> capped 2.5 thereafter.
+        assert slept == pytest.approx([1.0, 2.5, 2.5, 2.5, 2.5])
+
+    def _jitter_delays(self, seed: int) -> list[float]:
+        slept: list[float] = []
+        policy = RetryPolicy(
+            max_attempts=5, backoff_s=0.1, backoff_factor=2.0,
+            max_backoff_s=0.3, seed=seed, sleep=slept.append,
+        )
+        with pytest.raises(ReadExhaustedError):
+            policy.run(lambda a: (_ for _ in ()).throw(TransientReadError("x")))
+        return slept
+
+    def test_full_jitter_is_bounded_deterministic_and_desynchronised(self):
+        delays = self._jitter_delays(seed=0)
+        # Full jitter: each sleep lands in [0, min(envelope, cap)].
+        for delay, envelope in zip(delays, [0.1, 0.2, 0.3, 0.3]):
+            assert 0.0 <= delay <= envelope
+        # Same seed -> bit-identical schedule (chaos runs stay reproducible).
+        assert self._jitter_delays(seed=0) == delays
+        # Different seeds (e.g. per-session) -> different schedules, so
+        # concurrent sessions don't retry in lockstep.
+        assert self._jitter_delays(seed=1) != delays
+
+    def test_zero_backoff_never_sleeps_or_draws(self):
+        slept = []
+        policy = RetryPolicy(max_attempts=3, sleep=slept.append)
+        with pytest.raises(ReadExhaustedError):
+            policy.run(lambda a: (_ for _ in ()).throw(TransientReadError("x")))
+        assert slept == []
+        assert policy._rng is None  # the instant path never touches the RNG
 
 
 # ----------------------------------------------------------------------

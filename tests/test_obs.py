@@ -204,6 +204,37 @@ class TestSpans:
         ids = [s.span_id for s in home.spans]
         assert len(ids) == len(set(ids))  # no collisions with local spans
 
+    def test_shared_anchor_merges_same_process_spans_without_skew(self):
+        # Regression for the trace-skew bug: every tracer used to estimate
+        # its own wall anchor, so merging two same-process tracers shifted
+        # spans by the difference of two noisy (or NTP-stepped) estimates.
+        # A session tracer constructed with the coordinator's anchor must
+        # merge with an exact-zero shift.
+        coordinator = Tracer(enabled=True)
+        session = Tracer(enabled=True, base_wall=coordinator.base_wall)
+        assert session.base_wall == coordinator.base_wall
+        session.add_span("session_stmt", 10.0, 11.0)
+        coordinator.add_span("coord_ref", 10.0, 11.0)
+        coordinator.merge(session, worker="s1")
+        starts = {s.name: (s.start, s.end) for s in coordinator.spans}
+        # Identical monotonic timestamps stay identical after the merge.
+        assert starts["session_stmt"] == starts["coord_ref"] == (10.0, 11.0)
+
+    def test_foreign_anchor_still_rebases_cross_process_spans(self):
+        # A tracer from another process (different perf_counter epoch) keeps
+        # its own anchor, and merge shifts by exactly the anchor difference.
+        home = Tracer(enabled=True)
+        away = Tracer(enabled=True, base_wall=home.base_wall + 5.0)
+        away.add_span("worker_span", 2.0, 3.0)
+        home.merge(away, worker=0)
+        (span,) = home.by_name("worker_span")
+        assert span.start == pytest.approx(7.0)
+        assert span.end == pytest.approx(8.0)
+        # Wall-clock placement is unchanged by the rebase.
+        assert home.base_wall + span.start == pytest.approx(
+            away.base_wall + 2.0
+        )
+
 
 # ----------------------------------------------------------------------
 # Disabled-mode overhead (< 5 % on a fused GLM epoch)

@@ -1,0 +1,438 @@
+"""The training daemon: protocol, sessions, job queue, crash recovery.
+
+Three layers of coverage:
+
+* protocol units — frame round-trips, bounds, blob codec (no sockets);
+* in-process integration — a real :class:`ReproServer` on an ephemeral
+  port, driven by real :class:`ReproClient` connections: concurrent
+  sessions with isolated catalogs, the async TRAIN lifecycle, cancel
+  mid-job, admission-control rejection;
+* out-of-process crash test — the daemon as a subprocess, SIGKILLed
+  mid-TRAIN and restarted over the same data dir; the resumed job's model
+  must be *bit-identical* to an uninterrupted run of the same statement.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    ConnectionClosed,
+    ProtocolError,
+    ReproClient,
+    ReproServer,
+    SaturatedError,
+    ServerError,
+    decode_blob,
+    decode_frame,
+    encode_blob,
+    encode_frame,
+    err,
+    ok,
+    recv_frame,
+    send_frame,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: One short statement used throughout; small dataset, tiny blocks.
+TRAIN_SQL = (
+    "SELECT * FROM susy TRAIN BY lr "
+    "WITH max_epoch_num = 2, block_size = 16KB, buffer_fraction = 0.2"
+)
+#: A statement slow enough to still be running when we interfere with it.
+SLOW_TRAIN_SQL = (
+    "SELECT * FROM susy TRAIN BY lr "
+    "WITH max_epoch_num = 200, block_size = 16KB, buffer_fraction = 0.2"
+)
+
+
+# ======================================================================
+# Protocol units
+# ======================================================================
+
+
+class TestProtocol:
+    def test_frame_round_trip(self):
+        message = {"type": "sql", "sql": "SELECT 1", "nested": {"a": [1, 2.5]}}
+        frame = encode_frame(message)
+        assert frame[:4] == len(frame[4:]).to_bytes(4, "big")
+        assert decode_frame(frame[4:]) == message
+
+    def test_frame_serialises_numpy(self):
+        frame = encode_frame({"x": np.float64(1.5), "v": np.arange(3)})
+        assert decode_frame(frame[4:]) == {"x": 1.5, "v": [0, 1, 2]}
+
+    def test_oversized_frame_rejected(self, monkeypatch):
+        monkeypatch.setattr("repro.serve.protocol.MAX_FRAME_BYTES", 16)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame({"pad": "x" * 64})
+
+    def test_undecodable_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="undecodable"):
+            decode_frame(b"\xff\xfenot json")
+        with pytest.raises(ProtocolError, match="object"):
+            decode_frame(b"[1, 2, 3]")
+
+    def test_socket_round_trip_and_clean_close(self):
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, ok(session="s1"))
+            send_frame(a, err("nope", "bad"))
+            assert recv_frame(b) == {"ok": True, "session": "s1"}
+            assert recv_frame(b) == {"ok": False, "code": "nope", "error": "bad"}
+            a.close()
+            with pytest.raises(ConnectionClosed):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_mid_frame_death_is_a_protocol_error(self):
+        a, b = socket.socketpair()
+        try:
+            frame = encode_frame({"type": "hello"})
+            a.sendall(frame[: len(frame) - 3])  # die 3 bytes short
+            a.close()
+            with pytest.raises(ProtocolError, match="short"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_blob_codec_round_trip(self):
+        blob = os.urandom(257)
+        assert decode_blob(encode_blob(blob)) == blob
+        with pytest.raises(ProtocolError, match="blob"):
+            decode_blob("not//valid//base64!!")
+
+
+# ======================================================================
+# In-process integration
+# ======================================================================
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs():
+    """Each test gets a clean process-wide registry.
+
+    Session ids restart at ``s1`` for every server instance, so without a
+    reset the per-session ``serve.session.s1.*`` meters would accumulate
+    across tests (a pure test artifact: real daemons are one per process).
+    """
+    from repro import obs
+
+    obs.reset()
+    yield
+    obs.reset()
+
+
+@pytest.fixture()
+def server(tmp_path):
+    srv = ReproServer(
+        tmp_path / "state",
+        job_workers=1,
+        max_queued=4,
+        checkpoint_every_tuples=128,
+    ).start()
+    yield srv
+    srv.stop()
+
+
+def connect(server: ReproServer) -> ReproClient:
+    return ReproClient(server.host, server.port)
+
+
+class TestServerSessions:
+    def test_train_job_lifecycle(self, server):
+        with connect(server) as client:
+            client.load("susy")
+            job_id = client.submit(TRAIN_SQL)
+            final = client.wait(job_id, timeout=120)
+            assert final["state"] == "done"
+            assert final["result"]["epochs"] == 2
+            assert final["result"]["tuples_seen"] > 0
+            # The finished model is addressable from the owning session...
+            pred = client.sql(f"SELECT * FROM susy PREDICT BY {job_id}")
+            assert pred["n_predictions"] > 0
+            # ...and downloadable as a real model object.
+            model = client.fetch_model(job_id)
+            assert model.w.shape[0] > 0
+
+    def test_select_runs_inline(self, server):
+        with connect(server) as client:
+            client.load("susy")
+            result = client.sql("SELECT * FROM susy LIMIT 5")["result"]
+            assert len(result["rows"]) == 5
+            assert result["n_tuples"] > 5
+
+    def test_four_concurrent_sessions_with_isolated_catalogs(self, server):
+        """Four clients share one daemon but see only their own tables."""
+        datasets = ["susy", "higgs", "criteo", "susy"]
+        results: dict[int, dict] = {}
+        errors: list[Exception] = []
+
+        def run(i: int) -> None:
+            try:
+                with connect(server) as client:
+                    # Everyone names their table "t"; contents must not leak.
+                    info = client.load(datasets[i], table="t", seed=i)
+                    seen = client.sql("SELECT * FROM t")["result"]
+                    results[i] = {
+                        "loaded": info["n_tuples"],
+                        "seen": seen["n_tuples"],
+                        "features": seen["n_features"],
+                    }
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert len(results) == 4
+        for i, seen in results.items():
+            assert seen["seen"] == seen["loaded"]
+        # susy and higgs genuinely differ, so a leak would be visible.
+        assert results[0]["features"] != results[1]["features"]
+
+    def test_models_do_not_leak_between_sessions(self, server):
+        with connect(server) as owner, connect(server) as other:
+            owner.load("susy")
+            other.load("susy")
+            job_id = owner.submit(TRAIN_SQL)
+            assert owner.wait(job_id, timeout=120)["state"] == "done"
+            assert owner.sql(f"SELECT * FROM susy PREDICT BY {job_id}")
+            with pytest.raises(ServerError):
+                other.sql(f"SELECT * FROM susy PREDICT BY {job_id}")
+            # The job *listing* is scoped too unless asked for all.
+            assert other.jobs() == []
+            assert [j["job_id"] for j in other.jobs(all_sessions=True)] == [job_id]
+
+    def test_unknown_table_and_parse_errors_are_typed(self, server):
+        with connect(server) as client:
+            with pytest.raises(ServerError) as excinfo:
+                client.sql("SELECT * FROM nowhere")
+            assert excinfo.value.code in ("engine_error", "not_found")
+            with pytest.raises(ServerError) as excinfo:
+                client.sql("FROBNICATE THE DATABASE")
+            assert excinfo.value.code == "parse_error"
+
+    def test_cancel_mid_train(self, server):
+        with connect(server) as client:
+            client.load("susy")
+            job_id = client.submit(SLOW_TRAIN_SQL)
+            deadline = time.monotonic() + 60
+            while client.status(job_id)["state"] == "queued":
+                assert time.monotonic() < deadline, "job never started"
+                time.sleep(0.02)
+            client.cancel(job_id)
+            final = client.wait(job_id, timeout=60)
+            assert final["state"] == "cancelled"
+            with pytest.raises(ServerError):
+                client.fetch_model(job_id)
+
+    def test_stats_surface(self, server):
+        with connect(server) as client:
+            client.load("susy")
+            job_id = client.submit(TRAIN_SQL)
+            client.wait(job_id, timeout=120)
+            stats = client.stats()
+            assert stats["server"]["sessions_open"] == 1
+            assert stats["queue"]["capacity"] == 4
+            assert stats["jobs"]["done"] >= 1
+            assert stats["jobs"]["queue_wait_s"]["count"] >= 1
+            sid = client.session_id
+            assert stats["sessions"][sid]["jobs_submitted"] == 1
+
+
+class TestAdmissionControl:
+    def test_saturated_queue_rejects_with_retry_after(self, tmp_path):
+        server = ReproServer(
+            tmp_path / "state", job_workers=1, max_queued=1
+        ).start()
+        try:
+            with connect(server) as client:
+                client.load("susy")
+                # Occupy the single worker, then fill the single queue slot.
+                running = client.submit(SLOW_TRAIN_SQL)
+                deadline = time.monotonic() + 60
+                while client.status(running)["state"] == "queued":
+                    assert time.monotonic() < deadline
+                    time.sleep(0.02)
+                queued = client.submit(SLOW_TRAIN_SQL)
+                with pytest.raises(SaturatedError) as excinfo:
+                    client.submit(SLOW_TRAIN_SQL)
+                assert excinfo.value.retry_after_s > 0
+                assert excinfo.value.code == "saturated"
+                # The daemon stays responsive while saturated (no hang).
+                assert client.stats()["queue"]["depth"] == 1
+                client.cancel(queued)
+                client.cancel(running)
+        finally:
+            server.stop()
+
+
+# ======================================================================
+# Crash recovery — the daemon as a subprocess, SIGKILLed mid-TRAIN
+# ======================================================================
+
+RESUME_SQL = (
+    "SELECT * FROM susy TRAIN BY lr "
+    "WITH max_epoch_num = 40, block_size = 16KB, buffer_fraction = 0.2, seed = 3"
+)
+
+
+def spawn_daemon(data_dir: Path) -> subprocess.Popen:
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--data-dir", str(data_dir),
+            "--job-workers", "1",
+            "--checkpoint-every", "64",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 30
+    server_file = data_dir / "server.json"
+    while time.monotonic() < deadline:
+        if server_file.exists() and proc.poll() is None:
+            return proc
+        if proc.poll() is not None:
+            raise RuntimeError("daemon died during startup")
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError("daemon never advertised its port")
+
+
+def connect_to_dir(data_dir: Path, timeout: float = 30.0) -> ReproClient:
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return ReproClient.from_server_file(data_dir)
+        except (OSError, ConnectionError):
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.05)
+
+
+class TestCrashRecovery:
+    def test_sigkill_mid_train_then_restart_resumes_bit_exact(self, tmp_path):
+        # --- Reference: the same statement, uninterrupted. ---------------
+        ref_dir = tmp_path / "reference"
+        proc = spawn_daemon(ref_dir)
+        try:
+            with connect_to_dir(ref_dir) as client:
+                client.load("susy")
+                job_id = client.submit(RESUME_SQL)
+                assert client.wait(job_id, timeout=300)["state"] == "done"
+                reference = client.fetch_model(job_id)
+                client.shutdown()
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+        # --- Victim: SIGKILL once a mid-epoch checkpoint exists. ---------
+        crash_dir = tmp_path / "crash"
+        proc = spawn_daemon(crash_dir)
+        try:
+            with connect_to_dir(crash_dir) as client:
+                client.load("susy")
+                job_id = client.submit(RESUME_SQL)
+            ckpt = crash_dir / "jobs" / f"{job_id}.ckpt.npz"
+            deadline = time.monotonic() + 120
+            while not ckpt.exists():
+                assert time.monotonic() < deadline, "no checkpoint before kill"
+                assert proc.poll() is None
+                time.sleep(0.01)
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+
+            spec = json.loads((crash_dir / "jobs" / f"{job_id}.json").read_text())
+            assert spec["state"] in ("queued", "running")
+
+            # --- Restart over the same directory; the journal resumes. ---
+            proc = spawn_daemon(crash_dir)
+            with connect_to_dir(crash_dir) as client:
+                final = client.wait(job_id, timeout=300)
+                assert final["state"] == "done"
+                resumed = client.fetch_model(job_id)
+                client.shutdown()
+            proc.wait(timeout=30)
+
+            spec = json.loads((crash_dir / "jobs" / f"{job_id}.json").read_text())
+            assert spec.get("recovered") is True
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+        # Bit-exact: the kill+resume run converged to the identical model.
+        np.testing.assert_array_equal(resumed.w, reference.w)
+        assert resumed.b == reference.b
+
+
+# ======================================================================
+# Durable job journal details
+# ======================================================================
+
+
+class TestJobJournal:
+    def test_specs_survive_and_terminal_jobs_are_not_reenqueued(self, tmp_path):
+        state = tmp_path / "state"
+        server = ReproServer(state, job_workers=1).start()
+        with connect(server) as client:
+            client.load("susy")
+            job_id = client.submit(TRAIN_SQL)
+            assert client.wait(job_id, timeout=120)["state"] == "done"
+        server.stop()
+
+        spec = json.loads((state / "jobs" / f"{job_id}.json").read_text())
+        assert spec["state"] == "done"
+        assert (state / "jobs" / f"{job_id}.model.npz").exists()
+        assert not (state / "jobs" / f"{job_id}.ckpt.npz").exists()
+
+        # A second daemon over the same dir sees the job but re-runs nothing.
+        server = ReproServer(state, job_workers=1).start()
+        try:
+            with connect(server) as client:
+                jobs = client.jobs(all_sessions=True)
+                assert [j["job_id"] for j in jobs] == [job_id]
+                assert jobs[0]["state"] == "done"
+                # Job ids keep counting upward across incarnations.
+                client.load("susy")
+                next_id = client.submit(TRAIN_SQL)
+                assert next_id != job_id
+                assert client.wait(next_id, timeout=120)["state"] == "done"
+        finally:
+            server.stop()
+
+    def test_stop_requeues_running_jobs_for_next_boot(self, tmp_path):
+        state = tmp_path / "state"
+        server = ReproServer(state, job_workers=1).start()
+        with connect(server) as client:
+            client.load("susy")
+            job_id = client.submit(SLOW_TRAIN_SQL)
+            deadline = time.monotonic() + 60
+            while client.status(job_id)["state"] == "queued":
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+        server.stop()  # graceful: interrupts the job at a batch boundary
+
+        spec = json.loads((state / "jobs" / f"{job_id}.json").read_text())
+        assert spec["state"] == "queued"
+        assert spec.get("interrupted") is True
