@@ -13,9 +13,11 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_kernels.py --quick --check  # CI gate
 
 ``--check`` exits non-zero if any fused kernel is slower than its scalar
-baseline (``summary.min_speedup < 1``) — the CI perf-smoke job runs this so
-a regression in the fused paths fails the build instead of silently
-shipping.
+baseline (``summary.min_speedup < 1``) — which includes the columnar decode
+records, whose baseline is the *row fused* decode — or if the columnar
+payload is not smaller than the row payload on either workload.  The CI
+perf-smoke job runs this so a regression in the fused paths or the columnar
+format fails the build instead of silently shipping.
 """
 
 from __future__ import annotations
@@ -69,6 +71,13 @@ def main(argv: list[str] | None = None) -> int:
         f"dense: {summary['epoch_dense_speedup']:.2f}x   "
         f"decode: {summary['decode_speedup']:.2f}x"
     )
+    print(
+        f"columnar decode vs row fused (sparse): "
+        f"{summary['columnar_decode_speedup']:.2f}x   "
+        f"dense: {summary['columnar_decode_dense_speedup']:.2f}x   "
+        f"bytes ratio sparse: {summary['columnar_bytes_ratio_sparse']:.3f}   "
+        f"dense: {summary['columnar_bytes_ratio_dense']:.3f}"
+    )
 
     payload = json.dumps(doc, indent=2) + "\n"
     RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
@@ -78,13 +87,23 @@ def main(argv: list[str] | None = None) -> int:
         SNAPSHOT_PATH.write_text(payload)
         print(f"wrote {SNAPSHOT_PATH}")
 
-    if args.check and summary["min_speedup"] < 1.0:
-        print(
-            f"PERF REGRESSION: min fused/scalar speedup "
-            f"{summary['min_speedup']:.2f}x < 1.0x",
-            file=sys.stderr,
-        )
-        return 1
+    if args.check:
+        failures = []
+        if summary["min_speedup"] < 1.0:
+            failures.append(
+                f"min fused/scalar speedup {summary['min_speedup']:.2f}x < 1.0x"
+            )
+        for cfg in ("sparse", "dense"):
+            ratio = summary[f"columnar_bytes_ratio_{cfg}"]
+            if ratio >= 1.0:
+                failures.append(
+                    f"columnar {cfg} payload is not smaller than row "
+                    f"(ratio {ratio:.3f} >= 1)"
+                )
+        if failures:
+            for problem in failures:
+                print(f"PERF REGRESSION: {problem}", file=sys.stderr)
+            return 1
     return 0
 
 

@@ -18,7 +18,11 @@ Commands
               a tuples/sec throughput table
 ``chaos``     train through fault-injected storage (transient errors, torn
               pages, latency, optional crash+resume) and verify the result
-              is bit-identical to the fault-free run
+              is bit-identical to the fault-free run; ``--layout columnar``
+              drives the chunk-pruned read path so faults land on column
+              chunks
+``migrate``   rewrite a row-format block file or heap file as columnar in
+              place (atomic, CRC-verified, resumable) and print the report
 ``obs-report``  render (and optionally validate) an exported trace file as
               the human span-tree/metrics summary
 ``serve``     run the long-lived multi-client training daemon (sessions,
@@ -260,7 +264,27 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--block-tuples", type=int, default=40)
     chaos.add_argument("--buffer-blocks", type=int, default=2)
     chaos.add_argument("--batch-size", type=int, default=64)
+    chaos.add_argument(
+        "--layout", choices=("row", "columnar"), default="row",
+        help="block-file layout; columnar trains off pruned chunk reads, so "
+        "injected faults address individual column chunks",
+    )
     _add_common_options(chaos)
+
+    mig = sub.add_parser(
+        "migrate",
+        help="rewrite a row block file or heap file as columnar, in place",
+    )
+    mig.add_argument("path", help="data file (block file with index sidecar, or heap file)")
+    mig.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the per-block decode round-trip check before accepting blocks",
+    )
+    mig.add_argument(
+        "--block-bytes", type=int, default=64 * 1024,
+        help="heap sources only: page-run grouping per columnar block (default 64KB)",
+    )
+    mig.add_argument("--json", help="also write the migration report to this path")
 
     obsr = sub.add_parser(
         "obs-report",
@@ -785,7 +809,7 @@ def _cmd_chaos(args) -> int:
     from .core import CorgiPileDataset, DataLoader as CoreDataLoader
     from .faults import FaultPlan, InjectedCrash, chaos_report, faulty_reader_factory
     from .obs import StorageMetrics
-    from .ml import CheckpointConfig, train_streaming
+    from .ml import CheckpointConfig, train_streaming, train_streaming_chunks
     from .storage import write_block_file
 
     if args.quick:
@@ -806,7 +830,7 @@ def _cmd_chaos(args) -> int:
 
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "chaos.blocks"
-        write_block_file(dataset, path, args.block_tuples)
+        write_block_file(dataset, path, args.block_tuples, layout=args.layout)
 
         def run(model, reader_factory=None, fault_plan=None, **kwargs):
             with CorgiPileDataset(
@@ -830,10 +854,22 @@ def _cmd_chaos(args) -> int:
                     **kwargs,
                 )
 
-        run(model_clean)
+        def run_chunks(model, reader_factory=None):
+            # Columnar mode: train off pruned chunk reads, so the fault plan
+            # decides per ("chunk", block*8+col) instead of whole blocks.
+            with CorgiPileDataset(
+                path,
+                buffer_blocks=args.buffer_blocks,
+                seed=args.seed,
+                reader_factory=reader_factory,
+            ) as view:
+                return train_streaming_chunks(model, view, epochs=args.epochs)
+
+        compare_run = run_chunks if args.layout == "columnar" else run
+        compare_run(model_clean)
 
         model_faulty = _build_model("lr", dataset)
-        run(model_faulty, reader_factory=faulty_reader_factory(plan, stats=stats))
+        compare_run(model_faulty, reader_factory=faulty_reader_factory(plan, stats=stats))
         identical = all(
             np.array_equal(model_clean.params[k], model_faulty.params[k])
             for k in model_clean.params
@@ -876,6 +912,44 @@ def _cmd_chaos(args) -> int:
 
     print(f"\nchaos verdict: {'PASS' if ok else 'FAIL'}")
     return 0 if ok else 1
+
+
+def _cmd_migrate(args) -> int:
+    """Rewrite a row-format data file as columnar in place and report.
+
+    Detects the source kind (block file with index sidecar vs heap file),
+    converts block by block with per-block CRC + optional decode round-trip
+    verification, journals progress so an interrupted run resumes, and
+    finishes with an atomic replace — an already-columnar file is a no-op.
+    """
+    import json
+
+    from .storage import migrate_file
+
+    report = migrate_file(
+        args.path, verify=not args.no_verify, block_bytes=args.block_bytes
+    )
+    doc = report.to_doc()
+    if report.skipped:
+        print(f"{args.path}: already columnar ({report.n_blocks} blocks), nothing to do")
+    else:
+        resumed = (
+            f", resumed at block {report.resumed_at_block}"
+            if report.resumed_at_block
+            else ""
+        )
+        print(
+            f"migrated {args.path} ({report.kind}): {report.n_blocks} blocks, "
+            f"{report.n_tuples} tuples, {report.bytes_per_tuple_before:.1f} -> "
+            f"{report.bytes_per_tuple_after:.1f} bytes/tuple "
+            f"({report.verified_blocks} blocks verified{resumed})"
+        )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0
 
 
 def _cmd_obs_report(args) -> int:
@@ -1027,6 +1101,7 @@ _COMMANDS = {
     "loader-stats": _cmd_loader_stats,
     "kernel-bench": _cmd_kernel_bench,
     "chaos": _cmd_chaos,
+    "migrate": _cmd_migrate,
     "obs-report": _cmd_obs_report,
     "serve": _cmd_serve,
     "client": _cmd_client,

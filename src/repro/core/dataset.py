@@ -19,6 +19,7 @@ shuffle seed (mirroring ``DistributedSampler.set_epoch`` in PyTorch).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterator
 
@@ -30,7 +31,25 @@ from .buffer import ShuffleBuffer
 from .seeding import epoch_rng, worker_rng
 from ..obs import LoaderMetrics
 
-__all__ = ["CorgiPileDataset"]
+__all__ = ["CorgiPileDataset", "ChunkFill"]
+
+
+@dataclass
+class ChunkFill:
+    """One drained shuffle-buffer fill, addressed as ``(chunk, row)`` pairs.
+
+    ``batches`` are the block batches backing this fill (lazy columnar
+    batches on a v3 file — columns decode only when the consumer touches
+    them); ``order[k] = (chunk, row)`` addresses ``batches[chunk].row(row)``.
+    Feeding ``order`` to ``model.step_chunks`` visits tuples in exactly the
+    order ``__iter__`` would have yielded them.
+    """
+
+    batches: list
+    order: np.ndarray  # (n, 2) int64
+
+    def __len__(self) -> int:
+        return int(self.order.shape[0])
 
 
 class CorgiPileDataset:
@@ -106,6 +125,68 @@ class CorgiPileDataset:
             if filled_blocks % self.buffer_blocks == 0:
                 yield from self._drain(buffer)
         yield from self._drain(buffer)
+
+    def iter_fills(self, columns=None) -> Iterator[ChunkFill]:
+        """The two-level shuffle as chunk-addressed fills (no per-tuple repack).
+
+        Mirrors :meth:`__iter__` exactly — same block permutation, same
+        buffer capacity and drain points, same tuple-shuffle RNG draws — but
+        instead of yielding decoded tuples it yields one :class:`ChunkFill`
+        per buffer drain: the backing block batches plus the shuffled
+        ``(chunk, row)`` visit order.  On a columnar file the batches are
+        lazy, and ``columns`` (names) prunes the read to just the chunks the
+        consumer touches — e.g. ``("labels", "indptr", "indices", "values")``
+        for training without tuple ids.
+
+        Guarantee (regression-tested): the concatenated visit order across
+        fills is identical to the tuple order :meth:`__iter__` yields for
+        the same (seed, epoch, worker).
+        """
+        block_rng = epoch_rng(self.seed, self.epoch)
+        tuple_rng = worker_rng(self.seed, self.epoch, self.worker_id)
+        my_blocks = self._worker_blocks(block_rng)
+        buffer: ShuffleBuffer[tuple[int, int]] = ShuffleBuffer(
+            max(1, self.buffer_blocks) * max(1, self._tuples_per_block()), tuple_rng
+        )
+        batches: list = []
+
+        def drain() -> ChunkFill | None:
+            n = len(buffer)
+            if n and self.stats is not None:
+                self.stats.record_buffer_filled(n)
+                self.stats.record_buffer_drained(n)
+            refs = buffer.shuffle_and_drain()
+            if not refs:
+                return None
+            return ChunkFill(batches, np.asarray(refs, dtype=np.int64))
+
+        filled_blocks = 0
+        for block_id in my_blocks:
+            if columns is None:
+                batch = self.reader.read_block_batch(int(block_id))
+            else:
+                batch = self.reader.read_block_batch(int(block_id), columns=columns)
+            slot = len(batches)
+            batches.append(batch)
+            for row in range(len(batch)):
+                if buffer.full:
+                    fill = drain()
+                    # The in-flight block spans the drain boundary: re-home
+                    # it as chunk 0 of the next fill's batch list.
+                    batches = [batch]
+                    slot = 0
+                    if fill is not None:
+                        yield fill
+                buffer.add((slot, row))
+            filled_blocks += 1
+            if filled_blocks % self.buffer_blocks == 0:
+                fill = drain()
+                batches = []
+                if fill is not None:
+                    yield fill
+        fill = drain()
+        if fill is not None:
+            yield fill
 
     def _drain(self, buffer: ShuffleBuffer[TrainingTuple]) -> list[TrainingTuple]:
         n = len(buffer)

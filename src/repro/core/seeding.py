@@ -40,8 +40,10 @@ __all__ = [
 ]
 
 # Stable small codes so the per-unit fault RNG stream is independent per
-# unit kind (block-file blocks vs heap pages).
-FAULT_UNIT_CODES = {"block": 1, "page": 2}
+# unit kind (block-file blocks vs heap pages vs columnar column chunks).
+# A chunk's target id packs (block_id, column code) — see
+# ``repro.faults.store.chunk_fault_target``.
+FAULT_UNIT_CODES = {"block": 1, "page": 2, "chunk": 3}
 
 # Operator stream codes: fixed odd integers appended to (seed, epoch) so
 # each operator kind owns a distinct stream.  Worker streams use

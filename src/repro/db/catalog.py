@@ -62,12 +62,18 @@ class Catalog:
         self._tables: dict[str, TableInfo] = {}
 
     def create_table(
-        self, name: str, dataset: Dataset, compress: bool = False
+        self, name: str, dataset: Dataset, compress: bool = False, layout: str = "row"
     ) -> TableInfo:
-        """Materialise ``dataset`` as a heap table named ``name``."""
+        """Materialise ``dataset`` as a heap table named ``name``.
+
+        ``layout="columnar"`` stores pages as per-column chunks; reads come
+        back lazy, so projections decode only the columns they touch.
+        """
         if name in self._tables:
             raise ValueError(f"table {name!r} already exists")
-        heap = HeapFile.from_dataset(dataset, page_bytes=self.page_bytes, compress=compress)
+        heap = HeapFile.from_dataset(
+            dataset, page_bytes=self.page_bytes, compress=compress, layout=layout
+        )
         info = TableInfo(
             name=name,
             dataset=dataset,

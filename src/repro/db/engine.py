@@ -146,8 +146,10 @@ class MiniDB:
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
-    def create_table(self, name: str, dataset: Dataset, compress: bool = False) -> TableInfo:
-        return self.catalog.create_table(name, dataset, compress=compress)
+    def create_table(
+        self, name: str, dataset: Dataset, compress: bool = False, layout: str = "row"
+    ) -> TableInfo:
+        return self.catalog.create_table(name, dataset, compress=compress, layout=layout)
 
     def inject_faults(self, name: str, plan, retry=None, stats=None):
         """Swap table ``name``'s storage for fault-injecting wrappers.
@@ -251,7 +253,9 @@ class MiniDB:
         copy_name = f"{table.name}__shuffled_{seed}"
         if copy_name in self.catalog:
             self.catalog.drop_table(copy_name)
-        return self.catalog.create_table(copy_name, shuffled, compress=table.heap.compress)
+        return self.catalog.create_table(
+            copy_name, shuffled, compress=table.heap.compress, layout=table.heap.layout
+        )
 
     def train(self, query: TrainQuery, test: Dataset | None = None) -> TrainResult:
         table = self.catalog.get(query.table)
@@ -482,28 +486,59 @@ class MiniDB:
         Rows are JSON-ready (plain floats), so the serve layer can put the
         result straight on the wire.  ``max_rows`` caps an un-LIMITed
         SELECT — this engine exists to train, not to dump tables.
+
+        Rows come from the table's buffer pool, so on a columnar table a
+        projection like ``SELECT label FROM t`` materialises only the
+        chunks it names — the feature columns are never decoded.
         """
         table = self.catalog.get(query.table)
         dataset = table.dataset
         limit = max_rows if query.limit is None else min(query.limit, max_rows)
         n = min(limit, dataset.n_tuples)
-        rows = []
-        for i in range(n):
-            features = dataset.X.row(i).to_dense() if hasattr(dataset.X, "row") else dataset.X[i]
-            rows.append(
-                {
-                    "rid": i,
-                    "label": float(np.asarray(dataset.y)[i]),
-                    "features": [float(v) for v in np.asarray(features)[:8]],
-                }
-            )
+        columns = query.columns
+        want_features = columns is None or any(
+            c == "features" or (c.startswith("f") and c[1:].isdigit()) for c in columns
+        )
+        rows: list[dict] = []
+        position = 0
+        page_id = 0
+        while len(rows) < n and page_id < table.heap.n_pages:
+            batch = table.pool.get_batch(page_id)
+            for j in range(min(len(batch), n - len(rows))):
+                row: dict = {}
+                keys = columns if columns is not None else ("rid", "label", "features")
+                for key in keys:
+                    if key == "rid":
+                        row["rid"] = position + j
+                    elif key == "label":
+                        row["label"] = float(batch.labels[j])
+                    elif key == "features":
+                        feats = batch.row(j)
+                        if hasattr(feats, "to_dense"):
+                            feats = feats.to_dense()
+                        row["features"] = [float(v) for v in np.asarray(feats)[:8]]
+                    else:  # f<k>
+                        k = int(key[1:])
+                        if k >= dataset.n_features:
+                            raise EngineError(
+                                f"column {key!r} out of range: table has "
+                                f"{dataset.n_features} features"
+                            )
+                        feats = batch.row(j)
+                        if hasattr(feats, "to_dense"):
+                            feats = feats.to_dense()
+                        row[key] = float(np.asarray(feats)[k])
+                rows.append(row)
+            position += len(batch)
+            page_id += 1
         return {
             "table": query.table,
             "n_tuples": dataset.n_tuples,
             "n_features": dataset.n_features,
             "task": dataset.task,
-            "returned": n,
-            "truncated_features": dataset.n_features > 8,
+            "columns": list(columns) if columns is not None else ["rid", "label", "features"],
+            "returned": len(rows),
+            "truncated_features": want_features and dataset.n_features > 8,
             "rows": rows,
         }
 

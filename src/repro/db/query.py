@@ -43,9 +43,10 @@ _EVALUATE_RE = re.compile(
     re.IGNORECASE,
 )
 _SELECT_RE = re.compile(
-    r"^\s*SELECT\s+\*\s+FROM\s+(\w+)\s*(?:LIMIT\s+(\d+))?\s*$",
+    r"^\s*SELECT\s+(\*|\w+(?:\s*,\s*\w+)*)\s+FROM\s+(\w+)\s*(?:LIMIT\s+(\d+))?\s*$",
     re.IGNORECASE,
 )
+_FEATURE_COL_RE = re.compile(r"^f(\d+)$")
 
 _UNITS = {"B": 1, "KB": 1024, "MB": 1024**2, "GB": 1024**3}
 
@@ -99,14 +100,19 @@ class PredictQuery:
 
 @dataclass(frozen=True)
 class SelectQuery:
-    """A plain ``SELECT * FROM table [LIMIT n]`` row fetch.
+    """A ``SELECT <cols> FROM table [LIMIT n]`` row fetch.
 
     The serve layer runs these inline (no job queue); ``limit`` bounds how
     many tuples cross the wire (``None`` = the engine's default cap).
+    ``columns`` is ``None`` for ``SELECT *``; otherwise the parsed
+    projection — ``rid`` (alias ``id``), ``label``, ``features``, or
+    ``f<k>`` for one feature.  On a columnar table a projection that skips
+    the features reads only the requested column chunks (the lazy path).
     """
 
     table: str
     limit: int | None = None
+    columns: tuple[str, ...] | None = None
 
 
 @dataclass(frozen=True)
@@ -160,9 +166,25 @@ def parse_query(
         return EvaluateQuery(table=match.group(1), model_id=match.group(2))
     match = _SELECT_RE.match(sql)
     if match:
-        limit = match.group(2)
+        collist, table, limit = match.group(1), match.group(2), match.group(3)
+        columns: tuple[str, ...] | None = None
+        if collist.strip() != "*":
+            names = []
+            for raw in collist.split(","):
+                name = raw.strip().lower()
+                if name == "id":
+                    name = "rid"
+                if name not in ("rid", "label", "features") and not _FEATURE_COL_RE.match(name):
+                    raise ParseError(
+                        f"unknown column {raw.strip()!r}; "
+                        "expected rid, label, features, or f<k>"
+                    )
+                names.append(name)
+            columns = tuple(names)
         return SelectQuery(
-            table=match.group(1), limit=int(limit) if limit is not None else None
+            table=table,
+            limit=int(limit) if limit is not None else None,
+            columns=columns,
         )
     match = _TRAIN_RE.match(sql)
     if not match:

@@ -15,7 +15,12 @@ helpers wire a plan through a whole training stack so the chaos tests and
 """
 
 from .plan import FaultDecision, FaultPlan, FaultSpec, InjectedCrash
-from .store import FaultyBlockFileReader, FaultyHeapFile, corrupt_bytes
+from .store import (
+    FaultyBlockFileReader,
+    FaultyHeapFile,
+    chunk_fault_target,
+    corrupt_bytes,
+)
 from .harness import chaos_report, faulty_reader_factory, faulty_table
 
 __all__ = [
@@ -25,6 +30,7 @@ __all__ = [
     "InjectedCrash",
     "FaultyBlockFileReader",
     "FaultyHeapFile",
+    "chunk_fault_target",
     "corrupt_bytes",
     "faulty_reader_factory",
     "faulty_table",

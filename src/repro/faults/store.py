@@ -17,11 +17,28 @@ from pathlib import Path
 from typing import Any
 
 from ..storage.blockfile import BlockFileReader, BlockIndexEntry
+from ..storage.columnar import ChunkRef
 from ..storage.heapfile import HeapFile
 from ..storage.retry import RetryPolicy, TransientReadError
 from .plan import FaultDecision, FaultPlan
 
-__all__ = ["corrupt_bytes", "FaultyBlockFileReader", "FaultyHeapFile"]
+__all__ = [
+    "corrupt_bytes",
+    "chunk_fault_target",
+    "FaultyBlockFileReader",
+    "FaultyHeapFile",
+]
+
+
+def chunk_fault_target(block_id: int, col: int) -> int:
+    """The ``chunk``-unit target id addressing one column chunk of one block.
+
+    Column codes are small (1..6 today, < 8 by construction), so packing as
+    ``block_id * 8 + col`` keeps targets unique and stable across plans —
+    a spec can pin "block 3's values chunk tears once" independently of how
+    many columns the read prunes down to.
+    """
+    return int(block_id) * 8 + int(col)
 
 
 def corrupt_bytes(payload: bytes, salt: int = 0) -> bytes:
@@ -94,6 +111,22 @@ class FaultyBlockFileReader(_InjectorMixin, BlockFileReader):
             buffer = corrupt_bytes(buffer, salt=attempt)
         return buffer
 
+    def _read_chunk_raw(self, entry: BlockIndexEntry, ref: ChunkRef, attempt: int) -> bytes:
+        """Chunk-pruned columnar reads consult the plan per column chunk.
+
+        A pruned read never touches the whole block, so the ``block`` unit
+        would be the wrong granularity: plans address ``("chunk",
+        chunk_fault_target(block_id, col))`` and can tear a single column's
+        bytes while the others decode cleanly.
+        """
+        target = chunk_fault_target(entry.block_id, ref.col)
+        decision = self.fault_plan.decide("chunk", target, attempt)
+        tear = self._apply_decision(decision, "chunk", target)
+        buffer = super()._read_chunk_raw(entry, ref, attempt)
+        if tear:
+            buffer = corrupt_bytes(buffer, salt=attempt)
+        return buffer
+
 
 class FaultyHeapFile(_InjectorMixin, HeapFile):
     """A fault-injecting *view* over an existing heap file.
@@ -113,7 +146,13 @@ class FaultyHeapFile(_InjectorMixin, HeapFile):
         plan: FaultPlan,
         storage_stats: Any | None = None,
     ):
-        super().__init__(inner.schema, page_bytes=inner.page_bytes, compress=inner.compress)
+        inner.flush()  # columnar heaps buffer appends; a view needs them paged
+        super().__init__(
+            inner.schema,
+            page_bytes=inner.page_bytes,
+            compress=inner.compress,
+            layout=inner.layout,
+        )
         # Alias (not copy) the inner heap's storage: the fault plane changes
         # what reads *return*, never what is stored.
         self.pages = inner.pages

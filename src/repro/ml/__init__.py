@@ -24,7 +24,7 @@ from .persistence import (
     save_checkpoint,
     save_model,
 )
-from .streaming import train_streaming
+from .streaming import train_streaming, train_streaming_chunks, training_columns
 from .tuning import GridResult, SeedStats, grid_search, multi_seed
 from .trainer import (
     CheckpointConfig,
@@ -81,4 +81,6 @@ __all__ = [
     "multi_seed",
     "SeedStats",
     "train_streaming",
+    "train_streaming_chunks",
+    "training_columns",
 ]

@@ -25,7 +25,78 @@ from .persistence import CheckpointState, load_checkpoint, save_checkpoint
 from .schedules import ExponentialDecay
 from .trainer import CheckpointConfig, ConvergenceHistory, EpochRecord
 
-__all__ = ["train_streaming"]
+__all__ = ["train_streaming", "train_streaming_chunks", "training_columns"]
+
+
+def training_columns(sparse: bool, with_ids: bool = False) -> tuple[str, ...]:
+    """The column projection a fused training pass actually touches."""
+    cols = ("ids",) if with_ids else ()
+    if sparse:
+        return cols + ("labels", "indptr", "indices", "values")
+    return cols + ("labels", "dense")
+
+
+def train_streaming_chunks(
+    model: SupervisedModel,
+    dataset,
+    *,
+    epochs: int,
+    schedule=None,
+    columns: tuple[str, ...] | None = None,
+    train_eval: Dataset | None = None,
+    test: Dataset | None = None,
+) -> ConvergenceHistory:
+    """Fused per-tuple training straight off block chunks (no repack).
+
+    ``dataset`` is a :class:`~repro.core.dataset.CorgiPileDataset`; each
+    shuffle-buffer fill arrives as a :class:`~repro.core.dataset.ChunkFill`
+    and is consumed by ``model.step_chunks`` — on a columnar file the column
+    arrays are used exactly as decoded (CSR chunks straight into the fused
+    kernel), and ``columns`` prunes the read to the chunks training touches
+    (labels + features by default; tuple ids are never read).
+
+    Visit order equals ``__iter__``'s for the same (seed, epoch, worker), so
+    results are bit-identical to ``train_streaming(..., per_tuple=True,
+    fused=True)`` over a loader with any batch size (per-tuple updates make
+    batching a non-event).
+    """
+    if epochs <= 0:
+        raise ValueError("epochs must be positive")
+    schedule = schedule if schedule is not None else ExponentialDecay(0.01)
+    if columns is None and getattr(dataset.reader, "layout", "row") == "columnar":
+        columns = training_columns(dataset.reader.schema.sparse)
+    history = ConvergenceHistory(strategy="streaming-chunks", model=type(model).__name__)
+    tuples_seen = 0
+    for epoch in range(epochs):
+        dataset.set_epoch(epoch)
+        lr = float(schedule(epoch))
+        with obs.span("ml.epoch", epoch=epoch, lr=lr, strategy="streaming-chunks") as sp:
+            for fill in dataset.iter_fills(columns=columns):
+                obs.inc("ml.fused_steps")
+                obs.inc("ml.fused_tuples", len(fill))
+                model.step_chunks(fill.batches, fill.order, lr)
+                tuples_seen += len(fill)
+            sp.set(tuples_seen=tuples_seen)
+        obs.inc("ml.epochs")
+        history.append(
+            EpochRecord(
+                epoch=epoch,
+                lr=lr,
+                train_loss=(
+                    model.loss(train_eval.X, train_eval.y)
+                    if train_eval is not None
+                    else float("nan")
+                ),
+                train_score=(
+                    model.score(train_eval.X, train_eval.y)
+                    if train_eval is not None
+                    else float("nan")
+                ),
+                test_score=model.score(test.X, test.y) if test is not None else None,
+                tuples_seen=tuples_seen,
+            )
+        )
+    return history
 
 
 def train_streaming(

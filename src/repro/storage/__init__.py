@@ -11,7 +11,14 @@ from .codec import (
     decode_tuple,
     encode_tuple,
 )
+from .columnar import (
+    ChunkRef,
+    LazyTupleBatch,
+    decode_block_columnar,
+    encode_block_columnar,
+)
 from .filestore import load_heap, save_heap
+from .migrate import MigrationReport, migrate_file
 from .heapfile import HeapFile
 from .iomodel import (
     HDD,
@@ -47,6 +54,12 @@ __all__ = [
     "decode_tuple",
     "decode_page",
     "decode_block",
+    "ChunkRef",
+    "LazyTupleBatch",
+    "encode_block_columnar",
+    "decode_block_columnar",
+    "MigrationReport",
+    "migrate_file",
     "Page",
     "DEFAULT_PAGE_BYTES",
     "HeapFile",

@@ -53,6 +53,24 @@ class _PageEntry:
             self._tuples = tuple(self.batch.to_tuples())
         return self._tuples
 
+    def decoded_nbytes(self) -> int:
+        """Real decoded memory this entry pins (not the encoded page size).
+
+        Lazy columnar batches report only the chunks materialised so far —
+        the figure *grows* as consumers touch more columns, which is why the
+        pool re-enforces its byte budget on every access, not just on insert.
+        """
+        batch = self.batch
+        lazy = getattr(batch, "decoded_nbytes", None)
+        if lazy is not None:
+            return int(lazy)
+        total = batch.ids.nbytes + batch.labels.nbytes
+        if batch.is_sparse:
+            total += batch.indptr.nbytes + batch.indices.nbytes + batch.values.nbytes
+        else:
+            total += batch.dense.nbytes
+        return total
+
 
 class BufferPool:
     """Caches decoded pages of a single heap file."""
@@ -63,11 +81,18 @@ class BufferPool:
         capacity_pages: int,
         retry: RetryPolicy | None = None,
         storage_stats: Any | None = None,
+        capacity_bytes: int | None = None,
     ):
         if capacity_pages <= 0:
             raise ValueError("capacity_pages must be positive")
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive when given")
         self.heap = heap
         self.capacity_pages = capacity_pages
+        #: Optional budget on *decoded* bytes cached — the real RSS the pool
+        #: pins, not the encoded page size (a zlib'd or bit-packed page can
+        #: decode to many times its stored footprint).
+        self.capacity_bytes = capacity_bytes
         self.retry = retry
         self.storage_stats = storage_stats
         self._cache: OrderedDict[int, _PageEntry] = OrderedDict()
@@ -104,17 +129,28 @@ class BufferPool:
             self.hits += 1
             if obs.enabled():
                 obs.inc("storage.bufferpool.hits")
+            # Lazy entries grow between accesses (columns materialise after
+            # the batch left the pool), so the byte budget is re-checked on
+            # hits too — the just-touched page is protected as MRU.
+            self._enforce_capacity()
             return self._cache[page_id], True
         self.misses += 1
         if obs.enabled():
             obs.inc("storage.bufferpool.misses")
         entry = _PageEntry(self._read_batch(page_id))
         self._cache[page_id] = entry
-        if len(self._cache) > self.capacity_pages:
+        self._enforce_capacity()
+        return entry, False
+
+    def _enforce_capacity(self) -> None:
+        while len(self._cache) > self.capacity_pages or (
+            self.capacity_bytes is not None
+            and len(self._cache) > 1
+            and self.decoded_bytes > self.capacity_bytes
+        ):
             self._cache.popitem(last=False)
             self.evictions += 1
             obs.inc("storage.bufferpool.evictions")
-        return entry, False
 
     def get_page(self, page_id: int) -> tuple[TrainingTuple, ...]:
         """Return the decoded tuples of ``page_id``, via the cache."""
@@ -162,6 +198,11 @@ class BufferPool:
     @property
     def cached_pages(self) -> int:
         return len(self._cache)
+
+    @property
+    def decoded_bytes(self) -> int:
+        """Decoded bytes currently pinned by the cache (what eviction charges)."""
+        return sum(entry.decoded_nbytes() for entry in self._cache.values())
 
     def is_cached(self, page_id: int) -> bool:
         return page_id in self._cache

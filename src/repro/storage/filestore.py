@@ -32,11 +32,13 @@ _MAGIC = b"CORGIHEAP1"
 def save_heap(heap: HeapFile, path: str | Path) -> Path:
     """Persist ``heap`` to ``path`` (header + padded page images)."""
     path = Path(path)
+    heap.flush()  # columnar heaps: push buffered rows into their final page
     header = {
         "n_features": heap.schema.n_features,
         "sparse": heap.schema.sparse,
         "page_bytes": heap.page_bytes,
         "compress": heap.compress,
+        "layout": heap.layout,
         "pages": [
             {
                 "capacity": page.capacity,
@@ -67,7 +69,12 @@ def load_heap(path: str | Path) -> HeapFile:
         header_len = int.from_bytes(f.read(8), "little")
         header = json.loads(f.read(header_len).decode())
         schema = TupleSchema(header["n_features"], sparse=header["sparse"])
-        heap = HeapFile(schema, page_bytes=header["page_bytes"], compress=header["compress"])
+        heap = HeapFile(
+            schema,
+            page_bytes=header["page_bytes"],
+            compress=header["compress"],
+            layout=header.get("layout", "row"),  # pre-columnar files are row
+        )
         for page_id, page_info in enumerate(header["pages"]):
             image = f.read(page_info["capacity"])
             if len(image) != page_info["capacity"]:
@@ -78,10 +85,21 @@ def load_heap(path: str | Path) -> HeapFile:
                 page.append(image[offset : offset + slot_len])
                 offset += slot_len
             heap.pages.append(page)
-        # Rebuild the position -> (page, slot) directory.
+        # Rebuild the position -> (page, slot) directory.  Row pages hold one
+        # tuple per slot; a columnar page is one payload whose header says
+        # how many rows it packs (``slot`` is then the row index).
         from .heapfile import _TupleRef
 
-        for page in heap.pages:
-            for slot in range(page.n_tuples):
-                heap._refs.append(_TupleRef(page.page_id, slot))
+        if heap.layout == "columnar":
+            from .columnar import read_columnar_header
+
+            for page in heap.pages:
+                (payload,) = page.tuple_payloads()
+                n_rows = read_columnar_header(payload)[0]
+                for row in range(n_rows):
+                    heap._refs.append(_TupleRef(page.page_id, row))
+        else:
+            for page in heap.pages:
+                for slot in range(page.n_tuples):
+                    heap._refs.append(_TupleRef(page.page_id, slot))
     return heap

@@ -20,8 +20,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..data.dataset import Dataset
-from ..data.sparse import SparseMatrix
+from ..data.sparse import SparseMatrix, SparseRow
 from .codec import TrainingTuple, TupleBatch, TupleSchema, decode_page, decode_tuple, encode_tuple
+from .columnar import decode_block_columnar, encode_block_columnar
 from .page import DEFAULT_PAGE_BYTES, Page
 from .retry import ChecksumError
 
@@ -35,14 +36,36 @@ class _TupleRef:
 
 
 class HeapFile:
-    """A paged, optionally compressed, materialisation of a dataset."""
+    """A paged, optionally compressed, materialisation of a dataset.
 
-    def __init__(self, schema: TupleSchema, page_bytes: int = DEFAULT_PAGE_BYTES, compress: bool = False):
+    ``layout="columnar"`` stores each page as one columnar block payload
+    (:mod:`repro.storage.columnar`) instead of row-major tuple slots:
+    appends buffer rows until roughly ``page_bytes`` worth accumulate, then
+    flush as a single per-column-chunked payload.  Page reads come back as
+    lazy zero-copy batches; ``compress`` is row-layout only (the columnar
+    encodings subsume it).
+    """
+
+    def __init__(
+        self,
+        schema: TupleSchema,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+        compress: bool = False,
+        layout: str = "row",
+    ):
+        if layout not in ("row", "columnar"):
+            raise ValueError(f"unknown heap layout {layout!r}")
+        if compress and layout == "columnar":
+            raise ValueError("compress applies to the row layout only")
         self.schema = schema
         self.page_bytes = page_bytes
         self.compress = compress
+        self.layout = layout
         self.pages: list[Page] = []
         self._refs: list[_TupleRef] = []
+        # Columnar append buffer: rows not yet flushed into a page.
+        self._pending: list[tuple[int, float, object]] = []
+        self._pending_bytes = 0
         self.decode_count = 0  # tuples decoded (CPU accounting)
         # Verify every page read against the page's CRC32 before decoding.
         # Off by default (the in-memory heap cannot tear); the fault plane's
@@ -56,9 +79,10 @@ class HeapFile:
         dataset: Dataset,
         page_bytes: int = DEFAULT_PAGE_BYTES,
         compress: bool = False,
+        layout: str = "row",
     ) -> "HeapFile":
         schema = TupleSchema(dataset.n_features, sparse=dataset.is_sparse)
-        heap = cls(schema, page_bytes=page_bytes, compress=compress)
+        heap = cls(schema, page_bytes=page_bytes, compress=compress, layout=layout)
         labels = np.asarray(dataset.y, dtype=np.float64)
         if isinstance(dataset.X, SparseMatrix):
             for i in range(dataset.n_tuples):
@@ -66,9 +90,20 @@ class HeapFile:
         else:
             for i in range(dataset.n_tuples):
                 heap.append(i, labels[i], dataset.X[i])
+        heap.flush()
         return heap
 
     def append(self, tuple_id: int, label: float, features) -> None:
+        if self.layout == "columnar":
+            if isinstance(features, SparseRow):
+                est = 16 + 16 * features.indices.size
+            else:
+                est = 16 + 8 * len(features)
+            self._pending.append((int(tuple_id), float(label), features))
+            self._pending_bytes += est
+            if self._pending_bytes >= self.page_bytes:
+                self.flush()
+            return
         payload = encode_tuple(tuple_id, label, features)
         if self.compress:
             payload = len(payload).to_bytes(4, "little") + zlib.compress(payload, level=1)
@@ -78,10 +113,48 @@ class HeapFile:
         self._refs.append(_TupleRef(page.page_id, page.n_tuples))
         page.append(payload)
 
+    def flush(self) -> None:
+        """Flush buffered columnar rows into one single-slot page (no-op for row)."""
+        if self.layout != "columnar" or not self._pending:
+            return
+        ids = np.array([r[0] for r in self._pending], dtype=np.int64)
+        labels = np.array([r[1] for r in self._pending], dtype=np.float64)
+        if self.schema.sparse:
+            rows = [r[2] for r in self._pending]
+            indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+            np.cumsum([r.indices.size for r in rows], out=indptr[1:])
+            batch = TupleBatch(
+                ids=ids,
+                labels=labels,
+                n_features=self.schema.n_features,
+                indptr=indptr,
+                indices=np.concatenate([r.indices for r in rows])
+                if rows
+                else np.empty(0, dtype=np.int64),
+                values=np.concatenate([r.values for r in rows])
+                if rows
+                else np.empty(0, dtype=np.float64),
+            )
+        else:
+            batch = TupleBatch(
+                ids=ids,
+                labels=labels,
+                n_features=self.schema.n_features,
+                dense=np.asarray([np.asarray(r[2], dtype=np.float64) for r in self._pending]),
+            )
+        payload = encode_block_columnar(batch, self.schema)
+        page = Page(len(self.pages), capacity=max(self.page_bytes, len(payload)))
+        page.append(payload)
+        self.pages.append(page)
+        for row_idx in range(len(self._pending)):
+            self._refs.append(_TupleRef(page.page_id, row_idx))
+        self._pending.clear()
+        self._pending_bytes = 0
+
     # ------------------------------------------------------------------
     @property
     def n_tuples(self) -> int:
-        return len(self._refs)
+        return len(self._refs) + len(self._pending)
 
     @property
     def n_pages(self) -> int:
@@ -138,6 +211,7 @@ class HeapFile:
         cost is inherent to the format — but the byte parse is still one bulk
         :func:`~repro.storage.codec.decode_page` call over the concatenation.
         """
+        self.flush()
         page = self.pages[page_id]
         payloads = self._read_page_payloads(page_id, attempt)
         if self.verify_checksums:
@@ -148,6 +222,11 @@ class HeapFile:
                     f"page {page_id}: checksum mismatch "
                     f"(got {got:#010x}, want {want:#010x})"
                 )
+        if self.layout == "columnar":
+            (payload,) = payloads  # columnar pages hold exactly one payload
+            batch = decode_block_columnar(payload, self.schema)
+            self.decode_count += len(batch)
+            return batch
         if self.compress:
             chunks = []
             for payload in payloads:
@@ -163,12 +242,27 @@ class HeapFile:
 
     def read_tuple(self, position: int) -> TrainingTuple:
         """Decode the tuple at heap position ``position``."""
+        self.flush()
         ref = self._refs[position]
+        if self.layout == "columnar":
+            # Columnar pages hold one payload; ``slot`` is the row index.
+            batch = self.read_page_batch(ref.page_id)
+            self.decode_count += 1 - len(batch)  # charge one tuple, not the page
+            return TrainingTuple(
+                int(batch.ids[ref.slot]),
+                float(batch.labels[ref.slot]),
+                batch.row(ref.slot),
+            )
         payload = self.pages[ref.page_id].tuple_payloads()[ref.slot]
         return self._decode(payload)
 
     def scan(self):
         """Sequentially decode every tuple in heap order."""
+        self.flush()
+        if self.layout == "columnar":
+            for page_id in range(len(self.pages)):
+                yield from self.read_page_batch(page_id).to_tuples()
+            return
         for page in self.pages:
             for payload in page.tuple_payloads():
                 yield self._decode(payload)

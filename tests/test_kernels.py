@@ -249,6 +249,8 @@ class TestBenchHarness:
         assert names == [
             "decode-dense",
             "decode-sparse",
+            "decode-columnar-dense",
+            "decode-columnar-sparse",
             "epoch-dense-lr",
             "epoch-sparse-lr",
         ]
@@ -260,6 +262,13 @@ class TestBenchHarness:
             "epoch_speedup",
             "epoch_dense_speedup",
             "decode_speedup",
+            "columnar_decode_speedup",
+            "columnar_decode_dense_speedup",
+            "columnar_bytes_ratio_dense",
+            "columnar_bytes_ratio_sparse",
             "min_speedup",
         }
         assert summary["min_speedup"] == min(r["speedup"] for r in doc["records"])
+        # The columnar payload must be smaller than the row payload.
+        assert summary["columnar_bytes_ratio_sparse"] < 1.0
+        assert summary["columnar_bytes_ratio_dense"] < 1.0

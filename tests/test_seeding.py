@@ -67,7 +67,9 @@ class TestPinnedValues:
         assert TUPLE_SHUFFLE_STREAM == 7
         assert SLIDING_WINDOW_STREAM == 11
         assert MRS_STREAM == 13
-        assert FAULT_UNIT_CODES == {"block": 1, "page": 2}
+        # "chunk" was added for the columnar format; the pre-existing codes
+        # must never move (they pin every historical fault plan's draws).
+        assert FAULT_UNIT_CODES == {"block": 1, "page": 2, "chunk": 3}
 
     def test_epoch_permutation_pin(self):
         # Pre-refactor: SeedSequence([0, 0]).permutation(8)
