@@ -11,6 +11,8 @@ Commands
               equivalence against the single-process reference
 ``predict``   score a saved model against a data file
 ``explain``   print the physical plan a TRAIN query would execute
+``advise``    run the cost-based shuffle advisor over a dataset and print
+              its per-device decision table (h_D probe + strategy costs)
 ``bench-io``  print the Figure 20 random-vs-sequential throughput curve
 ``loader-stats``  drive the concurrent loaders and print their
               observability counters (queue depth, stall/wait, overlap)
@@ -67,7 +69,7 @@ from .ml import (
     save_model,
 )
 from .shuffle import STRATEGY_NAMES, make_strategy
-from .storage import HDD, SSD, random_vs_sequential_curve
+from .storage import DEVICE_MODELS, device_by_name, random_vs_sequential_curve
 
 __all__ = ["main", "build_parser"]
 
@@ -211,12 +213,41 @@ def build_parser() -> argparse.ArgumentParser:
     explain = sub.add_parser("explain", help="print the TRAIN physical plan")
     explain.add_argument("--dataset", choices=sorted(DATASETS), default="higgs")
     explain.add_argument("--model", choices=_MODELS, default="svm")
-    explain.add_argument("--strategy", default="corgipile")
+    explain.add_argument(
+        "--strategy", default="corgipile",
+        help="access path, or 'auto' to show the cost advisor's decision",
+    )
     explain.add_argument("--block-size", type=int, default=8 * 1024)
     explain.add_argument("--buffer-fraction", type=float, default=0.1)
+    explain.add_argument(
+        "--device", choices=sorted(DEVICE_MODELS), default="ssd",
+        help="device model charged by the advisor for strategy=auto",
+    )
+    explain.add_argument(
+        "--order", default="shuffled",
+        help="physical order of the table: shuffled | clustered | feature:<index>",
+    )
+
+    advise = sub.add_parser(
+        "advise",
+        help="run the cost-based shuffle advisor over a dataset and print its decision",
+    )
+    advise.add_argument("--dataset", choices=sorted(DATASETS), default="higgs")
+    advise.add_argument(
+        "--order", default="clustered",
+        help="physical order: shuffled | clustered | feature:<index>",
+    )
+    advise.add_argument(
+        "--device", choices=sorted(DEVICE_MODELS), default=None,
+        help="one device model (default: compare hdd, ssd and nvm)",
+    )
+    advise.add_argument("--block-size", type=int, default=8 * 1024)
+    advise.add_argument("--buffer-fraction", type=float, default=0.1)
+    advise.add_argument("--epochs", type=int, default=20)
+    _add_common_options(advise, quick=False, telemetry=False)
 
     io_bench = sub.add_parser("bench-io", help="Figure 20 throughput curve")
-    io_bench.add_argument("--device", choices=("hdd", "ssd"), default="hdd")
+    io_bench.add_argument("--device", choices=("hdd", "ssd", "nvm"), default="hdd")
 
     loader = sub.add_parser(
         "loader-stats",
@@ -331,6 +362,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--checkpoint-every", type=int, default=256, metavar="TUPLES",
         help="checkpoint cadence for TRAIN jobs (default 256 tuples)",
+    )
+    serve.add_argument(
+        "--device", choices=sorted(DEVICE_MODELS), default="ssd",
+        help="device model the plan-time advisor charges for strategy=auto "
+        "TRAIN statements (default ssd)",
     )
     _add_common_options(serve, quick=False)
 
@@ -527,8 +563,8 @@ def _cmd_predict(args) -> int:
 
 
 def _cmd_explain(args) -> int:
-    dataset = load(args.dataset, seed=0)
-    db = MiniDB(page_bytes=1024)
+    dataset = _apply_order(load(args.dataset, seed=0), args.order, 0)
+    db = MiniDB(device=device_by_name(args.device), page_bytes=1024)
     db.create_table(args.dataset, dataset)
     query = TrainQuery(
         table=args.dataset,
@@ -541,8 +577,38 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _cmd_advise(args) -> int:
+    """Print the cost advisor's per-device decision for one dataset.
+
+    Without ``--device``, runs the same statement against hdd, ssd and nvm
+    side by side — the quickest way to see the device flipping the choice
+    (the Figure 20 regime on spinning disks vs the LIRS byte-addressable
+    point where full random access is fine).
+    """
+    from .db.advisor import advise_strategy
+    from .db.catalog import Catalog
+    from .db.engine import ENGINE_PROFILE
+
+    dataset = _apply_order(load(args.dataset, seed=args.seed), args.order, args.seed)
+    table = Catalog(page_bytes=1024).create_table(args.dataset, dataset)
+    devices = [args.device] if args.device else ["hdd", "ssd", "nvm"]
+    for i, name in enumerate(devices):
+        decision = advise_strategy(
+            table,
+            device_by_name(name),
+            block_bytes=args.block_size,
+            buffer_fraction=args.buffer_fraction,
+            epochs=args.epochs,
+            compute=ENGINE_PROFILE,
+        )
+        if i:
+            print()
+        print(decision.render())
+    return 0
+
+
 def _cmd_bench_io(args) -> int:
-    device = HDD if args.device == "hdd" else SSD
+    device = device_by_name(args.device)
     sizes = [2**k for k in range(12, 28, 2)]
     rows = [
         {
@@ -1004,6 +1070,7 @@ def _cmd_serve(args) -> int:
         max_queued=args.max_queued,
         job_workers=args.job_workers,
         checkpoint_every_tuples=args.checkpoint_every,
+        device=args.device,
     )
     server.start()
     print(f"repro daemon listening on {server.host}:{server.port}")
@@ -1097,6 +1164,7 @@ _COMMANDS = {
     "parallel-train": _cmd_parallel_train,
     "predict": _cmd_predict,
     "explain": _cmd_explain,
+    "advise": _cmd_advise,
     "bench-io": _cmd_bench_io,
     "loader-stats": _cmd_loader_stats,
     "kernel-bench": _cmd_kernel_bench,

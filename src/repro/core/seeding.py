@@ -37,6 +37,8 @@ __all__ = [
     "SLIDING_WINDOW_STREAM",
     "MRS_STREAM",
     "RETRY_BACKOFF_STREAM",
+    "CORGI2_OFFLINE_STREAM",
+    "BLOCK_RESHUFFLE_STREAM",
 ]
 
 # Stable small codes so the per-unit fault RNG stream is independent per
@@ -54,6 +56,13 @@ SLIDING_WINDOW_STREAM = 11
 MRS_STREAM = 13
 #: Stream code for storage retry-backoff jitter draws (`RetryPolicy`).
 RETRY_BACKOFF_STREAM = 17
+#: Stream code for the Corgi² one-time offline block re-grouping pass.
+#: Epoch-independent (the regrouped copy is materialised once), so the
+#: stream is keyed as ``(seed, 0, CORGI2_OFFLINE_STREAM)``.
+CORGI2_OFFLINE_STREAM = 19
+#: Stream code for per-block in-memory tuple reshuffles (the Learning-to-
+#: Shuffle block-reshuffling scheme).
+BLOCK_RESHUFFLE_STREAM = 23
 
 
 def derive_rng(*words: int) -> np.random.Generator:

@@ -82,7 +82,10 @@ ENGINE_PROFILE = ComputeProfile(
 STRATEGIES = (
     "corgipile",
     "corgipile_single_buffer",
+    "corgi2",
     "block_only",
+    "block_reshuffle",
+    "block_reversal",
     "no_shuffle",
     "shuffle_once",
     "epoch_shuffle",
@@ -187,7 +190,12 @@ class MiniDB:
 
     def explain(self, query: TrainQuery) -> str:
         """Render the physical plan a TRAIN query would execute."""
-        return explain_train_plan(query, self.catalog.get(query.table))
+        return explain_train_plan(
+            query,
+            self.catalog.get(query.table),
+            device=self._query_device(query),
+            compute=self.compute,
+        )
 
     # ------------------------------------------------------------------
     def _build_model(self, query: TrainQuery, table: TableInfo) -> SupervisedModel:
@@ -219,11 +227,19 @@ class MiniDB:
     def _build_pipeline(self, query: TrainQuery, table: TableInfo, ctx: RuntimeContext):
         buffer_tuples = max(1, round(query.buffer_fraction * table.n_tuples))
         strategy = query.strategy
-        if strategy in ("corgipile", "corgipile_single_buffer"):
+        if strategy in ("corgipile", "corgipile_single_buffer", "corgi2"):
+            # corgi2's table is already the re-grouped copy (made in train());
+            # its online half is the plain CorgiPile pipeline over it.
             scan = BlockShuffleOperator(table, ctx, query.block_size, seed=query.seed)
             return TupleShuffleOperator(scan, ctx, buffer_tuples, seed=query.seed)
         if strategy == "block_only":
             scan = BlockShuffleOperator(table, ctx, query.block_size, seed=query.seed)
+            return PassThroughAccountingOperator(scan, ctx, buffer_tuples)
+        if strategy in ("block_reshuffle", "block_reversal"):
+            within = "shuffle" if strategy == "block_reshuffle" else "reverse"
+            scan = BlockShuffleOperator(
+                table, ctx, query.block_size, seed=query.seed, within=within
+            )
             return PassThroughAccountingOperator(scan, ctx, buffer_tuples)
         if strategy in ("no_shuffle", "shuffle_once"):
             scan = SeqScanOperator(table, ctx)
@@ -257,16 +273,49 @@ class MiniDB:
             copy_name, shuffled, compress=table.heap.compress, layout=table.heap.layout
         )
 
+    def _regrouped_copy(self, table: TableInfo, query: TrainQuery) -> TableInfo:
+        """Materialise the Corgi² offline partially re-grouped copy."""
+        from ..data.dataset import BlockLayout
+        from ..shuffle.corgi2 import corgi2_offline_order
+
+        tuples_per_block = max(
+            1, round(query.block_size / max(1.0, table.tuple_bytes))
+        )
+        layout = BlockLayout(table.n_tuples, tuples_per_block)
+        group_blocks = max(1, round(query.buffer_fraction * layout.n_blocks))
+        order = corgi2_offline_order(layout, group_blocks, query.seed)
+        regrouped = table.dataset.reorder(order, suffix="corgi2")
+        copy_name = f"{table.name}__corgi2_{query.seed}"
+        if copy_name in self.catalog:
+            self.catalog.drop_table(copy_name)
+        return self.catalog.create_table(
+            copy_name, regrouped, compress=table.heap.compress, layout=table.heap.layout
+        )
+
+    def _query_device(self, query: TrainQuery) -> DeviceModel:
+        """The device charged for this query (``WITH device = '...'`` override)."""
+        name = query.extra.get("device")
+        if not name:
+            return self.device
+        from ..storage.iomodel import device_by_name
+
+        try:
+            return device_by_name(str(name))
+        except KeyError as exc:
+            raise EngineError(str(exc)) from None
+
     def train(self, query: TrainQuery, test: Dataset | None = None) -> TrainResult:
         table = self.catalog.get(query.table)
+        device = self._query_device(query)
         if query.workers > 1:
             return self._train_parallel(query, table, test)
         if query.strategy == "auto":
-            from .planner import choose_access_path
+            from .planner import plan_train
 
-            choice = choose_access_path(table, query.block_size)
-            query = replace(query, strategy=choice.strategy)
-            query.extra["planner"] = choice.describe()
+            decision = plan_train(table, query, device, compute=self.compute)
+            query = replace(query, strategy=decision.strategy)
+            query.extra["planner"] = decision.describe()
+            query.extra["advisor"] = decision.to_doc()
         if self.cold_cache_per_query:
             table.pool.clear()
 
@@ -279,14 +328,24 @@ class MiniDB:
             bytes_total = float(table.heap.payload_bytes)
             # External sort: alternating sequential read/write passes plus
             # the n·log2(n) comparison/copy CPU of ORDER BY RANDOM().
-            setup_s = EXTERNAL_SORT_PASSES * self.device.sequential_time(bytes_total)
+            setup_s = EXTERNAL_SORT_PASSES * device.sequential_time(bytes_total)
             comparisons = table.n_tuples * max(1.0, math.log2(table.n_tuples))
             setup_s += 0.25 * comparisons * self.compute.per_tuple_s
             setup_note = f"offline full shuffle ({EXTERNAL_SORT_PASSES} passes)"
             extra_disk = float(train_table.heap.total_bytes)
+        elif query.strategy == "corgi2":
+            train_table = self._regrouped_copy(table, query)
+            bytes_total = float(table.heap.payload_bytes)
+            n_blocks = max(1, table.heap.n_blocks(query.block_size))
+            # Offline pass: one random-block read of the table plus one
+            # sequential write of the re-grouped copy.
+            setup_s = device.random_time(bytes_total / n_blocks, n_blocks)
+            setup_s += device.sequential_time(bytes_total)
+            setup_note = "corgi2 offline partial re-group (1 random-block pass)"
+            extra_disk = float(train_table.heap.total_bytes)
 
         ctx = RuntimeContext(
-            device=self.device,
+            device=device,
             compute=self.compute,
             double_buffer=query.strategy != "corgipile_single_buffer"
             and bool(query.double_buffer),
@@ -346,8 +405,8 @@ class MiniDB:
             ) from exc
 
         buffer_tuples = max(1, round(query.buffer_fraction * train_table.n_tuples))
-        buffer_copies = 2 if ctx.double_buffer and query.strategy.startswith("corgipile") else 1
-        needs_buffer = query.strategy.startswith("corgipile")
+        needs_buffer = query.strategy.startswith("corgipile") or query.strategy == "corgi2"
+        buffer_copies = 2 if ctx.double_buffer and needs_buffer else 1
         resources = ResourceUsage(
             buffer_memory_bytes=(
                 buffer_copies * buffer_tuples * train_table.tuple_bytes if needs_buffer else 0.0

@@ -4,6 +4,11 @@ Mirrors PostgreSQL's ``EXPLAIN``: given a parsed :class:`TrainQuery` and
 the catalog entry it targets, produce the pipeline the executor would run,
 with the physical parameters (block count, buffer tuples, double
 buffering) resolved against the actual table.
+
+``strategy = auto`` additionally renders the cost-based advisor's evidence
+— the measured ``h_D``, the per-candidate cost table, and the chosen
+strategy — before the operator tree of the plan it picked, so an EXPLAIN
+shows *why* the executor will run what it runs.
 """
 
 from __future__ import annotations
@@ -23,8 +28,37 @@ def _fmt_bytes(n: float) -> str:
     return f"{n:.0f}B"
 
 
-def explain_train_plan(query: TrainQuery, table: TableInfo) -> str:
-    """The operator tree for ``query`` over ``table``, as EXPLAIN text."""
+def explain_train_plan(
+    query: TrainQuery,
+    table: TableInfo,
+    device=None,
+    compute=None,
+) -> str:
+    """The operator tree for ``query`` over ``table``, as EXPLAIN text.
+
+    ``device``/``compute`` are the engine's execution context; they matter
+    only for ``strategy = auto``, where the advisor's cost table depends on
+    them (the same query EXPLAINs to different plans on HDD vs NVM).
+    """
+    strategy = query.strategy
+    advisor_lines: list[str] = []
+    if strategy == "auto":
+        from ..storage.iomodel import SSD, device_by_name
+        from .advisor import advise_strategy
+
+        if query.extra.get("device"):
+            device = device_by_name(str(query.extra["device"]))
+        decision = advise_strategy(
+            table,
+            device if device is not None else SSD,
+            block_bytes=query.block_size,
+            buffer_fraction=query.buffer_fraction,
+            epochs=query.max_epoch_num,
+            compute=compute,
+        )
+        strategy = decision.strategy
+        advisor_lines = decision.render().split("\n")
+
     buffer_tuples = max(1, round(query.buffer_fraction * table.n_tuples))
     heap = table.heap
     n_blocks = heap.n_blocks(query.block_size) if query.block_size >= heap.page_bytes else None
@@ -41,7 +75,6 @@ def explain_train_plan(query: TrainQuery, table: TableInfo) -> str:
         f"batch_size={query.batch_size}, lr={query.learning_rate}, "
         f"decay={query.decay})"
     ]
-    strategy = query.strategy
     if strategy in ("corgipile", "corgipile_single_buffer"):
         buffering = (
             "double-buffered"
@@ -57,10 +90,35 @@ def explain_train_plan(query: TrainQuery, table: TableInfo) -> str:
             f"{heap.pages_per_block(query.block_size)} pages/block)"
         )
         lines.append(f"      -> {heap_line}")
+    elif strategy == "corgi2":
+        buffering = "double-buffered" if query.double_buffer else "single-buffered"
+        lines.append(
+            f"  -> TupleShuffle  (buffer={buffer_tuples} tuples, {buffering})"
+        )
+        lines.append(
+            f"    -> BlockShuffle  (blocks={n_blocks}, "
+            f"block_size={_fmt_bytes(query.block_size)}, over re-grouped copy)"
+        )
+        lines.append(f"      -> {heap_line}")
+        lines.append(
+            "  [setup: Corgi² offline partial re-group — one random-block "
+            f"read pass, writes a {_fmt_bytes(heap.total_bytes)} second copy]"
+        )
     elif strategy == "block_only":
         lines.append(
             f"  -> BlockShuffle  (blocks={n_blocks}, "
             f"block_size={_fmt_bytes(query.block_size)})"
+        )
+        lines.append(f"    -> {heap_line}")
+    elif strategy in ("block_reshuffle", "block_reversal"):
+        within = (
+            "tuples reshuffled in memory per block"
+            if strategy == "block_reshuffle"
+            else "within-block order reversed on odd epochs"
+        )
+        lines.append(
+            f"  -> BlockShuffle  (blocks={n_blocks}, "
+            f"block_size={_fmt_bytes(query.block_size)}, {within})"
         )
         lines.append(f"    -> {heap_line}")
     elif strategy == "no_shuffle":
@@ -89,4 +147,4 @@ def explain_train_plan(query: TrainQuery, table: TableInfo) -> str:
         )
     else:
         raise EngineError(f"cannot explain unknown strategy {strategy!r}")
-    return "\n".join(lines)
+    return "\n".join(advisor_lines + lines)

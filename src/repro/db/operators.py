@@ -29,9 +29,11 @@ import numpy as np
 from .. import obs
 from ..core.buffer import ShuffleBuffer
 from ..core.seeding import (
+    BLOCK_RESHUFFLE_STREAM,
     MRS_STREAM,
     SLIDING_WINDOW_STREAM,
     TUPLE_SHUFFLE_STREAM,
+    derive_rng,
     epoch_rng,
     stream_rng,
 )
@@ -129,6 +131,13 @@ class BlockShuffleOperator(PhysicalOperator):
     Computes ``BN = page_num · page_size / block_size``, shuffles the block
     ids, and streams the tuples of each block's pages.  A fresh shuffle is
     drawn on every ``rescan`` (one per epoch).
+
+    ``within`` selects the in-block traversal (the Learning-to-Shuffle
+    refinements): ``"keep"`` streams page order (plain block shuffle),
+    ``"shuffle"`` permutes each loaded block's tuples in memory
+    (Block-Reshuffle — no extra I/O, one block resident at a time), and
+    ``"reverse"`` flips the block's tuple order on odd epochs
+    (Block-Reversal).
     """
 
     def __init__(
@@ -137,11 +146,15 @@ class BlockShuffleOperator(PhysicalOperator):
         ctx: RuntimeContext,
         block_bytes: int,
         seed: int = 0,
+        within: str = "keep",
     ):
+        if within not in ("keep", "shuffle", "reverse"):
+            raise ValueError(f"unknown within-block mode {within!r}")
         self.table = table
         self.ctx = ctx
         self.block_bytes = int(block_bytes)
         self.seed = int(seed)
+        self.within = within
         self._epoch = 0
         self._block_order: np.ndarray = np.empty(0, dtype=np.int64)
         self._block_pos = 0
@@ -190,6 +203,11 @@ class BlockShuffleOperator(PhysicalOperator):
         if memory_bytes:
             self.ctx.charge_memory_read(memory_bytes)
         obs.inc("db.blocks_loaded")
+        if self.within == "shuffle":
+            rng = derive_rng(self.seed, self._epoch, BLOCK_RESHUFFLE_STREAM, block_id)
+            tuples = [tuples[i] for i in rng.permutation(len(tuples))]
+        elif self.within == "reverse" and self._epoch % 2:
+            tuples.reverse()
         self._pending = tuples
         self._slot = 0
         return True

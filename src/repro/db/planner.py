@@ -2,34 +2,39 @@
 
 The paper's Table 1 implies a decision procedure: if the stored order is
 already (close to) random, No Shuffle is unbeatable — sequential I/O, no
-buffer; if the data is clustered, CorgiPile is the only strategy that is
-simultaneously fast and convergent.  This module turns that into a planner
-step the engine can run at query time:
+buffer; if the data is clustered, a shuffling access path is needed, and
+*which* one depends on the device (an HDD pays dearly for random blocks, a
+byte-addressable NVM barely notices random tuples) and the buffer budget.
 
-1. probe the table's clustering with the theory's ``h_D`` factor, computed
-   from a cheap surrogate model (logistic/linear probe on the stored
-   labels) at the query's block granularity;
-2. choose No Shuffle when ``h_D`` is near 1 (blocks already look like the
-   full distribution), CorgiPile otherwise;
-3. report the decision with the measured statistic, EXPLAIN-style.
+Two planner entry points:
 
-The probe touches only the logical arrays (no simulated I/O is charged) —
-analogous to a planner consulting table statistics.
+* :func:`choose_access_path` — the original two-way threshold rule
+  (``no_shuffle`` vs ``corgipile`` on measured ``h_D``), kept as the
+  simple, device-free statistic probe;
+* :func:`plan_train` — the full cost-based advisor
+  (:mod:`repro.db.advisor`): charges every registered strategy through the
+  device's I/O curves plus a convergence penalty and returns the complete
+  :class:`~repro.db.advisor.AdvisorDecision` with its evidence table.
+
+Both probe the table's clustering with the theory's ``h_D`` factor via
+:func:`repro.db.advisor.estimate_hd` — a cheap surrogate-model sample that
+touches only the logical arrays (no simulated I/O is charged), analogous
+to a planner consulting table statistics.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from ..data.dataset import BlockLayout, Dataset
-from ..ml.models.linear import LinearRegression, LogisticRegression
-from ..ml.models.softmax import SoftmaxRegression
-from ..theory.hd import hd_factor
+from .advisor import AdvisorDecision, advise_strategy, estimate_hd
 from .catalog import TableInfo
 
-__all__ = ["AccessPathChoice", "choose_access_path", "HD_NO_SHUFFLE_THRESHOLD"]
+__all__ = [
+    "AccessPathChoice",
+    "choose_access_path",
+    "plan_train",
+    "HD_NO_SHUFFLE_THRESHOLD",
+]
 
 # Blocks whose h_D sits below this look statistically like a full shuffle;
 # beyond it, the clustered-order convergence penalty of Figures 1/2 kicks in.
@@ -53,20 +58,6 @@ class AccessPathChoice:
         )
 
 
-def _probe_model(dataset: Dataset):
-    """A cheap surrogate whose gradients expose label/feature clustering.
-
-    A freshly initialised GLM probe is enough: at the zero point the
-    per-example gradients are label/feature-driven, which is exactly what
-    block clustering skews.
-    """
-    if dataset.task == "binary":
-        return LogisticRegression(dataset.n_features)
-    if dataset.task == "multiclass":
-        return SoftmaxRegression(dataset.n_features, dataset.n_classes)
-    return LinearRegression(dataset.n_features)
-
-
 def choose_access_path(
     table: TableInfo,
     block_bytes: int,
@@ -76,30 +67,46 @@ def choose_access_path(
     """Pick ``no_shuffle`` or ``corgipile`` from the table's measured h_D.
 
     The block granularity matches the query's ``block_size`` so the
-    statistic reflects what CorgiPile's buffer would actually see.  Tables
-    larger than ``max_probe_tuples`` are probed on evenly spaced
-    *contiguous* chunks: each chunk preserves the within-block structure
-    (a random tuple sample would destroy the clustering being measured),
-    while spacing the chunks across the table captures its global label
-    drift — a prefix alone would be single-class on clustered tables and
-    look deceptively uniform.
+    statistic reflects what CorgiPile's buffer would actually see.  See
+    :func:`repro.db.advisor.estimate_hd` for how large tables are sampled.
     """
     if threshold <= 1.0:
         raise ValueError("threshold must exceed 1 (h_D >= 1 by definition)")
-    dataset = table.dataset
-    tuples_per_block = max(1, round(block_bytes / max(1.0, table.tuple_bytes)))
-    probe = dataset
-    if dataset.n_tuples > max_probe_tuples:
-        chunk = max(tuples_per_block, max_probe_tuples // 20)
-        n_chunks = max(2, max_probe_tuples // chunk)
-        starts = np.linspace(0, dataset.n_tuples - chunk, n_chunks).astype(np.int64)
-        indices = np.concatenate([np.arange(s, s + chunk) for s in starts])
-        probe = dataset.subset(indices, suffix="probe")
-    n_tuples = probe.n_tuples
-    tuples_per_block = min(tuples_per_block, max(1, n_tuples // 2))
-    layout = BlockLayout(n_tuples, tuples_per_block)
-    hd = hd_factor(_probe_model(probe), probe, layout)
-    strategy = "no_shuffle" if hd < threshold else "corgipile"
+    estimate = estimate_hd(table, block_bytes, max_probe_tuples=max_probe_tuples)
+    strategy = "no_shuffle" if estimate.hd < threshold else "corgipile"
     return AccessPathChoice(
-        strategy=strategy, hd=hd, threshold=threshold, n_blocks=layout.n_blocks
+        strategy=strategy,
+        hd=estimate.hd,
+        threshold=threshold,
+        n_blocks=estimate.n_blocks,
+    )
+
+
+def plan_train(
+    table: TableInfo,
+    query,
+    device,
+    compute=None,
+    max_probe_tuples: int = 20_000,
+) -> AdvisorDecision:
+    """Resolve ``strategy = auto`` for one TRAIN query via the cost advisor.
+
+    ``query`` is a parsed :class:`~repro.db.query.TrainQuery`; its
+    ``block_size``, ``buffer_fraction`` and ``max_epoch_num`` parameterise
+    the cost model, and an ``extra["device"]`` override (``WITH device =
+    'nvm'``) re-targets the decision at plan time — the same statement
+    plans differently on HDD and NVM.
+    """
+    from ..storage.iomodel import device_by_name
+
+    if query.extra.get("device"):
+        device = device_by_name(str(query.extra["device"]))
+    return advise_strategy(
+        table,
+        device,
+        block_bytes=query.block_size,
+        buffer_fraction=query.buffer_fraction,
+        epochs=query.max_epoch_num,
+        compute=compute,
+        max_probe_tuples=max_probe_tuples,
     )

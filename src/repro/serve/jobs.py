@@ -162,8 +162,8 @@ class Job:
             spec = dict(self.spec)
         keep = (
             "job_id", "session_id", "state", "sql", "table", "model",
-            "seed", "epochs", "error", "result", "submitted_at",
-            "started_at", "finished_at", "queue_wait_s",
+            "strategy", "advisor", "seed", "epochs", "error", "result",
+            "submitted_at", "started_at", "finished_at", "queue_wait_s",
         )
         return {k: spec.get(k) for k in keep if spec.get(k) is not None}
 
@@ -178,12 +178,16 @@ class JobManager:
         workers: int = 2,
         checkpoint_every_tuples: int = 256,
         on_done=None,
+        device: str = "ssd",
     ):
         self.jobs_dir = Path(data_dir) / "jobs"
         self.jobs_dir.mkdir(parents=True, exist_ok=True)
         self.max_queued = int(max_queued)
         self.n_workers = int(workers)
         self.checkpoint_every_tuples = int(checkpoint_every_tuples)
+        #: Device model name the plan-time advisor charges for ``strategy =
+        #: auto`` statements (per-query ``WITH device = '...'`` overrides it).
+        self.device = str(device)
         #: Called as ``on_done(job, model)`` from the worker thread when a
         #: job finishes training (the server registers the model into the
         #: owning session's engine so PREDICT BY can address it).
@@ -287,6 +291,21 @@ class JobManager:
             raise Saturated(retry_after, depth)
 
         dataset = table.dataset
+        advisor_doc = None
+        strategy = query.strategy
+        if strategy == "auto":
+            # Resolve the plan-time decision NOW (admission, not execution):
+            # the journalled spec records which access path the advisor
+            # chose and its full evidence table, so a poll — or a post-crash
+            # recovery — can always answer "why did this job run that way".
+            from ..db.planner import plan_train
+            from ..storage.iomodel import device_by_name
+
+            decision = plan_train(
+                table, query, device_by_name(self.device)
+            )
+            strategy = decision.strategy
+            advisor_doc = decision.to_doc()
         tuples_per_block = max(
             1, min(dataset.n_tuples, round(query.block_size / max(1.0, table.tuple_bytes)))
         )
@@ -311,6 +330,8 @@ class JobManager:
                 dataset.n_classes if dataset.task != "regression" else None
             ),
             "n_tuples": dataset.n_tuples,
+            "strategy": strategy,
+            "advisor": advisor_doc,
             "seed": query.seed,
             "epochs": query.max_epoch_num,
             "learning_rate": query.learning_rate,

@@ -60,6 +60,7 @@ class ReproServer:
         max_queued: int = 8,
         job_workers: int = 2,
         checkpoint_every_tuples: int = 256,
+        device: str = "ssd",
     ):
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
@@ -71,6 +72,7 @@ class ReproServer:
             workers=job_workers,
             checkpoint_every_tuples=checkpoint_every_tuples,
             on_done=self._register_job_model,
+            device=device,
         )
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None

@@ -3,6 +3,8 @@
 from .base import ShuffleStrategy, StrategyTraits, epoch_rng
 from .baselines import EpochShuffle, MRSShuffle, NoShuffle, ShuffleOnce, SlidingWindowShuffle
 from .block_only import BlockOnlyShuffle
+from .corgi2 import Corgi2Shuffle, corgi2_offline_order, materialize_corgi2
+from .learned import BlockReshuffle, BlockReversal
 from .registry import STRATEGY_NAMES, make_strategy
 
 __all__ = [
@@ -15,6 +17,11 @@ __all__ = [
     "SlidingWindowShuffle",
     "MRSShuffle",
     "BlockOnlyShuffle",
+    "BlockReshuffle",
+    "BlockReversal",
+    "Corgi2Shuffle",
+    "corgi2_offline_order",
+    "materialize_corgi2",
     "STRATEGY_NAMES",
     "make_strategy",
 ]

@@ -1,0 +1,80 @@
+"""Learning-to-Shuffle block schemes (arXiv 2604.00260).
+
+Two near-zero-overhead refinements of block-only shuffling: each epoch the
+blocks are visited in a fresh random order (exactly
+:class:`~repro.shuffle.block_only.BlockOnlyShuffle`), and the *within-block*
+traversal is additionally perturbed —
+
+* :class:`BlockReshuffle` shuffles each block's tuples in memory as the
+  block is read.  One block is in flight at a time, so unlike CorgiPile no
+  multi-block buffer is needed, and the I/O pattern is unchanged; it breaks
+  up clustering *finer* than a block but leaves block means untouched.
+* :class:`BlockReversal` reverses the within-block traversal on odd epochs
+  (the paper's flip scheme): consecutive epochs never replay the same local
+  order, at literally zero memory and randomness cost beyond the block
+  permutation.
+
+Both derive their randomness from :mod:`repro.core.seeding`
+(``BLOCK_RESHUFFLE_STREAM`` for the in-block shuffles), so runs replay
+identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import BlockLayout
+from ..storage.iomodel import AccessTrace
+from .base import BlockAwareStrategy, StrategyTraits
+
+__all__ = ["BlockReshuffle", "BlockReversal"]
+
+
+class _BlockOrderStrategy(BlockAwareStrategy):
+    """Shared skeleton: random block order + a per-block within-order hook."""
+
+    def __init__(self, layout: BlockLayout, seed: int = 0):
+        super().__init__(layout, seed=seed)
+
+    def _within(self, epoch: int, block_id: int, indices: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def epoch_indices(self, epoch: int) -> np.ndarray:
+        self._check_epoch(epoch)
+        block_order = self._rng(epoch).permutation(self.layout.n_blocks)
+        return np.concatenate(
+            [self._within(epoch, int(b), self.layout.block_indices(b)) for b in block_order]
+        )
+
+    def epoch_trace(self, tuple_bytes: float) -> AccessTrace:
+        trace = AccessTrace()
+        trace.add(
+            "rand",
+            self.layout.n_blocks,
+            self.block_bytes(tuple_bytes),
+            note=f"{self.name} random block reads",
+        )
+        return trace
+
+
+class BlockReshuffle(_BlockOrderStrategy):
+    """Random block order + in-memory shuffle of each block's tuples."""
+
+    name = "block_reshuffle"
+    traits = StrategyTraits(needs_buffer=False, extra_disk_copies=0, io_pattern="random-block")
+
+    def _within(self, epoch: int, block_id: int, indices: np.ndarray) -> np.ndarray:
+        from ..core.seeding import BLOCK_RESHUFFLE_STREAM, derive_rng
+
+        rng = derive_rng(self.seed, epoch, BLOCK_RESHUFFLE_STREAM, block_id)
+        return rng.permutation(indices)
+
+
+class BlockReversal(_BlockOrderStrategy):
+    """Random block order; within-block order reversed on odd epochs."""
+
+    name = "block_reversal"
+    traits = StrategyTraits(needs_buffer=False, extra_disk_copies=0, io_pattern="random-block")
+
+    def _within(self, epoch: int, block_id: int, indices: np.ndarray) -> np.ndarray:
+        return indices[::-1] if epoch % 2 else indices

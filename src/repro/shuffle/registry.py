@@ -15,6 +15,8 @@ from ..data.dataset import BlockLayout
 from .base import ShuffleStrategy
 from .baselines import EpochShuffle, MRSShuffle, NoShuffle, ShuffleOnce, SlidingWindowShuffle
 from .block_only import BlockOnlyShuffle
+from .corgi2 import Corgi2Shuffle
+from .learned import BlockReshuffle, BlockReversal
 
 __all__ = ["STRATEGY_NAMES", "make_strategy"]
 
@@ -25,7 +27,10 @@ STRATEGY_NAMES = (
     "sliding_window",
     "mrs",
     "block_only",
+    "block_reshuffle",
+    "block_reversal",
     "corgipile",
+    "corgi2",
 )
 
 
@@ -63,7 +68,12 @@ def make_strategy(
             layout.n_tuples, _buffer_tuples(layout, buffer_fraction), seed=seed, **kwargs
         ),
         "block_only": lambda: BlockOnlyShuffle(layout, seed=seed, **kwargs),
+        "block_reshuffle": lambda: BlockReshuffle(layout, seed=seed, **kwargs),
+        "block_reversal": lambda: BlockReversal(layout, seed=seed, **kwargs),
         "corgipile": lambda: CorgiPileShuffle.from_buffer_fraction(
+            layout, buffer_fraction, seed=seed, **kwargs
+        ),
+        "corgi2": lambda: Corgi2Shuffle.from_buffer_fraction(
             layout, buffer_fraction, seed=seed, **kwargs
         ),
     }

@@ -21,15 +21,19 @@ from .filestore import load_heap, save_heap
 from .migrate import MigrationReport, migrate_file
 from .heapfile import HeapFile
 from .iomodel import (
+    DEVICE_MODELS,
     HDD,
     HDD_SCALED,
     MEMORY,
+    NVM,
+    NVM_SCALED,
     SSD,
     SSD_SCALED,
     AccessEvent,
     StripedDevice,
     AccessTrace,
     DeviceModel,
+    device_by_name,
     random_vs_sequential_curve,
 )
 from .page import DEFAULT_PAGE_BYTES, Page
@@ -74,6 +78,10 @@ __all__ = [
     "HDD_SCALED",
     "SSD",
     "SSD_SCALED",
+    "NVM",
+    "NVM_SCALED",
+    "DEVICE_MODELS",
+    "device_by_name",
     "MEMORY",
     "StripedDevice",
     "AccessEvent",

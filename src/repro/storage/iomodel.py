@@ -25,9 +25,13 @@ __all__ = [
     "DeviceModel",
     "HDD",
     "SSD",
+    "NVM",
     "MEMORY",
     "HDD_SCALED",
     "SSD_SCALED",
+    "NVM_SCALED",
+    "DEVICE_MODELS",
+    "device_by_name",
     "StripedDevice",
     "AccessEvent",
     "AccessTrace",
@@ -66,6 +70,11 @@ class DeviceModel:
 HDD = DeviceModel("hdd", access_latency_s=8e-3, bandwidth_bytes_per_s=140e6)
 SSD = DeviceModel("ssd", access_latency_s=1.2e-4, bandwidth_bytes_per_s=1e9)
 MEMORY = DeviceModel("memory", access_latency_s=1e-7, bandwidth_bytes_per_s=20e9)
+# Byte-addressable NVM (the LIRS regime, arXiv 1810.04509): reads happen at
+# cache-line granularity with no positioning penalty worth the name, so a
+# random *tuple* read costs nearly the same as its sequential transfer —
+# the device point where full per-epoch random shuffling becomes viable.
+NVM = DeviceModel("nvm", access_latency_s=2e-8, bandwidth_bytes_per_s=2.5e9)
 
 # Scale-consistent devices for the ~10^3-scaled-down benchmark datasets.
 #
@@ -80,6 +89,22 @@ MEMORY = DeviceModel("memory", access_latency_s=1e-7, bandwidth_bytes_per_s=20e9
 # HDD_SCALED/SSD_SCALED whenever the data itself was scaled down.
 HDD_SCALED = DeviceModel("hdd-scaled", access_latency_s=8e-6, bandwidth_bytes_per_s=140e6)
 SSD_SCALED = DeviceModel("ssd-scaled", access_latency_s=1.2e-7, bandwidth_bytes_per_s=1e9)
+NVM_SCALED = DeviceModel("nvm-scaled", access_latency_s=2e-11, bandwidth_bytes_per_s=2.5e9)
+
+#: Name → device registry for CLI flags, the plan-time advisor, and tests.
+DEVICE_MODELS = {
+    d.name: d for d in (HDD, SSD, NVM, MEMORY, HDD_SCALED, SSD_SCALED, NVM_SCALED)
+}
+
+
+def device_by_name(name: str) -> DeviceModel:
+    """Look up a calibrated device model by its registry name."""
+    try:
+        return DEVICE_MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; available: {', '.join(sorted(DEVICE_MODELS))}"
+        ) from None
 
 
 @dataclass(frozen=True)

@@ -30,6 +30,15 @@ from .hd import (
     hd_factor,
     per_example_gradients,
 )
+from .randomness import (
+    chi_square_critical,
+    chi_square_statistic,
+    expected_mean_displacement,
+    ks_critical,
+    ks_statistic_uniform,
+    mean_displacement,
+    visit_position_matrix,
+)
 
 __all__ = [
     "alpha_factor",
@@ -55,4 +64,11 @@ __all__ = [
     "buffered_gradient_sum_samples",
     "verify_expectation_identity",
     "verify_variance_identity",
+    "chi_square_statistic",
+    "chi_square_critical",
+    "ks_statistic_uniform",
+    "ks_critical",
+    "mean_displacement",
+    "expected_mean_displacement",
+    "visit_position_matrix",
 ]

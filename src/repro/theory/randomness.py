@@ -1,0 +1,154 @@
+"""Numpy-only statistical tests for shuffle quality.
+
+The shuffle-quality suite needs classical goodness-of-fit machinery —
+chi-square against a uniform visit distribution, Kolmogorov–Smirnov
+against U(0,1) visit positions — but the tier-1 CI environment carries
+only numpy.  This module implements exactly the pieces the tests use,
+with standard closed-form critical-value approximations instead of a
+scipy dependency:
+
+* chi-square critical values via the Wilson–Hilferty cube transform
+  (accurate to ~3 decimal places for dof ≥ 3, the regime the tests run
+  in);
+* one-sample KS critical values via the asymptotic ``c(α)/√n`` form with
+  the small-n correction ``√n + 0.12 + 0.11/√n`` (Stephens 1974), good
+  to ~2 decimals for n ≥ 20.
+
+Both return *critical values at fixed α*, not p-values — the tests are
+seeded, so they assert "statistic below the α = 0.01 critical value"
+rather than doing a p-value dance on one draw.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "chi_square_statistic",
+    "chi_square_critical",
+    "ks_statistic_uniform",
+    "ks_critical",
+    "mean_displacement",
+    "expected_mean_displacement",
+    "visit_position_matrix",
+]
+
+# Standard normal upper quantiles z_{1-α} for the supported α levels.
+_Z_UPPER = {0.10: 1.2816, 0.05: 1.6449, 0.01: 2.3263, 0.001: 3.0902}
+
+
+def _z_upper(alpha: float) -> float:
+    try:
+        return _Z_UPPER[round(float(alpha), 4)]
+    except KeyError:
+        raise ValueError(
+            f"unsupported alpha {alpha!r}; one of {sorted(_Z_UPPER)}"
+        ) from None
+
+
+def chi_square_statistic(observed, expected=None) -> tuple[float, int]:
+    """Pearson's X² of ``observed`` counts against ``expected``.
+
+    ``expected`` defaults to uniform over the bins (same total).  Returns
+    ``(statistic, dof)`` with ``dof = bins − 1``.
+    """
+    obs = np.asarray(observed, dtype=np.float64)
+    if obs.ndim != 1 or obs.size < 2:
+        raise ValueError("observed must be a 1-D array of at least 2 bins")
+    if expected is None:
+        exp = np.full(obs.size, obs.sum() / obs.size)
+    else:
+        exp = np.asarray(expected, dtype=np.float64)
+        if exp.shape != obs.shape:
+            raise ValueError("expected must match observed's shape")
+    if np.any(exp <= 0):
+        raise ValueError("expected counts must be positive")
+    stat = float(np.sum((obs - exp) ** 2 / exp))
+    return stat, obs.size - 1
+
+
+def chi_square_critical(dof: int, alpha: float = 0.01) -> float:
+    """Upper-α critical value of χ²(dof), Wilson–Hilferty approximation.
+
+    ``(X²/dof)^(1/3)`` is approximately normal with mean ``1 − 2/(9·dof)``
+    and variance ``2/(9·dof)``; inverting gives the quantile in closed
+    form — within ~0.3 % of the exact value for dof ≥ 3.
+    """
+    if dof < 1:
+        raise ValueError("dof must be at least 1")
+    z = _z_upper(alpha)
+    h = 2.0 / (9.0 * dof)
+    return float(dof * (1.0 - h + z * np.sqrt(h)) ** 3)
+
+
+def ks_statistic_uniform(samples) -> float:
+    """One-sample KS distance of ``samples`` from U(0, 1)."""
+    x = np.sort(np.asarray(samples, dtype=np.float64))
+    if x.size == 0:
+        raise ValueError("samples must be non-empty")
+    if x[0] < 0.0 or x[-1] > 1.0:
+        raise ValueError("samples must lie in [0, 1]")
+    n = x.size
+    grid = np.arange(1, n + 1) / n
+    d_plus = float(np.max(grid - x))
+    d_minus = float(np.max(x - (grid - 1.0 / n)))
+    return max(d_plus, d_minus)
+
+
+def ks_critical(n: int, alpha: float = 0.01) -> float:
+    """Upper-α critical value of the one-sample KS distance at size ``n``.
+
+    ``c(α) / (√n + 0.12 + 0.11/√n)`` with ``c(α) = √(−ln(α/2)/2)`` — the
+    Stephens small-sample correction of the asymptotic Kolmogorov law.
+    """
+    if n < 1:
+        raise ValueError("n must be at least 1")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha must be in (0, 1)")
+    c = float(np.sqrt(-0.5 * np.log(alpha / 2.0)))
+    root_n = float(np.sqrt(n))
+    return c / (root_n + 0.12 + 0.11 / root_n)
+
+
+def mean_displacement(perm) -> float:
+    """Mean |new position − old position| of a permutation.
+
+    The headline mixing statistic: a full uniform shuffle moves a tuple
+    ``≈ n/3`` positions on average (see
+    :func:`expected_mean_displacement`); no-shuffle moves it 0; block-level
+    schemes land in between, bounded by how far blocks travel.
+    """
+    p = np.asarray(perm, dtype=np.int64)
+    n = p.size
+    if n == 0:
+        raise ValueError("perm must be non-empty")
+    if not np.array_equal(np.sort(p), np.arange(n)):
+        raise ValueError("perm must be a permutation of 0..n-1")
+    return float(np.mean(np.abs(p - np.arange(n))))
+
+
+def expected_mean_displacement(n: int) -> float:
+    """E|i − j| for i fixed, j uniform: exactly ``(n² − 1) / (3n)`` ≈ n/3."""
+    if n < 1:
+        raise ValueError("n must be at least 1")
+    return (n * n - 1.0) / (3.0 * n)
+
+
+def visit_position_matrix(strategy, epochs: int) -> np.ndarray:
+    """``M[e, t] =`` the position at which epoch ``e`` visits tuple ``t``.
+
+    Row ``e`` is the inverse of ``strategy.epoch_indices(e)``.  Column
+    ``t`` divided by ``n`` gives tuple ``t``'s visit-position samples in
+    ``[0, 1)`` — the input to the KS/chi-square uniformity tests.
+    """
+    if epochs < 1:
+        raise ValueError("epochs must be at least 1")
+    first = np.asarray(strategy.epoch_indices(0))
+    n = first.size
+    out = np.empty((epochs, n), dtype=np.int64)
+    for e in range(epochs):
+        order = first if e == 0 else np.asarray(strategy.epoch_indices(e))
+        inverse = np.empty(n, dtype=np.int64)
+        inverse[order] = np.arange(n)
+        out[e] = inverse
+    return out

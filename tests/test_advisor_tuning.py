@@ -42,6 +42,34 @@ class TestBlockSizeRecommendation:
         hi = recommend_block_size(HDD, 8192, throughput_fraction=0.95)
         assert hi > lo
 
+    def test_fractional_requirement_rounds_up_not_down(self):
+        """Regression for the truncate-before-ceil bug: when the byte
+        requirement is fractionally above a whole number of pages, the
+        block must round *up* a page, or the throughput target is
+        silently missed."""
+        from repro.storage import DeviceModel
+
+        page = 8192
+        # At fraction 0.5 the multiplier 0.5/(1-0.5) is exactly 1.0, so
+        # needed = latency * bandwidth with no float slop in the factor.
+        device = DeviceModel("frac", 1.0, 1.5 * page)  # needed = 1.5 pages
+        block = recommend_block_size(device, page, throughput_fraction=0.5)
+        assert block == 2 * page
+        assert device.random_throughput(block) >= 0.5 * device.bandwidth_bytes_per_s
+        # A requirement epsilon past one page must already take 2 pages
+        # (int(needed/page) == 1 here — truncation would undersize).
+        barely = DeviceModel("barely", 1.0, page + 0.5)
+        assert recommend_block_size(barely, page, throughput_fraction=0.5) == 2 * page
+        # An exact page multiple stays exact: no spurious extra page.
+        exact = DeviceModel("exact", 1.0, float(page))
+        assert recommend_block_size(exact, page, throughput_fraction=0.5) == page
+
+    def test_tiny_requirement_clamps_to_one_page(self):
+        from repro.storage import DeviceModel
+
+        nearly_free = DeviceModel("fast", 1e-12, 1e6)
+        assert recommend_block_size(nearly_free, 8192) == 8192
+
     def test_validation(self):
         with pytest.raises(ValueError):
             recommend_block_size(HDD, 8192, throughput_fraction=1.0)

@@ -436,3 +436,50 @@ class TestJobJournal:
         spec = json.loads((state / "jobs" / f"{job_id}.json").read_text())
         assert spec["state"] == "queued"
         assert spec.get("interrupted") is True
+
+
+class TestAdvisorOverTheWire:
+    """``strategy = auto`` jobs journal the advisor's full decision and
+    serve it back through the status protocol, round-trippable into an
+    :class:`~repro.db.advisor.AdvisorDecision`."""
+
+    AUTO_SQL = (
+        "SELECT * FROM susy TRAIN BY lr WITH strategy = auto, "
+        "max_epoch_num = 2, block_size = 16KB, buffer_fraction = 0.2"
+    )
+
+    def test_auto_job_journals_and_serves_decision(self, tmp_path):
+        from repro.db.advisor import AdvisorDecision
+
+        state = tmp_path / "state"
+        server = ReproServer(state, job_workers=1, device="hdd").start()
+        try:
+            with connect(server) as client:
+                client.load("susy", order="clustered")
+                job_id = client.submit(self.AUTO_SQL)
+                final = client.wait(job_id, timeout=120)
+        finally:
+            server.stop()
+        assert final["state"] == "done"
+        # The journalled strategy is the advisor's concrete resolution.
+        assert final["strategy"] in (
+            "no_shuffle", "block_reversal", "block_reshuffle",
+            "corgipile", "corgi2", "shuffle_once", "random_access",
+        )
+        decision = AdvisorDecision.from_doc(final["advisor"])
+        assert decision.strategy == final["strategy"]
+        assert decision.device == "hdd"
+        assert decision.hd.hd >= 1.0
+        assert "Advisor (device=hdd" in decision.render()
+        # And the on-disk journal carries the same doc verbatim.
+        spec = json.loads((state / "jobs" / f"{job_id}.json").read_text())
+        assert spec["advisor"] == final["advisor"]
+
+    def test_fixed_strategy_jobs_skip_the_advisor(self, server):
+        with connect(server) as client:
+            client.load("susy")
+            job_id = client.submit(TRAIN_SQL)
+            final = client.wait(job_id, timeout=120)
+        assert final["state"] == "done"
+        assert final["strategy"] == "corgipile"
+        assert "advisor" not in final

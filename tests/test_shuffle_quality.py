@@ -1,0 +1,276 @@
+"""Statistical shuffle-quality suite.
+
+Seeded goodness-of-fit tests over the shuffle strategies' *visit orders*
+(no training required for most): chi-square and KS uniformity of per-tuple
+visit positions, mean-displacement mixing against the full-shuffle
+reference, block-locality contrasts that separate in-block schemes from
+buffered ones — plus an end-to-end convergence-ordering check on clustered
+data (Corgi² ≥ CorgiPile ≥ No-Shuffle in final quality).
+
+All statistics run at fixed seeds against α = 0.01 critical values from
+:mod:`repro.theory.randomness` (numpy-only — tier-1 CI has no scipy).  The
+CI ``advisor-smoke`` job re-runs the whole file under several seeds via the
+``SHUFFLE_QUALITY_SEED`` env var; every test must hold for any seed in that
+matrix, so thresholds are set with real margin, not at the knife's edge.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.corgipile import CorgiPileShuffle
+from repro.data import BlockLayout, clustered_by_label, make_binary_dense
+from repro.ml import ExponentialDecay, LogisticRegression, Trainer
+from repro.shuffle import (
+    BlockReshuffle,
+    BlockReversal,
+    Corgi2Shuffle,
+    EpochShuffle,
+    NoShuffle,
+    make_strategy,
+)
+from repro.theory.randomness import (
+    chi_square_critical,
+    chi_square_statistic,
+    expected_mean_displacement,
+    ks_critical,
+    ks_statistic_uniform,
+    mean_displacement,
+    visit_position_matrix,
+)
+
+SEED = int(os.environ.get("SHUFFLE_QUALITY_SEED", "0"))
+
+N_TUPLES = 512
+TUPLES_PER_BLOCK = 32
+LAYOUT = BlockLayout(N_TUPLES, TUPLES_PER_BLOCK)
+EPOCHS = 200
+
+
+def _positions(strategy, epochs=EPOCHS) -> np.ndarray:
+    """(epochs, n) matrix of visit positions, scaled to [0, 1)."""
+    return visit_position_matrix(strategy, epochs) / N_TUPLES
+
+
+class TestVisitPositionUniformity:
+    """Tuple-level mixing: where in the epoch does each tuple get visited?
+
+    For a well-mixing strategy the visit position of any fixed tuple,
+    sampled across epochs, is ~uniform over the epoch; for No-Shuffle it
+    is a single atom.  KS and chi-square agree on which side each
+    strategy falls.
+    """
+
+    @pytest.mark.parametrize(
+        "name",
+        ["epoch_shuffle", "corgipile", "corgi2", "block_reshuffle"],
+    )
+    def test_mixing_strategies_pass_ks(self, name):
+        strategy = make_strategy(name, LAYOUT, buffer_fraction=0.25, seed=SEED)
+        pos = _positions(strategy)
+        crit = ks_critical(EPOCHS, alpha=0.01)
+        # Spot-check a spread of tuples; a Bonferroni-ish allowance (a few
+        # marginal failures out of 16 at alpha=0.01 would still be
+        # consistent with uniformity, but none should blow past 2x).
+        tuples = np.linspace(0, N_TUPLES - 1, 16).astype(int)
+        stats = [ks_statistic_uniform(pos[:, t]) for t in tuples]
+        assert sum(s > crit for s in stats) <= 2, (name, stats, crit)
+        assert max(stats) < 2.0 * crit, (name, max(stats), crit)
+
+    def test_no_shuffle_fails_ks_catastrophically(self):
+        strategy = NoShuffle(N_TUPLES, seed=SEED)
+        pos = _positions(strategy, epochs=50)
+        crit = ks_critical(50, alpha=0.01)
+        # Every visit lands at the same position: D = max(q, 1-q), which
+        # is ≈ 0.99 for tuples near either end of the table and exactly
+        # 0.5 even at the midpoint — all far above the α = 0.01 critical.
+        stats = [
+            ks_statistic_uniform(pos[:, t])
+            for t in (5, N_TUPLES // 2, N_TUPLES - 6)
+        ]
+        assert min(stats) > 2.0 * crit
+        assert max(stats) > 4.0 * crit
+
+    @pytest.mark.parametrize("name", ["corgipile", "corgi2"])
+    def test_chi_square_per_tuple_uniform(self, name):
+        strategy = make_strategy(name, LAYOUT, buffer_fraction=0.25, seed=SEED)
+        pos = _positions(strategy)
+        bins = 8
+        crit = chi_square_critical(bins - 1, alpha=0.01)
+        flagged = 0
+        tuples = np.linspace(0, N_TUPLES - 1, 12).astype(int)
+        for t in tuples:
+            counts = np.histogram(pos[:, t], bins=bins, range=(0.0, 1.0))[0]
+            stat, dof = chi_square_statistic(counts)
+            assert dof == bins - 1
+            flagged += stat > crit
+        assert flagged <= 2, (name, flagged)
+
+    def test_chi_square_flags_no_shuffle(self):
+        strategy = NoShuffle(N_TUPLES, seed=SEED)
+        pos = _positions(strategy, epochs=50)
+        counts = np.histogram(pos[:, 7], bins=8, range=(0.0, 1.0))[0]
+        stat, dof = chi_square_statistic(counts)
+        assert stat > 10.0 * chi_square_critical(dof, alpha=0.01)
+
+
+class TestMeanDisplacement:
+    """How far does a tuple travel from its stored position, per epoch?"""
+
+    def test_full_shuffle_reference(self):
+        strategy = EpochShuffle(N_TUPLES, seed=SEED)
+        expected = expected_mean_displacement(N_TUPLES)
+        moved = np.mean(
+            [mean_displacement(strategy.epoch_indices(e)) for e in range(20)]
+        )
+        assert abs(moved - expected) / expected < 0.10
+
+    def test_corgipile_approaches_full_shuffle(self):
+        # Block positions are uniform and the buffer shuffles tuples, so
+        # CorgiPile's displacement lands near the full-shuffle n/3 even at
+        # a 25% buffer.
+        strategy = CorgiPileShuffle.from_buffer_fraction(LAYOUT, 0.25, seed=SEED)
+        expected = expected_mean_displacement(N_TUPLES)
+        moved = np.mean(
+            [mean_displacement(strategy.epoch_indices(e)) for e in range(20)]
+        )
+        assert moved > 0.75 * expected
+
+    def test_ordering_no_shuffle_to_full(self):
+        expected = expected_mean_displacement(N_TUPLES)
+        no_shuffle = mean_displacement(NoShuffle(N_TUPLES, seed=SEED).epoch_indices(0))
+        reshuffle = np.mean(
+            [
+                mean_displacement(BlockReshuffle(LAYOUT, seed=SEED).epoch_indices(e))
+                for e in range(20)
+            ]
+        )
+        full = np.mean(
+            [
+                mean_displacement(EpochShuffle(N_TUPLES, seed=SEED).epoch_indices(e))
+                for e in range(20)
+            ]
+        )
+        assert no_shuffle == 0.0
+        assert 0.0 < reshuffle
+        # Block schemes move tuples via block placement — same order of
+        # magnitude as full shuffle, but never meaningfully beyond it.
+        assert reshuffle < 1.1 * expected
+        assert abs(full - expected) / expected < 0.10
+
+    def test_corgi2_offline_order_mixes(self):
+        strategy = Corgi2Shuffle.from_buffer_fraction(LAYOUT, 0.25, seed=SEED)
+        offline = mean_displacement(strategy.offline_order)
+        # The offline pass alone (before any online epoch) already moves
+        # tuples a macroscopic fraction of the table.
+        assert offline > 0.3 * expected_mean_displacement(N_TUPLES)
+
+
+class TestBlockLocality:
+    """The statistic that *separates* in-block schemes from buffered ones:
+    do same-block neighbours stay adjacent in the visit order?"""
+
+    @staticmethod
+    def _same_block_gap(strategy, epoch: int) -> float:
+        order = np.asarray(strategy.epoch_indices(epoch))
+        inverse = np.empty(order.size, dtype=np.int64)
+        inverse[order] = np.arange(order.size)
+        # Mean visit-distance between the two halves of each block.
+        a = inverse[np.arange(0, N_TUPLES, TUPLES_PER_BLOCK)]
+        b = inverse[np.arange(TUPLES_PER_BLOCK - 1, N_TUPLES, TUPLES_PER_BLOCK)]
+        return float(np.mean(np.abs(a - b)))
+
+    def test_in_block_schemes_keep_neighbours_close(self):
+        for cls in (BlockReshuffle, BlockReversal):
+            strategy = cls(LAYOUT, seed=SEED)
+            for epoch in (0, 1, 3):
+                gap = self._same_block_gap(strategy, epoch)
+                assert gap < TUPLES_PER_BLOCK, (cls.__name__, epoch, gap)
+
+    def test_buffered_schemes_scatter_neighbours(self):
+        corgi = CorgiPileShuffle.from_buffer_fraction(LAYOUT, 0.25, seed=SEED)
+        gap = np.mean([self._same_block_gap(corgi, e) for e in range(10)])
+        # The buffer holds 4 blocks: neighbours scatter across the fill.
+        assert gap > TUPLES_PER_BLOCK
+
+    def test_corgi2_scatters_beyond_corgipile(self):
+        corgi = CorgiPileShuffle.from_buffer_fraction(LAYOUT, 0.25, seed=SEED)
+        corgi2 = Corgi2Shuffle.from_buffer_fraction(LAYOUT, 0.25, seed=SEED)
+        gap1 = np.mean([self._same_block_gap(corgi, e) for e in range(10)])
+        gap2 = np.mean([self._same_block_gap(corgi2, e) for e in range(10)])
+        # The offline re-group split the original blocks before the online
+        # buffer ever saw them, so original neighbours scatter further.
+        assert gap2 > gap1
+
+
+class TestDeterminismAndValidity:
+    """Every strategy must produce valid permutations, replayable by seed."""
+
+    NAMES = (
+        "no_shuffle",
+        "shuffle_once",
+        "epoch_shuffle",
+        "block_only",
+        "block_reshuffle",
+        "block_reversal",
+        "corgipile",
+        "corgi2",
+    )
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_valid_permutation_and_replay(self, name):
+        base = np.arange(N_TUPLES)
+        s1 = make_strategy(name, LAYOUT, buffer_fraction=0.25, seed=SEED)
+        s2 = make_strategy(name, LAYOUT, buffer_fraction=0.25, seed=SEED)
+        for epoch in (0, 1):
+            order = np.asarray(s1.epoch_indices(epoch))
+            assert np.array_equal(np.sort(order), base), name
+            assert np.array_equal(order, s2.epoch_indices(epoch)), name
+
+    @pytest.mark.parametrize("name", ["block_reshuffle", "block_reversal", "corgi2"])
+    def test_epochs_differ_and_seeds_differ(self, name):
+        strategy = make_strategy(name, LAYOUT, buffer_fraction=0.25, seed=SEED)
+        other = make_strategy(name, LAYOUT, buffer_fraction=0.25, seed=SEED + 1)
+        assert not np.array_equal(strategy.epoch_indices(0), strategy.epoch_indices(1))
+        assert not np.array_equal(strategy.epoch_indices(0), other.epoch_indices(0))
+
+    def test_block_reversal_flips_within_block_order(self):
+        strategy = BlockReversal(LAYOUT, seed=SEED)
+        order = np.asarray(strategy.epoch_indices(1))
+        # Find block 0's tuples in the epoch-1 order: contiguous and reversed.
+        where = np.where(order < TUPLES_PER_BLOCK)[0]
+        assert np.array_equal(order[where], np.arange(TUPLES_PER_BLOCK)[::-1])
+
+
+class TestConvergenceOrdering:
+    """On clustered data, final loss orders Corgi² ≤ CorgiPile ≤ No-Shuffle."""
+
+    @pytest.fixture(scope="class")
+    def losses(self):
+        dataset = clustered_by_label(
+            make_binary_dense(1536, 8, separation=1.2, seed=SEED), seed=SEED
+        )
+        layout = dataset.layout(64)
+        out = {}
+        for name in ("no_shuffle", "corgipile", "corgi2", "epoch_shuffle"):
+            strategy = make_strategy(name, layout, buffer_fraction=0.1, seed=SEED)
+            model = LogisticRegression(dataset.n_features)
+            history = Trainer(
+                model,
+                dataset,
+                strategy,
+                epochs=6,
+                schedule=ExponentialDecay(0.1, 0.95),
+            ).run()
+            out[name] = history.final.train_loss
+        return out
+
+    def test_corgipile_beats_no_shuffle(self, losses):
+        assert losses["corgipile"] < 0.9 * losses["no_shuffle"]
+
+    def test_corgi2_at_least_matches_corgipile(self, losses):
+        assert losses["corgi2"] <= 1.05 * losses["corgipile"]
+
+    def test_corgi2_close_to_full_shuffle(self, losses):
+        assert losses["corgi2"] <= 1.10 * losses["epoch_shuffle"]
