@@ -174,6 +174,17 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--buffer-fraction", type=float, default=0.1)
     train.add_argument("--block-tuples", type=int, default=40)
     train.add_argument("--test-fraction", type=float, default=0.1)
+    train.add_argument(
+        "--where", metavar="PRED", default=None,
+        help="train over the qualifying subset only (e.g. 'f0 >= 0.5 AND "
+        "label = 1'); routes the run through the engine's TRAIN ... WHERE "
+        "path, bit-exact against a materialised copy of the subset",
+    )
+    train.add_argument(
+        "--index", metavar="COLUMN", default=None,
+        help="with --where: build a B+tree index on COLUMN first, so the "
+        "planner can pick the index-ordered fetch over the full scan",
+    )
     train.add_argument("--save-model", help="write the trained model to this .npz path")
     _add_common_options(train, workers=1)
 
@@ -226,6 +237,15 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument(
         "--order", default="shuffled",
         help="physical order of the table: shuffled | clustered | feature:<index>",
+    )
+    explain.add_argument(
+        "--where", metavar="PRED", default=None,
+        help="show the filtered plan: predicate resolution, index-vs-scan "
+        "fetch decision, and the RidBlockShuffle tree",
+    )
+    explain.add_argument(
+        "--index", metavar="COLUMN", default=None,
+        help="with --where: build a B+tree index on COLUMN before planning",
     )
 
     advise = sub.add_parser(
@@ -477,10 +497,84 @@ def _parallel_batch(batch_size: int, workers: int) -> int:
     return per_worker * workers
 
 
+def _train_where(args, train_set, test_set, epochs: int) -> int:
+    """``train --where``: route the run through the engine's filtered path.
+
+    A filtered run needs the heap/index machinery — the predicate resolves
+    to RIDs and the planner picks index-ordered fetch vs full scan — so
+    ``--where`` trades the raw :class:`Trainer` for a MiniDB table and
+    prints the planner's decision under the convergence table.
+    """
+    from .db.engine import WHERE_STRATEGIES
+    from .db.query import CreateIndexQuery, parse_predicate
+
+    if args.workers > 1:
+        raise SystemExit("--where trains single-process (TRAIN ... WHERE has no parallel plan)")
+    if args.strategy != "auto" and args.strategy not in WHERE_STRATEGIES:
+        raise SystemExit(
+            f"--where supports strategies auto, {', '.join(WHERE_STRATEGIES)}; "
+            f"got {args.strategy!r}"
+        )
+    db = MiniDB(page_bytes=4096)
+    info = db.create_table("t", train_set)
+    if args.index:
+        db.create_index(
+            CreateIndexQuery(name=f"ix_{args.index}", table="t", column=args.index)
+        )
+    query = TrainQuery(
+        table="t",
+        model=args.model,
+        strategy=args.strategy,
+        learning_rate=args.lr,
+        decay=args.decay,
+        max_epoch_num=epochs,
+        batch_size=args.batch_size,
+        buffer_fraction=args.buffer_fraction,
+        block_size=max(4096, int(args.block_tuples * info.tuple_bytes)),
+        seed=args.seed,
+        where=parse_predicate(args.where),
+    )
+    result = db.train(query, test=test_set)
+    rows = [
+        {
+            "epoch": r.epoch,
+            "lr": round(r.lr, 5),
+            "train_loss": round(r.train_loss, 4),
+            "train_score": round(r.train_score, 4),
+            "test_score": round(r.test_score, 4) if r.test_score is not None else None,
+        }
+        for r in result.history.records
+    ]
+    print(
+        format_table(
+            rows, title=f"{args.model} via {result.query.strategy} WHERE {args.where}"
+        )
+    )
+    d = result.query.extra["where"]
+    via = f" via index {d['index']} on {d['index_column']}" if d["index"] else ""
+    print(
+        f"\nWHERE {d['predicate']}: {d['n_matching']} / {d['n_tuples']} tuples "
+        f"({100 * d['selectivity']:.1f}% selectivity) -> fetch={d['fetch']}{via}"
+    )
+    physical = d.get("physical")
+    if physical:
+        print(
+            f"physical: {physical['blocks_loaded']} blocks loaded, "
+            f"{physical['pages_fetched']} page fetches, "
+            f"{physical['device_page_reads']} device page reads"
+        )
+    if args.save_model:
+        save_model(result.model, args.save_model)
+        print(f"saved model to {args.save_model}")
+    return 0
+
+
 def _cmd_train(args) -> int:
     dataset = _load_input(args)
     epochs = min(args.epochs, 3) if args.quick else args.epochs
     train_set, test_set = dataset.split(1.0 - args.test_fraction, seed=args.seed)
+    if args.where:
+        return _train_where(args, train_set, test_set, epochs)
     model = _build_model(args.model, dataset)
     if args.workers > 1:
         # Real multi-process training: sharded CorgiPile over a materialised
@@ -566,12 +660,24 @@ def _cmd_explain(args) -> int:
     dataset = _apply_order(load(args.dataset, seed=0), args.order, 0)
     db = MiniDB(device=device_by_name(args.device), page_bytes=1024)
     db.create_table(args.dataset, dataset)
+    where = None
+    if args.where:
+        from .db.query import CreateIndexQuery, parse_predicate
+
+        where = parse_predicate(args.where)
+        if args.index:
+            db.create_index(
+                CreateIndexQuery(
+                    name=f"ix_{args.index}", table=args.dataset, column=args.index
+                )
+            )
     query = TrainQuery(
         table=args.dataset,
         model=args.model,
         strategy=args.strategy,
         block_size=args.block_size,
         buffer_fraction=args.buffer_fraction,
+        where=where,
     )
     print(db.explain(query))
     return 0

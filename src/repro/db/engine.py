@@ -48,9 +48,11 @@ from .catalog import Catalog, TableInfo
 from .errors import EngineError, StorageError, UnknownModelError
 from .operators import (
     BlockShuffleOperator,
+    FilteredSeqScanOperator,
     MultiplexedReservoirOperator,
     PassThroughAccountingOperator,
     PermutedScanOperator,
+    RidBlockShuffleOperator,
     SeqScanOperator,
     SGDOperator,
     SlidingWindowOperator,
@@ -58,11 +60,16 @@ from .operators import (
 )
 from .explain import explain_train_plan
 from .query import (
+    CreateIndexQuery,
+    DeleteQuery,
+    DropIndexQuery,
     EvaluateQuery,
     ExplainQuery,
+    InsertQuery,
     PredictQuery,
     SelectQuery,
     TrainQuery,
+    UpdateQuery,
     parse_query,
 )
 from .timeline import Timeline
@@ -92,6 +99,14 @@ STRATEGIES = (
     "random_access",
     "sliding_window",
     "mrs",
+)
+
+# Strategies whose access path can run over a filtered RID subset.
+WHERE_STRATEGIES = (
+    "corgipile",
+    "corgipile_single_buffer",
+    "block_only",
+    "no_shuffle",
 )
 
 
@@ -186,6 +201,16 @@ class MiniDB:
             return self.evaluate(query)
         if isinstance(query, SelectQuery):
             return self.select(query)
+        if isinstance(query, InsertQuery):
+            return self.insert(query)
+        if isinstance(query, DeleteQuery):
+            return self.delete(query)
+        if isinstance(query, UpdateQuery):
+            return self.update(query)
+        if isinstance(query, CreateIndexQuery):
+            return self.create_index(query)
+        if isinstance(query, DropIndexQuery):
+            return self.drop_index(query)
         return self.train(query, test=test)
 
     def explain(self, query: TrainQuery) -> str:
@@ -304,11 +329,63 @@ class MiniDB:
         except KeyError as exc:
             raise EngineError(str(exc)) from None
 
+    def _warm_start(self, query: TrainQuery, model: SupervisedModel) -> SupervisedModel:
+        """Resolve ``WITH warm_start = '...'`` into initial parameters.
+
+        The value names either a registered model id (``model_3``) or a
+        model/checkpoint file saved by :mod:`repro.ml.persistence` (the
+        serve layer maps ``job_N`` to the job's model file before the
+        statement reaches the engine).  The source is *cloned* — training
+        never mutates the registered original.
+        """
+        ws = query.extra.get("warm_start")
+        if not ws:
+            return model
+        from pathlib import Path
+
+        from ..ml.persistence import load_model, model_from_bytes, model_to_bytes
+
+        ws = str(ws)
+        try:
+            source = self.get_model(ws)
+        except UnknownModelError:
+            if Path(ws).is_file():
+                source = load_model(ws)
+            else:
+                raise EngineError(
+                    f"warm_start {ws!r}: no registered model and no such file"
+                ) from None
+        clone = model_from_bytes(model_to_bytes(source))
+        if type(clone).__name__ != type(model).__name__:
+            raise EngineError(
+                f"warm_start {ws!r} is a {type(clone).__name__}; the query "
+                f"trains a {type(model).__name__}"
+            )
+        if getattr(clone, "n_features", None) != getattr(model, "n_features", None):
+            raise EngineError(
+                f"warm_start {ws!r} has {getattr(clone, 'n_features', '?')} "
+                f"features; the table has {model.n_features}"
+            )
+        return clone
+
+    @staticmethod
+    def _observed_doc(sgd: SGDOperator) -> dict:
+        """Measured per-epoch walls (the advisor's feedback channel)."""
+        return {
+            "epoch_wall_s": [round(w, 6) for w in sgd.measured_wall_times],
+            "total_wall_s": round(sum(sgd.measured_wall_times), 6),
+            "simulated_epoch_wall_s": [round(w, 6) for w in sgd.epoch_wall_times],
+        }
+
     def train(self, query: TrainQuery, test: Dataset | None = None) -> TrainResult:
         table = self.catalog.get(query.table)
         device = self._query_device(query)
         if query.workers > 1:
+            if query.where is not None:
+                raise EngineError("TRAIN ... WHERE does not support workers > 1")
             return self._train_parallel(query, table, test)
+        if query.where is not None:
+            return self._train_where(query, table, device, test)
         if query.strategy == "auto":
             from .planner import plan_train
 
@@ -354,7 +431,7 @@ class MiniDB:
                 train_table.tuple_bytes if train_table.heap.compress else 0.0
             ),
         )
-        model = self._build_model(query, train_table)
+        model = self._warm_start(query, self._build_model(query, train_table))
         pipeline = self._build_pipeline(query, train_table, ctx)
         optimizer = SGD(model) if query.batch_size > 1 else None
         sgd = SGDOperator(
@@ -417,6 +494,155 @@ class MiniDB:
             wall_seconds=timeline.total_time_s,
         )
 
+        query.extra.setdefault("advisor", {})["observed"] = self._observed_doc(sgd)
+        model_id = self.register_model(model)
+        return TrainResult(model_id, model, history, timeline, resources, query)
+
+    def _train_where(
+        self,
+        query: TrainQuery,
+        table: TableInfo,
+        device: DeviceModel,
+        test: Dataset | None,
+    ) -> TrainResult:
+        """``TRAIN ... WHERE``: incremental training over a filtered subset.
+
+        Qualifying RIDs (via an index range probe when one covers the
+        predicate) are packed into *virtual* blocks that replicate the page
+        layout of a materialised copy of the subset, so the block/buffer
+        shuffle visits tuples bit-identically to plain CorgiPile over that
+        copy — without writing it.  The planner picks the physical fetch
+        (index-ordered block fetch vs full scan) by device cost.
+        """
+        from .where import choose_where_path, subset_partition
+
+        strategy = query.strategy
+        if strategy == "auto":
+            # A filtered subset inherits the base table's clustering; take
+            # the shuffle-safe default rather than probing the subset.
+            strategy = "corgipile"
+            query = replace(query, strategy=strategy)
+        if strategy not in WHERE_STRATEGIES:
+            raise EngineError(
+                f"strategy {strategy!r} does not support TRAIN ... WHERE; "
+                f"one of {', '.join(WHERE_STRATEGIES)}"
+            )
+        positions, index = self._where_positions(table, query.where)
+        decision = choose_where_path(
+            table, query.where, positions, device, index=index
+        )
+        query.extra["where"] = decision
+        if len(positions) == 0:
+            raise EngineError(
+                f"TRAIN ... WHERE {query.where.render()} on table "
+                f"{query.table!r} matches no tuples"
+            )
+        if self.cold_cache_per_query:
+            table.pool.clear()
+
+        subset = table.dataset.subset(positions, suffix="where")
+        buffer_tuples = max(1, round(query.buffer_fraction * subset.n_tuples))
+        from ..data.sparse import SparseMatrix
+
+        values_per_tuple = (
+            subset.X.nnz / max(1, subset.n_tuples)
+            if isinstance(subset.X, SparseMatrix)
+            else float(subset.n_features)
+        )
+        partition = None
+        if strategy != "no_shuffle":
+            partition = subset_partition(table.heap, positions, query.block_size)
+            decision["n_virtual_blocks"] = partition.n_blocks
+            decision["n_virtual_pages"] = partition.n_virtual_pages
+        ctx = RuntimeContext(
+            device=device,
+            compute=self.compute,
+            double_buffer=strategy == "corgipile" and bool(query.double_buffer),
+            values_per_tuple=values_per_tuple,
+            compressed_bytes_per_tuple=(
+                (partition.payload_bytes / max(1, partition.n_tuples))
+                if (table.heap.compress and partition is not None)
+                else (table.tuple_bytes if table.heap.compress else 0.0)
+            ),
+        )
+        model = self._warm_start(query, self._build_model(query, table))
+        if strategy in ("corgipile", "corgipile_single_buffer"):
+            scan = RidBlockShuffleOperator(
+                table, ctx, partition, seed=query.seed, fetch=decision["fetch"]
+            )
+            pipeline = TupleShuffleOperator(scan, ctx, buffer_tuples, seed=query.seed)
+        elif strategy == "block_only":
+            scan = RidBlockShuffleOperator(
+                table, ctx, partition, seed=query.seed, fetch=decision["fetch"]
+            )
+            pipeline = PassThroughAccountingOperator(scan, ctx, buffer_tuples)
+        else:  # no_shuffle
+            scan = FilteredSeqScanOperator(table, ctx, positions)
+            pipeline = PassThroughAccountingOperator(scan, ctx, buffer_tuples)
+        optimizer = SGD(model) if query.batch_size > 1 else None
+        sgd = SGDOperator(
+            pipeline,
+            ctx,
+            model,
+            ExponentialDecay(query.learning_rate, query.decay),
+            epochs=query.max_epoch_num,
+            batch_size=query.batch_size,
+            optimizer=optimizer,
+            fused=query.fused,
+        )
+
+        timeline = Timeline(system=f"minidb/{strategy}+where")
+        eval_set = subset
+
+        def evaluate(epoch: int, lr: float, tuples_seen: int) -> EpochRecord:
+            record = EpochRecord(
+                epoch=epoch,
+                lr=lr,
+                train_loss=model.loss(eval_set.X, eval_set.y),
+                train_score=model.score(eval_set.X, eval_set.y),
+                test_score=model.score(test.X, test.y) if test is not None else None,
+                tuples_seen=tuples_seen,
+            )
+            timeline.append(
+                sgd.epoch_wall_times[-1],
+                epoch,
+                record.train_loss,
+                record.train_score,
+                record.test_score,
+            )
+            return record
+
+        try:
+            history = sgd.execute(evaluate)
+        except StorageError as exc:
+            raise StorageError(
+                f"TRAIN BY {query.model!r} on table {query.table!r} "
+                f"WHERE {query.where.render()} (strategy {strategy!r}) "
+                f"aborted: {exc.detail}",
+                epochs_completed=exc.epochs_completed,
+                tuples_seen=exc.tuples_seen,
+                partial=exc.partial,
+            ) from exc
+
+        if isinstance(scan, RidBlockShuffleOperator):
+            decision["physical"] = {
+                "blocks_loaded": scan.blocks_loaded,
+                "pages_fetched": scan.pages_fetched,
+                "device_page_reads": scan.device_page_reads,
+            }
+        needs_buffer = strategy.startswith("corgipile")
+        resources = ResourceUsage(
+            buffer_memory_bytes=(
+                (2 if ctx.double_buffer else 1) * buffer_tuples * table.tuple_bytes
+                if needs_buffer
+                else 0.0
+            ),
+            extra_disk_bytes=0.0,
+            io_seconds=ctx.total_io_s,
+            compute_seconds=ctx.total_compute_s,
+            wall_seconds=timeline.total_time_s,
+        )
+        query.extra.setdefault("advisor", {})["observed"] = self._observed_doc(sgd)
         model_id = self.register_model(model)
         return TrainResult(model_id, model, history, timeline, resources, query)
 
@@ -553,44 +779,59 @@ class MiniDB:
         table = self.catalog.get(query.table)
         dataset = table.dataset
         limit = max_rows if query.limit is None else min(query.limit, max_rows)
-        n = min(limit, dataset.n_tuples)
         columns = query.columns
         want_features = columns is None or any(
             c == "features" or (c.startswith("f") and c[1:].isdigit()) for c in columns
         )
+
+        def build_row(batch, j: int, position: int) -> dict:
+            row: dict = {}
+            keys = columns if columns is not None else ("rid", "label", "features")
+            for key in keys:
+                if key == "rid":
+                    row["rid"] = position
+                elif key == "label":
+                    row["label"] = float(batch.labels[j])
+                elif key == "features":
+                    feats = batch.row(j)
+                    if hasattr(feats, "to_dense"):
+                        feats = feats.to_dense()
+                    row["features"] = [float(v) for v in np.asarray(feats)[:8]]
+                else:  # f<k>
+                    k = int(key[1:])
+                    if k >= dataset.n_features:
+                        raise EngineError(
+                            f"column {key!r} out of range: table has "
+                            f"{dataset.n_features} features"
+                        )
+                    feats = batch.row(j)
+                    if hasattr(feats, "to_dense"):
+                        feats = feats.to_dense()
+                    row[key] = float(np.asarray(feats)[k])
+            return row
+
         rows: list[dict] = []
-        position = 0
-        page_id = 0
-        while len(rows) < n and page_id < table.heap.n_pages:
-            batch = table.pool.get_batch(page_id)
-            for j in range(min(len(batch), n - len(rows))):
-                row: dict = {}
-                keys = columns if columns is not None else ("rid", "label", "features")
-                for key in keys:
-                    if key == "rid":
-                        row["rid"] = position + j
-                    elif key == "label":
-                        row["label"] = float(batch.labels[j])
-                    elif key == "features":
-                        feats = batch.row(j)
-                        if hasattr(feats, "to_dense"):
-                            feats = feats.to_dense()
-                        row["features"] = [float(v) for v in np.asarray(feats)[:8]]
-                    else:  # f<k>
-                        k = int(key[1:])
-                        if k >= dataset.n_features:
-                            raise EngineError(
-                                f"column {key!r} out of range: table has "
-                                f"{dataset.n_features} features"
-                            )
-                        feats = batch.row(j)
-                        if hasattr(feats, "to_dense"):
-                            feats = feats.to_dense()
-                        row[key] = float(np.asarray(feats)[k])
-                rows.append(row)
-            position += len(batch)
-            page_id += 1
-        return {
+        via_index = None
+        if query.where is not None:
+            positions, index = self._where_positions(table, query.where)
+            via_index = None if index is None else index.name
+            n = min(limit, len(positions))
+            for position in positions[:n]:
+                rid = table.heap.rid_of(int(position))
+                batch = table.pool.get_batch(rid.page_id)
+                j = table.heap.slot_row_map(rid.page_id)[rid.slot]
+                rows.append(build_row(batch, j, int(position)))
+        else:
+            n = min(limit, dataset.n_tuples)
+            position = 0
+            page_id = 0
+            while len(rows) < n and page_id < table.heap.n_pages:
+                batch = table.pool.get_batch(page_id)
+                for j in range(min(len(batch), n - len(rows))):
+                    rows.append(build_row(batch, j, position + j))
+                position += len(batch)
+                page_id += 1
+        result = {
             "table": query.table,
             "n_tuples": dataset.n_tuples,
             "n_features": dataset.n_features,
@@ -600,6 +841,89 @@ class MiniDB:
             "truncated_features": want_features and dataset.n_features > 8,
             "rows": rows,
         }
+        if query.where is not None:
+            result["where"] = query.where.render()
+            result["via_index"] = via_index
+        return result
+
+    # ------------------------------------------------------------------
+    # DML + index DDL
+    def _where_positions(self, table: TableInfo, predicate):
+        """Qualifying heap positions, preferring an index range probe."""
+        from .where import index_qualifying_positions, qualifying_positions
+
+        for column in predicate.columns():
+            index = table.index_on(column)
+            if index is not None and predicate.interval_for(column) is not None:
+                return index_qualifying_positions(table, index, predicate), index
+        return qualifying_positions(table, predicate), None
+
+    def _literal_features(self, table: TableInfo, values):
+        """An INSERT row literal's feature values as the table's row type."""
+        from ..data.sparse import SparseRow
+
+        d = table.dataset.n_features
+        if len(values) != d:
+            raise EngineError(
+                f"INSERT row has {len(values)} feature values; table "
+                f"{table.name!r} has {d} features"
+            )
+        dense = np.asarray(values, dtype=np.float64)
+        if table.dataset.is_sparse:
+            nz = np.flatnonzero(dense)
+            return SparseRow(nz.astype(np.int64), dense[nz], d)
+        return dense
+
+    def insert(self, query: InsertQuery) -> dict:
+        """``INSERT INTO t VALUES (label, f0, ...), ...``."""
+        table = self.catalog.get(query.table)
+        rows = [
+            (float(row[0]), self._literal_features(table, row[1:]))
+            for row in query.rows
+        ]
+        rids = table.insert_rows(rows)
+        return {
+            "table": query.table,
+            "inserted": len(rids),
+            "rids": [[rid.page_id, rid.slot] for rid in rids],
+            "n_tuples": table.n_tuples,
+        }
+
+    def delete(self, query: DeleteQuery) -> dict:
+        """``DELETE FROM t WHERE ...`` — positions resolve via an index
+        range when one covers a predicate column."""
+        table = self.catalog.get(query.table)
+        positions, index = self._where_positions(table, query.where)
+        rids = [table.heap.rid_of(int(p)) for p in positions]
+        deleted = table.delete_rids(rids) if rids else 0
+        return {
+            "table": query.table,
+            "deleted": deleted,
+            "via_index": None if index is None else index.name,
+            "n_tuples": table.n_tuples,
+        }
+
+    def update(self, query: UpdateQuery) -> dict:
+        """``UPDATE t SET col = v, ... WHERE ...``."""
+        table = self.catalog.get(query.table)
+        positions, index = self._where_positions(table, query.where)
+        rids = [table.heap.rid_of(int(p)) for p in positions]
+        moved = table.update_rids(rids, query.assignments) if rids else []
+        return {
+            "table": query.table,
+            "updated": len(moved),
+            "moved": sum(1 for old, new in moved if old != new),
+            "via_index": None if index is None else index.name,
+        }
+
+    def create_index(self, query: CreateIndexQuery) -> dict:
+        self.catalog.get(query.table)  # surface UnknownTableError first
+        index = self.catalog.create_index(query.table, query.name, query.column)
+        return {"table": query.table, **index.describe()}
+
+    def drop_index(self, query: DropIndexQuery) -> dict:
+        self.catalog.get(query.table).drop_index(query.name)
+        return {"table": query.table, "dropped": query.name}
 
     def evaluate(self, query: EvaluateQuery) -> dict:
         """Score a stored model against a table's labels."""

@@ -7,6 +7,8 @@ __all__ = [
     "ParseError",
     "UnknownTableError",
     "UnknownModelError",
+    "UnknownIndexError",
+    "UnsupportedLayoutError",
     "StorageError",
 ]
 
@@ -58,3 +60,16 @@ class UnknownTableError(EngineError):
 
 class UnknownModelError(EngineError):
     """The query references a model id that was never trained."""
+
+
+class UnknownIndexError(EngineError):
+    """The query references an index that does not exist on the table."""
+
+
+class UnsupportedLayoutError(EngineError):
+    """The statement needs a storage layout the table does not have.
+
+    Today: ``INSERT``/``UPDATE``/``DELETE`` require the row layout —
+    columnar pages pack many rows into immutable per-column payloads, so
+    slot-level DML is rejected with this error instead of corrupting them.
+    """

@@ -19,6 +19,75 @@ from .query import TrainQuery
 
 __all__ = ["explain_train_plan"]
 
+# Keep in sync with repro.db.engine.WHERE_STRATEGIES (imported lazily there
+# to avoid a cycle; the executor enforces the same set).
+_WHERE_STRATEGIES = ("corgipile", "corgipile_single_buffer", "block_only", "no_shuffle")
+
+
+def _filtered_plan_lines(query, table: TableInfo, strategy: str, decision: dict) -> list[str]:
+    """The operator tree of a ``TRAIN ... WHERE`` plan."""
+    if strategy not in _WHERE_STRATEGIES:
+        raise EngineError(
+            f"strategy {strategy!r} does not support TRAIN ... WHERE; "
+            f"one of {', '.join(_WHERE_STRATEGIES)}"
+        )
+    from .where import subset_partition
+
+    heap = table.heap
+    n_matching = decision["n_matching"]
+    buffer_tuples = max(1, round(query.buffer_fraction * max(1, n_matching)))
+    heap_line = (
+        f"Heap {table.name!r}  ({table.n_tuples} tuples, {heap.n_pages} pages, "
+        f"{_fmt_bytes(heap.total_bytes)}"
+        + (", TOAST-compressed" if heap.compress else "")
+        + ")"
+    )
+    lines = [
+        f"SGD  (model={query.model}, epochs={query.max_epoch_num}, "
+        f"batch_size={query.batch_size}, lr={query.learning_rate}, "
+        f"decay={query.decay})"
+    ]
+    if strategy == "no_shuffle":
+        lines.append(f"  -> FilteredSeqScan  ({n_matching} qualifying tuples)")
+        lines.append(f"    -> {heap_line}")
+        return lines
+    import numpy as np
+
+    positions = np.empty(0, dtype=np.int64)  # partition geometry only
+    if n_matching:
+        from .where import index_qualifying_positions, qualifying_positions
+
+        index = table.indexes.get(decision["index"]) if decision["index"] else None
+        positions = (
+            index_qualifying_positions(table, index, query.where)
+            if index is not None
+            else qualifying_positions(table, query.where)
+        )
+    partition = subset_partition(heap, positions, query.block_size)
+    fetch_note = (
+        "index-ordered page fetch"
+        if decision["fetch"] == "index"
+        else "full-scan prefetch per epoch"
+    )
+    if strategy in ("corgipile", "corgipile_single_buffer"):
+        buffering = (
+            "double-buffered"
+            if strategy == "corgipile" and query.double_buffer
+            else "single-buffered"
+        )
+        lines.append(f"  -> TupleShuffle  (buffer={buffer_tuples} tuples, {buffering})")
+        indent = "    "
+    else:
+        indent = "  "
+    lines.append(
+        f"{indent}-> RidBlockShuffle  (blocks={partition.n_blocks}, "
+        f"block_size={_fmt_bytes(query.block_size)}, "
+        f"{n_matching} qualifying tuples over {partition.n_virtual_pages} "
+        f"virtual pages, {fetch_note})"
+    )
+    lines.append(f"{indent}  -> {heap_line}")
+    return lines
+
 
 def _fmt_bytes(n: float) -> str:
     if n >= 1024**2:
@@ -42,6 +111,55 @@ def explain_train_plan(
     """
     strategy = query.strategy
     advisor_lines: list[str] = []
+    where_lines: list[str] = []
+    where_decision = None
+    if query.where is not None:
+        from ..storage.iomodel import SSD as _SSD
+        from .where import choose_where_path, index_qualifying_positions, qualifying_positions
+
+        if strategy == "auto":
+            # Mirror the executor: a filtered subset trains with the
+            # shuffle-safe default instead of probing the subset's h_D.
+            strategy = "corgipile"
+        index = None
+        for column in query.where.columns():
+            cand = table.index_on(column)
+            if cand is not None and query.where.interval_for(column) is not None:
+                index = cand
+                break
+        positions = (
+            index_qualifying_positions(table, index, query.where)
+            if index is not None
+            else qualifying_positions(table, query.where)
+        )
+        where_decision = choose_where_path(
+            table, query.where, positions, device if device is not None else _SSD, index=index
+        )
+        d = where_decision
+        where_lines = [f"WHERE {d['predicate']}"]
+        if d["index"] is not None:
+            iv = d["interval"]
+            lo = "-inf" if iv["lo"] is None else f"{iv['lo']:g}"
+            hi = "+inf" if iv["hi"] is None else f"{iv['hi']:g}"
+            lob = "[" if iv["lo_inclusive"] else "("
+            hib = "]" if iv["hi_inclusive"] else ")"
+            where_lines.append(
+                f"  index: {d['index']} on {d['index_column']}  "
+                f"(range {lob}{lo}, {hi}{hib})"
+            )
+        else:
+            where_lines.append("  index: none (no usable range on an indexed column)")
+        where_lines.append(
+            f"  matched: {d['n_matching']} / {d['n_tuples']} tuples "
+            f"({100 * d['selectivity']:.1f}% selectivity), "
+            f"{d['n_qualifying_pages']} of {d['n_heap_pages']} pages "
+            f"in {d['page_runs']} run(s)"
+        )
+        where_lines.append(
+            f"  fetch path: index-ordered block fetch {d['est_index_s'] * 1e3:.2f}ms "
+            f"vs full scan {d['est_scan_s'] * 1e3:.2f}ms per epoch "
+            f"-> {d['fetch']}"
+        )
     if strategy == "auto":
         from ..storage.iomodel import SSD, device_by_name
         from .advisor import advise_strategy
@@ -58,6 +176,13 @@ def explain_train_plan(
         )
         strategy = decision.strategy
         advisor_lines = decision.render().split("\n")
+
+    if where_decision is not None:
+        return "\n".join(
+            where_lines
+            + advisor_lines
+            + _filtered_plan_lines(query, table, strategy, where_decision)
+        )
 
     buffer_tuples = max(1, round(query.buffer_fraction * table.n_tuples))
     heap = table.heap

@@ -22,6 +22,7 @@ pre-shuffled copy) and is also used to scan a pre-shuffled table.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 
 import numpy as np
@@ -48,7 +49,9 @@ from .timing import RuntimeContext
 __all__ = [
     "PhysicalOperator",
     "SeqScanOperator",
+    "FilteredSeqScanOperator",
     "BlockShuffleOperator",
+    "RidBlockShuffleOperator",
     "TupleShuffleOperator",
     "PassThroughAccountingOperator",
     "PermutedScanOperator",
@@ -118,6 +121,65 @@ class SeqScanOperator(PhysicalOperator):
             self._slot = 0
             self._page += 1
         record = self._current[self._slot]
+        self._slot += 1
+        return record
+
+    def rescan(self) -> None:
+        self.open()
+
+
+class FilteredSeqScanOperator(PhysicalOperator):
+    """Sequential heap scan that emits only the qualifying tuples.
+
+    The No-Shuffle access path under a ``WHERE``: every page is still
+    streamed (and charged) in order — a scan cannot skip pages it has not
+    read — but only the tuples at the qualifying positions flow upstream.
+    The emitted sequence equals a plain :class:`SeqScanOperator` over a
+    materialised copy of the filtered subset.
+    """
+
+    def __init__(self, table: TableInfo, ctx: RuntimeContext, positions):
+        self.table = table
+        self.ctx = ctx
+        # page_id -> qualifying slots, ascending (heap order is page-major,
+        # slot-ascending, so sorted positions land here already ordered).
+        self._slots_by_page: dict[int, list[int]] = {}
+        for position in positions:
+            rid = table.heap.rid_of(int(position))
+            self._slots_by_page.setdefault(rid.page_id, []).append(rid.slot)
+        self._page = 0
+        self._pending: list[TrainingTuple] = []
+        self._slot = 0
+
+    def open(self) -> None:
+        self._page = 0
+        self._pending = []
+        self._slot = 0
+
+    def next(self) -> TrainingTuple | None:
+        while self._slot >= len(self._pending):
+            if self._page >= self.table.heap.n_pages:
+                return None
+            page_id = self._page
+            self._page += 1
+            try:
+                tuples, hit = self.table.pool.get_page_traced(page_id)
+            except ReadExhaustedError as exc:
+                raise StorageError(
+                    f"filtered seq scan of table {self.table.name!r}: {exc}"
+                ) from exc
+            page_bytes = self.table.heap.pages[page_id].used_bytes
+            if hit:
+                self.ctx.charge_memory_read(page_bytes)
+            else:
+                self.ctx.charge_device_read(page_bytes, random=False)
+            wanted = self._slots_by_page.get(page_id)
+            if not wanted:
+                continue
+            row_of = self.table.heap.slot_row_map(page_id)
+            self._pending = [tuples[row_of[slot]] for slot in wanted]
+            self._slot = 0
+        record = self._pending[self._slot]
         self._slot += 1
         return record
 
@@ -208,6 +270,157 @@ class BlockShuffleOperator(PhysicalOperator):
             tuples = [tuples[i] for i in rng.permutation(len(tuples))]
         elif self.within == "reverse" and self._epoch % 2:
             tuples.reverse()
+        self._pending = tuples
+        self._slot = 0
+        return True
+
+    def next(self) -> TrainingTuple | None:
+        while self._slot >= len(self._pending):
+            if not self._load_next_block():
+                return None
+        record = self._pending[self._slot]
+        self._slot += 1
+        return record
+
+    def rescan(self) -> None:
+        self._epoch += 1
+        self.open()
+
+
+class RidBlockShuffleOperator(PhysicalOperator):
+    """Random block-order scan of a *filtered subset* addressed by RIDs.
+
+    The ``TRAIN ... WHERE`` access path.  ``partition`` is a
+    :class:`~repro.db.where.SubsetPartition` — the virtual page/block
+    layout a materialised copy of the subset would have — so the epoch
+    permutation (same ``epoch_rng`` stream as :class:`BlockShuffleOperator`)
+    and the within-block visit order are *bit-identical* to running plain
+    CorgiPile over that copy.  Only the physical fetch differs:
+
+    * ``fetch="index"`` — resolve each virtual block's tuples through the
+      buffer pool page by page; a pool miss charges one random positioning
+      per contiguous run of missed heap pages (index-ordered block fetch);
+    * ``fetch="scan"`` — stream the *whole* heap once per epoch at
+      sequential speed (the fallback when selectivity is too high for the
+      index to win), after which every fetch is memory-resident.
+    """
+
+    def __init__(
+        self,
+        table: TableInfo,
+        ctx: RuntimeContext,
+        partition,
+        seed: int = 0,
+        fetch: str = "index",
+    ):
+        if fetch not in ("index", "scan"):
+            raise ValueError(f"unknown fetch mode {fetch!r}")
+        self.table = table
+        self.ctx = ctx
+        self.partition = partition
+        self.seed = int(seed)
+        self.fetch = fetch
+        self._epoch = 0
+        self._block_order: np.ndarray = np.empty(0, dtype=np.int64)
+        self._block_pos = 0
+        self._pending: list[TrainingTuple] = []
+        self._slot = 0
+        # Epoch-local decoded-page cache: many virtual blocks can touch the
+        # same heap page; fetch (and charge) it once per epoch.
+        self._page_cache: dict[int, tuple[TrainingTuple, ...]] = {}
+        self._row_maps: dict[int, dict[int, int]] = {}
+        # Physical counters for the bench gate: blocks/pages actually
+        # touched, and pages that went to the device.
+        self.blocks_loaded = 0
+        self.pages_fetched = 0
+        self.device_page_reads = 0
+
+    @property
+    def n_blocks(self) -> int:
+        return self.partition.n_blocks
+
+    def open(self) -> None:
+        rng = epoch_rng(self.seed, self._epoch)
+        self._block_order = rng.permutation(self.n_blocks)
+        self._block_pos = 0
+        self._pending = []
+        self._slot = 0
+        self._page_cache = {}
+        if self.fetch == "scan":
+            self._scan_whole_heap()
+
+    def _scan_whole_heap(self) -> None:
+        heap = self.table.heap
+        for page_id in range(heap.n_pages):
+            try:
+                tuples, hit = self.table.pool.get_page_traced(page_id)
+            except ReadExhaustedError as exc:
+                raise StorageError(
+                    f"filtered block scan of table {self.table.name!r}: {exc}"
+                ) from exc
+            page_bytes = heap.pages[page_id].used_bytes
+            if hit:
+                self.ctx.charge_memory_read(page_bytes)
+            else:
+                self.ctx.charge_device_read(page_bytes, random=False)
+            self._page_cache[page_id] = tuples
+            self.pages_fetched += 1
+            if not hit:
+                self.device_page_reads += 1
+
+    def _fetch_pages(self, block) -> None:
+        """Index path: pull the block's heap pages through the pool."""
+        heap = self.table.heap
+        missed: list[int] = []
+        device_bytes = 0.0
+        memory_bytes = 0.0
+        for page_id in block.page_ids:
+            if page_id in self._page_cache:
+                continue
+            try:
+                tuples, hit = self.table.pool.get_page_traced(page_id)
+            except ReadExhaustedError as exc:
+                raise StorageError(
+                    f"index block fetch of table {self.table.name!r}, "
+                    f"block {block.block_id}: {exc}"
+                ) from exc
+            self._page_cache[page_id] = tuples
+            self.pages_fetched += 1
+            page_bytes = heap.pages[page_id].used_bytes
+            if hit:
+                memory_bytes += page_bytes
+            else:
+                missed.append(page_id)
+                device_bytes += page_bytes
+                self.device_page_reads += 1
+        if missed:
+            # One random positioning per contiguous run of missed pages;
+            # within a run the transfer is sequential.
+            runs = 1 + sum(
+                1 for a, b in zip(missed, missed[1:]) if b != a + 1
+            )
+            self.ctx.charge_device_read(device_bytes / runs, random=True, count=runs)
+        if memory_bytes:
+            self.ctx.charge_memory_read(memory_bytes)
+
+    def _load_next_block(self) -> bool:
+        if self._block_pos >= self._block_order.size:
+            return False
+        block = self.partition.blocks[int(self._block_order[self._block_pos])]
+        self._block_pos += 1
+        with obs.span("db.rid_block", block_id=block.block_id) as sp:
+            if self.fetch == "index":
+                self._fetch_pages(block)
+            tuples: list[TrainingTuple] = []
+            for _position, rid in block.entries:
+                row_of = self._row_maps.get(rid.page_id)
+                if row_of is None:
+                    row_of = self.table.heap.slot_row_map(rid.page_id)
+                    self._row_maps[rid.page_id] = row_of
+                tuples.append(self._page_cache[rid.page_id][row_of[rid.slot]])
+            sp.set(n_tuples=len(tuples), n_pages=len(block.page_ids))
+        obs.inc("db.blocks_loaded")
+        self.blocks_loaded += 1
         self._pending = tuples
         self._slot = 0
         return True
@@ -374,6 +587,9 @@ class SGDOperator:
         self.fused = bool(fused)
         self.fuse_chunk = int(fuse_chunk)
         self.epoch_wall_times: list[float] = []
+        # Measured (real) per-epoch walls, alongside the simulated ones —
+        # the advisor's "observed" feedback channel.
+        self.measured_wall_times: list[float] = []
 
     def _run_epoch(self, lr: float) -> int:
         from ..core.dataloader import collate
@@ -427,10 +643,13 @@ class SGDOperator:
             for epoch in range(self.epochs):
                 lr = float(self.schedule(epoch))
                 with obs.span("db.epoch", epoch=epoch, lr=lr) as sp:
+                    t0 = time.perf_counter()
                     tuples_seen += self._run_epoch(lr)
+                    measured_wall = time.perf_counter() - t0
                     simulated_wall = self.ctx.epoch_wall_time()
                     sp.set(tuples_seen=tuples_seen, simulated_wall_s=simulated_wall)
                 self.epoch_wall_times.append(simulated_wall)
+                self.measured_wall_times.append(measured_wall)
                 obs.inc("db.epochs")
                 history.append(evaluate(epoch, lr, tuples_seen))
                 if epoch + 1 < self.epochs:

@@ -17,21 +17,34 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from ..data.sparse import SparseMatrix, SparseRow
 from .errors import ParseError
 
 __all__ = [
+    "Comparison",
+    "Predicate",
     "TrainQuery",
     "PredictQuery",
     "EvaluateQuery",
     "ExplainQuery",
     "SelectQuery",
+    "InsertQuery",
+    "UpdateQuery",
+    "DeleteQuery",
+    "CreateIndexQuery",
+    "DropIndexQuery",
+    "column_value",
+    "parse_predicate",
     "parse_query",
     "parse_size",
 ]
 
 _SIZE_RE = re.compile(r"^(\d+(?:\.\d+)?)\s*(B|KB|MB|GB)$", re.IGNORECASE)
 _TRAIN_RE = re.compile(
-    r"^\s*SELECT\s+\*\s+FROM\s+(\w+)\s+TRAIN\s+BY\s+(\w+)(?:\s+WITH\s+(.*))?\s*$",
+    r"^\s*SELECT\s+\*\s+FROM\s+(\w+)(?:\s+WHERE\s+(.*?))?\s+TRAIN\s+BY\s+(\w+)"
+    r"(?:\s+WITH\s+(.*))?\s*$",
     re.IGNORECASE | re.DOTALL,
 )
 _PREDICT_RE = re.compile(
@@ -43,10 +56,44 @@ _EVALUATE_RE = re.compile(
     re.IGNORECASE,
 )
 _SELECT_RE = re.compile(
-    r"^\s*SELECT\s+(\*|\w+(?:\s*,\s*\w+)*)\s+FROM\s+(\w+)\s*(?:LIMIT\s+(\d+))?\s*$",
+    r"^\s*SELECT\s+(\*|\w+(?:\s*,\s*\w+)*)\s+FROM\s+(\w+)"
+    r"(?:\s+WHERE\s+(.*?))?\s*(?:LIMIT\s+(\d+))?\s*$",
     re.IGNORECASE,
 )
 _FEATURE_COL_RE = re.compile(r"^f(\d+)$")
+_CREATE_INDEX_RE = re.compile(
+    r"^\s*CREATE\s+INDEX\s+(\w+)\s+ON\s+(\w+)\s*\(\s*(\w+)\s*\)\s*$",
+    re.IGNORECASE,
+)
+_DROP_INDEX_RE = re.compile(
+    r"^\s*DROP\s+INDEX\s+(\w+)\s+ON\s+(\w+)\s*$",
+    re.IGNORECASE,
+)
+_INSERT_RE = re.compile(
+    r"^\s*INSERT\s+INTO\s+(\w+)\s+VALUES\s+(.*)$",
+    re.IGNORECASE | re.DOTALL,
+)
+_DELETE_RE = re.compile(
+    r"^\s*DELETE\s+FROM\s+(\w+)\s+WHERE\s+(.*)$",
+    re.IGNORECASE | re.DOTALL,
+)
+_UPDATE_RE = re.compile(
+    r"^\s*UPDATE\s+(\w+)\s+SET\s+(.*?)\s+WHERE\s+(.*)$",
+    re.IGNORECASE | re.DOTALL,
+)
+_COMPARISON_RE = re.compile(
+    r"^\s*(\w+)\s*(<=|>=|!=|=|<|>)\s*([-+]?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?)\s*$"
+)
+_ROW_LITERAL_RE = re.compile(r"\(([^()]*)\)")
+
+_COMPARE_FNS = {
+    "=": lambda v, c: v == c,
+    "!=": lambda v, c: v != c,
+    "<": lambda v, c: v < c,
+    "<=": lambda v, c: v <= c,
+    ">": lambda v, c: v > c,
+    ">=": lambda v, c: v >= c,
+}
 
 _UNITS = {"B": 1, "KB": 1024, "MB": 1024**2, "GB": 1024**3}
 
@@ -62,6 +109,149 @@ def parse_size(text: str) -> int:
     if text.isdigit():
         return int(text)
     raise ParseError(f"cannot parse size {text!r}")
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One ``column op value`` term; columns are ``label`` or ``f<k>``."""
+
+    column: str
+    op: str
+    value: float
+
+    def __post_init__(self):
+        if self.op not in _COMPARE_FNS:
+            raise ParseError(f"unknown comparison operator {self.op!r}")
+        if self.column != "label" and not _FEATURE_COL_RE.match(self.column):
+            raise ParseError(
+                f"unknown column {self.column!r} in predicate; "
+                "expected label or f<k>"
+            )
+
+    def matches(self, value: float) -> bool:
+        return _COMPARE_FNS[self.op](value, self.value)
+
+    def render(self) -> str:
+        return f"{self.column} {self.op} {self.value:g}"
+
+    def to_doc(self) -> dict:
+        return {"column": self.column, "op": self.op, "value": self.value}
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "Comparison":
+        return cls(doc["column"], doc["op"], float(doc["value"]))
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A conjunction of comparisons (``WHERE a AND b AND ...``)."""
+
+    terms: tuple[Comparison, ...]
+
+    def columns(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for term in self.terms:
+            if term.column not in seen:
+                seen.append(term.column)
+        return tuple(seen)
+
+    def render(self) -> str:
+        return " AND ".join(term.render() for term in self.terms)
+
+    def to_doc(self) -> dict:
+        return {"terms": [term.to_doc() for term in self.terms]}
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "Predicate":
+        return cls(tuple(Comparison.from_doc(t) for t in doc["terms"]))
+
+    # ------------------------------------------------------------------
+    def matches(self, label: float, features) -> bool:
+        """Row-at-a-time evaluation (``features``: dense vector or SparseRow)."""
+        return all(
+            term.matches(column_value(term.column, label, features))
+            for term in self.terms
+        )
+
+    def mask(self, X, y) -> np.ndarray:
+        """Vectorized evaluation over a whole table → boolean row mask."""
+        n = len(y)
+        out = np.ones(n, dtype=bool)
+        for term in self.terms:
+            if term.column == "label":
+                values = np.asarray(y, dtype=np.float64)
+            else:
+                k = int(term.column[1:])
+                if isinstance(X, SparseMatrix):
+                    values = np.zeros(n, dtype=np.float64)
+                    rows = np.repeat(np.arange(n), np.diff(X.indptr))
+                    hit = X.indices == k
+                    values[rows[hit]] = X.data[hit]
+                else:
+                    values = np.asarray(X[:, k], dtype=np.float64)
+            out &= _COMPARE_FNS[term.op](values, term.value)
+        return out
+
+    def interval_for(self, column: str):
+        """The tightest ``(lo, hi, lo_incl, hi_incl)`` the terms on ``column``
+        imply, or ``None`` when they give no usable bound (no terms, or only
+        ``!=``).  The full predicate must still be re-applied as a residual
+        filter — the interval only narrows an index scan.
+        """
+        lo = hi = None
+        lo_incl = hi_incl = True
+        bounded = False
+        for term in self.terms:
+            if term.column != column:
+                continue
+            if term.op == "=":
+                if lo is None or term.value > lo or (term.value == lo and lo_incl):
+                    lo, lo_incl = term.value, True
+                if hi is None or term.value < hi or (term.value == hi and hi_incl):
+                    hi, hi_incl = term.value, True
+                bounded = True
+            elif term.op in ("<", "<="):
+                incl = term.op == "<="
+                if hi is None or term.value < hi or (term.value == hi and not incl):
+                    hi, hi_incl = term.value, incl
+                bounded = True
+            elif term.op in (">", ">="):
+                incl = term.op == ">="
+                if lo is None or term.value > lo or (term.value == lo and not incl):
+                    lo, lo_incl = term.value, incl
+                bounded = True
+        if not bounded:
+            return None
+        return (lo, hi, lo_incl, hi_incl)
+
+
+def column_value(column: str, label: float, features) -> float:
+    if column == "label":
+        return float(label)
+    k = int(column[1:])
+    if isinstance(features, SparseRow):
+        pos = np.searchsorted(features.indices, k)
+        if pos < features.indices.size and features.indices[pos] == k:
+            return float(features.values[pos])
+        return 0.0
+    return float(features[k])
+
+
+def parse_predicate(text: str) -> Predicate:
+    """Parse ``col op value [AND ...]`` into a :class:`Predicate`."""
+    terms = []
+    for part in re.split(r"\s+AND\s+", text.strip(), flags=re.IGNORECASE):
+        match = _COMPARISON_RE.match(part)
+        if not match:
+            raise ParseError(
+                f"cannot parse predicate term {part.strip()!r}; "
+                "expected <column> <op> <number>"
+            )
+        column, op, value = match.group(1).lower(), match.group(2), float(match.group(3))
+        terms.append(Comparison(column, op, value))
+    if not terms:
+        raise ParseError("empty predicate")
+    return Predicate(tuple(terms))
 
 
 @dataclass
@@ -87,6 +277,9 @@ class TrainQuery:
     #: block file, with ``aggregation`` picking the sync/epoch/async mode.
     workers: int = 1
     aggregation: str = "sync"
+    #: ``WHERE`` pushdown: train over the qualifying subset only, with the
+    #: planner choosing index-range scan vs full scan for the fetch.
+    where: Predicate | None = None
     extra: dict = field(default_factory=dict)
 
 
@@ -113,6 +306,7 @@ class SelectQuery:
     table: str
     limit: int | None = None
     columns: tuple[str, ...] | None = None
+    where: Predicate | None = None
 
 
 @dataclass(frozen=True)
@@ -128,6 +322,49 @@ class ExplainQuery:
     """An ``EXPLAIN`` wrapper around a training statement."""
 
     inner: TrainQuery
+
+
+@dataclass(frozen=True)
+class InsertQuery:
+    """``INSERT INTO t VALUES (label, v0, v1, ...), ...`` — dense row
+    literals; sparse tables drop the zero values on store."""
+
+    table: str
+    rows: tuple[tuple[float, ...], ...]
+
+
+@dataclass(frozen=True)
+class UpdateQuery:
+    """``UPDATE t SET col = value[, ...] WHERE ...``."""
+
+    table: str
+    assignments: tuple[tuple[str, float], ...]
+    where: Predicate
+
+
+@dataclass(frozen=True)
+class DeleteQuery:
+    """``DELETE FROM t WHERE ...``."""
+
+    table: str
+    where: Predicate
+
+
+@dataclass(frozen=True)
+class CreateIndexQuery:
+    """``CREATE INDEX name ON t(col)`` — single-column B+tree."""
+
+    name: str
+    table: str
+    column: str
+
+
+@dataclass(frozen=True)
+class DropIndexQuery:
+    """``DROP INDEX name ON t``."""
+
+    name: str
+    table: str
 
 
 def _parse_value(raw: str):
@@ -158,15 +395,85 @@ def parse_query(
         if not isinstance(inner, TrainQuery):
             raise ParseError("EXPLAIN is only supported for TRAIN BY statements")
         return ExplainQuery(inner)
+    match = _CREATE_INDEX_RE.match(sql)
+    if match:
+        name, table, column = match.group(1), match.group(2), match.group(3).lower()
+        if column != "label" and not _FEATURE_COL_RE.match(column):
+            raise ParseError(
+                f"cannot index column {column!r}; expected label or f<k>"
+            )
+        return CreateIndexQuery(name=name, table=table, column=column)
+    match = _DROP_INDEX_RE.match(sql)
+    if match:
+        return DropIndexQuery(name=match.group(1), table=match.group(2))
+    match = _INSERT_RE.match(sql)
+    if match:
+        table, values_text = match.group(1), match.group(2).strip()
+        rows = []
+        consumed = 0
+        for literal in _ROW_LITERAL_RE.finditer(values_text):
+            consumed = literal.end()
+            fields = [f for f in literal.group(1).split(",") if f.strip()]
+            if not fields:
+                raise ParseError("empty row literal in INSERT")
+            try:
+                rows.append(tuple(float(f) for f in fields))
+            except ValueError as exc:
+                raise ParseError(
+                    f"bad numeric literal in INSERT row {literal.group(0)}"
+                ) from exc
+        trailing = values_text[consumed:].strip().strip(",").strip()
+        if not rows or trailing:
+            raise ParseError(
+                "INSERT expects VALUES (label, v0, v1, ...)[, (...)] row literals"
+            )
+        return InsertQuery(table=table, rows=tuple(rows))
+    match = _DELETE_RE.match(sql)
+    if match:
+        return DeleteQuery(table=match.group(1), where=parse_predicate(match.group(2)))
+    match = _UPDATE_RE.match(sql)
+    if match:
+        table, set_text, where_text = match.group(1), match.group(2), match.group(3)
+        assignments = []
+        for part in set_text.split(","):
+            if "=" not in part:
+                raise ParseError(f"malformed SET assignment {part.strip()!r}")
+            column, raw = part.split("=", 1)
+            column = column.strip().lower()
+            if column != "label" and not _FEATURE_COL_RE.match(column):
+                raise ParseError(
+                    f"cannot SET column {column!r}; expected label or f<k>"
+                )
+            try:
+                assignments.append((column, float(raw)))
+            except ValueError as exc:
+                raise ParseError(f"bad value for SET {column}: {raw.strip()!r}") from exc
+        if not assignments:
+            raise ParseError("UPDATE needs at least one SET assignment")
+        return UpdateQuery(
+            table=table,
+            assignments=tuple(assignments),
+            where=parse_predicate(where_text),
+        )
     match = _PREDICT_RE.match(sql)
     if match:
         return PredictQuery(table=match.group(1), model_id=match.group(2))
     match = _EVALUATE_RE.match(sql)
     if match:
         return EvaluateQuery(table=match.group(1), model_id=match.group(2))
+    # TRAIN must be tried before the plain SELECT: a WHERE clause is free
+    # text to the SELECT regex and would swallow the TRAIN BY suffix.
+    match = _TRAIN_RE.match(sql)
+    if match:
+        return _parse_train(match)
     match = _SELECT_RE.match(sql)
     if match:
-        collist, table, limit = match.group(1), match.group(2), match.group(3)
+        collist, table, where_text, limit = (
+            match.group(1),
+            match.group(2),
+            match.group(3),
+            match.group(4),
+        )
         columns: tuple[str, ...] | None = None
         if collist.strip() != "*":
             names = []
@@ -185,14 +492,23 @@ def parse_query(
             table=table,
             limit=int(limit) if limit is not None else None,
             columns=columns,
+            where=parse_predicate(where_text) if where_text else None,
         )
-    match = _TRAIN_RE.match(sql)
-    if not match:
-        raise ParseError(f"cannot parse query: {sql!r}")
-    table, model, params_text = match.group(1), match.group(2).lower(), match.group(3)
+    raise ParseError(f"cannot parse query: {sql!r}")
+
+
+def _parse_train(match) -> TrainQuery:
+    table, where_text, model, params_text = (
+        match.group(1),
+        match.group(2),
+        match.group(3).lower(),
+        match.group(4),
+    )
     if model not in MODEL_NAMES:
         raise ParseError(f"unknown model {model!r}; supported: {', '.join(MODEL_NAMES)}")
     query = TrainQuery(table=table, model=model)
+    if where_text:
+        query.where = parse_predicate(where_text)
     if not params_text:
         return query
     for assignment in params_text.split(","):
@@ -203,7 +519,7 @@ def parse_query(
         key, raw = assignment.split("=", 1)
         key = key.strip().lower()
         value = _parse_value(raw)
-        if hasattr(query, key) and key not in ("table", "model", "extra"):
+        if hasattr(query, key) and key not in ("table", "model", "extra", "where"):
             expected = type(getattr(query, key))
             try:
                 setattr(query, key, expected(value))

@@ -1,0 +1,243 @@
+"""``WHERE`` pushdown for TRAIN/SELECT/DML: positions, paths, partitions.
+
+Three pieces live here:
+
+* :func:`qualifying_positions` / :func:`index_qualifying_positions` —
+  resolve a :class:`~repro.db.query.Predicate` to the heap positions that
+  satisfy it, either by a vectorised scan of the logical arrays or by a
+  B+tree range probe plus residual filter.  Both return the same set, in
+  heap order — the physical path only changes what I/O gets *charged*.
+
+* :func:`choose_where_path` — the planner rule.  An index-ordered block
+  fetch pays one random positioning per qualifying-page run; a full scan
+  pays one sequential pass over the whole heap.  The cheaper estimate (on
+  the query's device) wins, so high selectivity flips the plan to the
+  scan exactly as in a real optimiser.
+
+* :func:`subset_partition` — the bit-exactness keystone.  ``TRAIN ...
+  WHERE`` must visit tuples in the same order CorgiPile would visit a
+  *materialised* copy of the filtered subset (``HeapFile.from_dataset``
+  over ``dataset.subset(positions)``).  Instead of copying, we replay the
+  heap's page-packing rule over the qualifying tuples' payload lengths,
+  producing *virtual* pages and blocks that partition the RID list exactly
+  as the copy's real pages would.  The block-shuffle permutation then acts
+  on virtual block ids, and every fetch resolves through the original
+  heap's buffer pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..storage.heapfile import HeapFile
+from ..storage.rid import RID
+from .catalog import TableIndex, TableInfo
+from .query import Predicate
+
+__all__ = [
+    "VirtualBlock",
+    "SubsetPartition",
+    "qualifying_positions",
+    "index_qualifying_positions",
+    "subset_partition",
+    "choose_where_path",
+]
+
+
+def qualifying_positions(table: TableInfo, predicate: Predicate) -> np.ndarray:
+    """Heap positions satisfying ``predicate``, by vectorised evaluation.
+
+    Position ``i`` of the heap is row ``i`` of the logical dataset (the
+    heap is built from it in order and rebuilt in heap order after DML),
+    so a mask over the arrays *is* the answer.  Like the advisor's ``h_D``
+    probe, this touches only in-memory statistics — no simulated I/O.
+    """
+    dataset = table.dataset
+    mask = predicate.mask(dataset.X, dataset.y)
+    return np.flatnonzero(mask)
+
+
+def index_qualifying_positions(
+    table: TableInfo, index: TableIndex, predicate: Predicate
+) -> np.ndarray:
+    """Heap positions satisfying ``predicate``, via a B+tree range probe.
+
+    The index bounds the candidates with ``predicate.interval_for`` on its
+    key column; the remaining terms are applied as a residual filter.  The
+    result is sorted into heap order so downstream block partitioning sees
+    the same sequence as a filtered scan.
+    """
+    interval = predicate.interval_for(index.column)
+    if interval is None:
+        return qualifying_positions(table, predicate)
+    lo, hi, lo_incl, hi_incl = interval
+    candidates = sorted(
+        table.heap.position_of(rid)
+        for _key, rid in index.tree.range(
+            lo, hi, lo_inclusive=lo_incl, hi_inclusive=hi_incl
+        )
+    )
+    if not candidates:
+        return np.empty(0, dtype=np.int64)
+    # Residual: the interval covered only the key column; re-check the full
+    # predicate (extra terms, != terms) over the candidate rows.
+    dataset = table.dataset
+    mask = predicate.mask(dataset.X, dataset.y)
+    return np.asarray([p for p in candidates if mask[p]], dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class VirtualBlock:
+    """One virtual block: the qualifying tuples a materialised copy's
+    block would hold, addressed by their *original* heap locations."""
+
+    block_id: int
+    #: ``(position, rid)`` in visit order (virtual page, then slot order).
+    entries: tuple[tuple[int, RID], ...]
+    #: Distinct real heap pages the entries live on, in first-touch order.
+    page_ids: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SubsetPartition:
+    """The virtual page/block layout of a filtered subset."""
+
+    blocks: tuple[VirtualBlock, ...]
+    n_tuples: int
+    n_virtual_pages: int
+    pages_per_block: int
+    page_bytes: int
+    block_bytes: int
+    #: Distinct real heap pages holding any qualifying tuple.
+    n_heap_pages: int = field(default=0)
+    #: Total payload bytes the materialised copy would hold.
+    payload_bytes: int = field(default=0)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+
+def subset_partition(
+    heap: HeapFile, positions: np.ndarray, block_bytes: int
+) -> SubsetPartition:
+    """Replay ``HeapFile.from_dataset`` packing over the filtered subset.
+
+    A materialised copy would re-encode tuple ``positions[i]`` with the new
+    id ``i`` and append it; a page closes when the next payload no longer
+    fits.  Uncompressed payloads have id-independent length (fixed-width
+    header), so the stored slot length is the copy's length; compressed
+    payloads are re-encoded with the new id to get the exact zlib size.
+    Blocks then group virtual pages by the heap's page-run rule.
+    """
+    if block_bytes < heap.page_bytes:
+        raise ValueError("block_bytes must be at least one page")
+    pages: list[list[tuple[int, RID]]] = []
+    used = 0
+    capacity = 0
+    total_payload = 0
+    for new_id, position in enumerate(positions):
+        position = int(position)
+        rid = heap.rid_of(position)
+        if heap.compress:
+            tup = heap.read_tuple(position)
+            length = len(heap.encode_payload(new_id, tup.label, tup.features))
+        else:
+            length = heap.pages[rid.page_id].payload_length(rid.slot)
+        if not pages or used + length > capacity:
+            pages.append([])
+            used = 0
+            capacity = max(heap.page_bytes, length)
+        pages[-1].append((position, rid))
+        used += length
+        total_payload += length
+
+    per = max(1, int(block_bytes) // heap.page_bytes)
+    blocks: list[VirtualBlock] = []
+    for block_id in range(0, -(-len(pages) // per) if pages else 0):
+        entries: list[tuple[int, RID]] = []
+        for vpage in pages[block_id * per : (block_id + 1) * per]:
+            entries.extend(vpage)
+        page_ids: list[int] = []
+        seen: set[int] = set()
+        for _position, rid in entries:
+            if rid.page_id not in seen:
+                seen.add(rid.page_id)
+                page_ids.append(rid.page_id)
+        blocks.append(
+            VirtualBlock(
+                block_id=block_id, entries=tuple(entries), page_ids=tuple(page_ids)
+            )
+        )
+    all_pages = {rid.page_id for block in blocks for _p, rid in block.entries}
+    return SubsetPartition(
+        blocks=tuple(blocks),
+        n_tuples=int(len(positions)),
+        n_virtual_pages=len(pages),
+        pages_per_block=per,
+        page_bytes=heap.page_bytes,
+        block_bytes=int(block_bytes),
+        n_heap_pages=len(all_pages),
+        payload_bytes=total_payload,
+    )
+
+
+def choose_where_path(
+    table: TableInfo,
+    predicate: Predicate,
+    positions: np.ndarray,
+    device,
+    index: TableIndex | None = None,
+) -> dict:
+    """Pick ``index`` vs ``scan`` fetch for a filtered query; returns the
+    decision document stored in ``query.extra["where"]`` and rendered by
+    EXPLAIN.
+
+    The index path touches only the pages holding qualifying tuples — one
+    random positioning per contiguous page run — so its cost tracks
+    *selectivity*; the scan path streams the whole heap once regardless.
+    """
+    heap = table.heap
+    n_qual = int(len(positions))
+    qual_pages = sorted({heap.rid_of(int(p)).page_id for p in positions})
+    runs = 0
+    prev = None
+    for page_id in qual_pages:
+        if prev is None or page_id != prev + 1:
+            runs += 1
+        prev = page_id
+    avg_page_bytes = heap.payload_bytes / max(1, heap.n_pages)
+    est_index_s = device.random_time(
+        avg_page_bytes * len(qual_pages) / max(1, runs), runs
+    )
+    est_scan_s = device.sequential_time(float(heap.payload_bytes))
+    usable_index = index is not None and predicate.interval_for(index.column) is not None
+    # Strict <: a tie means the "random" fetch degenerated into one
+    # sequential pass anyway, so take the plain scan.
+    fetch = "index" if usable_index and est_index_s < est_scan_s else "scan"
+    interval = None
+    if usable_index:
+        lo, hi, lo_incl, hi_incl = predicate.interval_for(index.column)
+        interval = {
+            "lo": lo,
+            "hi": hi,
+            "lo_inclusive": lo_incl,
+            "hi_inclusive": hi_incl,
+        }
+    return {
+        "predicate": predicate.render(),
+        "index": index.name if usable_index else None,
+        "index_column": index.column if usable_index else None,
+        "interval": interval,
+        "n_matching": n_qual,
+        "n_tuples": int(table.n_tuples),
+        "selectivity": n_qual / max(1, table.n_tuples),
+        "n_qualifying_pages": len(qual_pages),
+        "n_heap_pages": int(heap.n_pages),
+        "page_runs": runs,
+        "est_index_s": est_index_s,
+        "est_scan_s": est_scan_s,
+        "fetch": fetch,
+    }

@@ -19,6 +19,7 @@ from typing import Any
 from ..storage.blockfile import BlockFileReader, BlockIndexEntry
 from ..storage.columnar import ChunkRef
 from ..storage.heapfile import HeapFile
+from ..storage.index import IndexFileReader
 from ..storage.retry import RetryPolicy, TransientReadError
 from .plan import FaultDecision, FaultPlan
 
@@ -27,6 +28,7 @@ __all__ = [
     "chunk_fault_target",
     "FaultyBlockFileReader",
     "FaultyHeapFile",
+    "FaultyIndexReader",
 ]
 
 
@@ -155,6 +157,7 @@ class FaultyHeapFile(_InjectorMixin, HeapFile):
         )
         # Alias (not copy) the inner heap's storage: the fault plane changes
         # what reads *return*, never what is stored.
+        inner._ensure_refs()  # DML may have left the directory stale
         self.pages = inner.pages
         self._refs = inner._refs
         self.inner = inner
@@ -175,3 +178,35 @@ class FaultyHeapFile(_InjectorMixin, HeapFile):
     def recommended_retry(self) -> RetryPolicy:
         """A retry budget sized to this plan's worst consecutive failures."""
         return RetryPolicy(max_attempts=self.fault_plan.max_consecutive_failures + 1)
+
+
+class FaultyIndexReader(_InjectorMixin, IndexFileReader):
+    """An :class:`IndexFileReader` whose node reads obey a fault plan.
+
+    Plans address ``("index_node", node_id)`` — one B+tree node per target,
+    so a spec can tear exactly the leaf a range scan will walk through while
+    the descent path above it reads clean.  Torn node bytes fail the
+    per-node CRC (:class:`~repro.storage.retry.ChecksumError`), which the
+    reader's retry policy absorbs by re-reading — same contract as block
+    and heap-page faults.
+    """
+
+    def __init__(
+        self,
+        path,
+        plan: FaultPlan,
+        retry: RetryPolicy | None = None,
+        storage_stats: Any | None = None,
+    ):
+        if retry is None:
+            retry = RetryPolicy(max_attempts=plan.max_consecutive_failures + 1)
+        super().__init__(path, retry=retry, storage_stats=storage_stats)
+        self.fault_plan = plan
+
+    def _read_node_raw(self, node_id: int, attempt: int = 1) -> bytes:
+        decision = self.fault_plan.decide("index_node", node_id, attempt)
+        tear = self._apply_decision(decision, "index_node", node_id)
+        raw = super()._read_node_raw(node_id, attempt)
+        if tear:
+            raw = corrupt_bytes(raw, salt=attempt)
+        return raw

@@ -162,7 +162,8 @@ class Job:
             spec = dict(self.spec)
         keep = (
             "job_id", "session_id", "state", "sql", "table", "model",
-            "strategy", "advisor", "seed", "epochs", "error", "result",
+            "strategy", "advisor", "where", "warm_start", "seed", "epochs",
+            "error", "result",
             "submitted_at", "started_at", "finished_at", "queue_wait_s",
         )
         return {k: spec.get(k) for k in keep if spec.get(k) is not None}
@@ -291,9 +292,52 @@ class JobManager:
             raise Saturated(retry_after, depth)
 
         dataset = table.dataset
+        where_doc = None
+        if query.where is not None:
+            # Resolve the filter at admission: the job's block file IS the
+            # filtered subset, so the worker (and any post-crash incarnation)
+            # trains exactly the rows that qualified at submit time, immune
+            # to later DML on the session's table.
+            from ..db.where import (
+                choose_where_path,
+                index_qualifying_positions,
+                qualifying_positions,
+            )
+            from ..storage.iomodel import device_by_name
+
+            index = None
+            for column in query.where.columns():
+                cand = table.index_on(column)
+                if cand is not None and query.where.interval_for(column) is not None:
+                    index = cand
+                    break
+            positions = (
+                index_qualifying_positions(table, index, query.where)
+                if index is not None
+                else qualifying_positions(table, query.where)
+            )
+            if len(positions) == 0:
+                raise ValueError(
+                    f"TRAIN ... WHERE {query.where.render()} matches no tuples"
+                )
+            where_doc = choose_where_path(
+                table, query.where, positions, device_by_name(self.device), index=index
+            )
+            where_doc["predicate_doc"] = query.where.to_doc()
+            dataset = dataset.subset(positions, suffix="where")
+
+        warm_start = query.extra.get("warm_start")
+        warm_start_path = None
+        if warm_start:
+            warm_start_path = self._resolve_warm_start(str(warm_start), query)
+
         advisor_doc = None
         strategy = query.strategy
-        if strategy == "auto":
+        if strategy == "auto" and query.where is not None:
+            # Match the engine: a filtered subset trains with the
+            # shuffle-safe default instead of probing the subset's h_D.
+            strategy = "corgipile"
+        elif strategy == "auto":
             # Resolve the plan-time decision NOW (admission, not execution):
             # the journalled spec records which access path the advisor
             # chose and its full evidence table, so a poll — or a post-crash
@@ -332,6 +376,9 @@ class JobManager:
             "n_tuples": dataset.n_tuples,
             "strategy": strategy,
             "advisor": advisor_doc,
+            "where": where_doc,
+            "warm_start": str(warm_start) if warm_start else None,
+            "warm_start_path": warm_start_path,
             "seed": query.seed,
             "epochs": query.max_epoch_num,
             "learning_rate": query.learning_rate,
@@ -362,6 +409,40 @@ class JobManager:
         obs.inc("serve.jobs.submitted")
         obs.inc(f"serve.session.{session_id}.jobs_submitted")
         return job
+
+    def _resolve_warm_start(self, warm_start: str, query: TrainQuery) -> str:
+        """Map ``WITH warm_start = 'job_N'`` to that job's model file.
+
+        A bare path to a ``.npz`` saved by :mod:`repro.ml.persistence` is
+        accepted too.  The path (not the id) is journalled, so recovery
+        keeps working even if the source job is later pruned from memory.
+        """
+        if re.fullmatch(r"job_\d+", warm_start):
+            try:
+                source = self.get(warm_start)
+            except KeyError:
+                # Not in memory (e.g. pre-restart job) — fall back to the
+                # journal's model file if it survived.
+                path = self.jobs_dir / f"{warm_start}.model.npz"
+                if not path.exists():
+                    raise ValueError(
+                        f"warm_start {warm_start!r}: unknown job and no model file"
+                    ) from None
+                return str(path)
+            if source.state != "done":
+                raise ValueError(
+                    f"warm_start {warm_start!r}: job is {source.state}, not done"
+                )
+            if source.spec.get("model") != query.model:
+                raise ValueError(
+                    f"warm_start {warm_start!r} trained {source.spec.get('model')!r}; "
+                    f"this query trains {query.model!r}"
+                )
+            return str(source.model_path)
+        path = Path(warm_start)
+        if path.is_file():
+            return str(path)
+        raise ValueError(f"warm_start {warm_start!r}: no such job or model file")
 
     def _retry_after(self, depth: int) -> float:
         recent = list(self._recent_runtimes)
@@ -481,12 +562,27 @@ class JobManager:
         """Run (or resume) one TRAIN job through the streaming trainer."""
         spec = job.spec
         model = _MODEL_CONSTRUCTORS[spec["model"]](spec)
+        if spec.get("warm_start_path"):
+            from ..ml.persistence import load_model
+
+            warm = load_model(spec["warm_start_path"])
+            if type(warm).__name__ != type(model).__name__ or getattr(
+                warm, "n_features", None
+            ) != getattr(model, "n_features", None):
+                raise ValueError(
+                    f"warm_start {spec.get('warm_start')!r} is a "
+                    f"{type(warm).__name__}; the job trains a "
+                    f"{type(model).__name__} over {spec['n_features']} features"
+                )
+            model = warm
         resume = job.ckpt_path if job.ckpt_path.exists() else None
+        epoch_marks: list[float] = []
         with CorgiPileDataset(
             job.blocks_path, buffer_blocks=spec["buffer_blocks"], seed=spec["seed"]
         ) as view:
 
             def loader_factory(epoch: int):
+                epoch_marks.append(time.perf_counter())
                 view.set_epoch(epoch)
                 return self._interruptible(
                     DataLoader(view, batch_size=spec["loader_batch"]), job
@@ -504,11 +600,20 @@ class JobManager:
                 ),
                 resume_from=resume,
             )
+        marks = epoch_marks + [time.perf_counter()]
         summary = {
             "epochs": len(history.records),
             "tuples_seen": (
                 history.records[-1].tuples_seen if history.records else 0
             ),
+            # Measured per-epoch walls (loader-to-loader boundaries) — the
+            # journal-side twin of the engine's advisor "observed" doc.
+            "observed": {
+                "epoch_wall_s": [
+                    round(b - a, 6) for a, b in zip(marks, marks[1:])
+                ],
+                "total_wall_s": round(marks[-1] - marks[0], 6) if epoch_marks else 0.0,
+            },
         }
         # Final quality numbers come from the job's own on-disk copy, so
         # they are identical no matter which daemon incarnation ran it.

@@ -28,11 +28,16 @@ from ..data.orderings import clustered_by_label
 from ..db.engine import MiniDB
 from ..db.errors import EngineError, ParseError
 from ..db.query import (
+    CreateIndexQuery,
+    DeleteQuery,
+    DropIndexQuery,
     EvaluateQuery,
     ExplainQuery,
+    InsertQuery,
     PredictQuery,
     SelectQuery,
     TrainQuery,
+    UpdateQuery,
     parse_query,
 )
 from .jobs import Saturated
@@ -156,6 +161,18 @@ class Session:
             )
         if isinstance(query, EvaluateQuery):
             return ok(result=self.db.evaluate(query))
+        # DML and index DDL are cheap slot/tree mutations: run inline, like
+        # SELECT — only multi-epoch TRAINs go through the job queue.
+        if isinstance(query, InsertQuery):
+            return ok(result=self.db.insert(query))
+        if isinstance(query, DeleteQuery):
+            return ok(result=self.db.delete(query))
+        if isinstance(query, UpdateQuery):
+            return ok(result=self.db.update(query))
+        if isinstance(query, CreateIndexQuery):
+            return ok(result=self.db.create_index(query))
+        if isinstance(query, DropIndexQuery):
+            return ok(result=self.db.drop_index(query))
         return err("bad_request", f"unsupported statement {type(query).__name__}")
 
     def _handle_status(self, request: dict) -> dict:

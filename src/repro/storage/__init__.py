@@ -18,8 +18,16 @@ from .columnar import (
     encode_block_columnar,
 )
 from .filestore import load_heap, save_heap
+from .index import (
+    BPlusTree,
+    IndexFileReader,
+    IndexFormatError,
+    read_index_header,
+    save_index,
+)
 from .migrate import MigrationReport, migrate_file
-from .heapfile import HeapFile
+from .heapfile import ColumnarMutationError, HeapFile
+from .rid import RID, RID_BYTES, pack_rids, unpack_rids
 from .iomodel import (
     DEVICE_MODELS,
     HDD,
@@ -67,6 +75,16 @@ __all__ = [
     "Page",
     "DEFAULT_PAGE_BYTES",
     "HeapFile",
+    "ColumnarMutationError",
+    "RID",
+    "RID_BYTES",
+    "pack_rids",
+    "unpack_rids",
+    "BPlusTree",
+    "IndexFileReader",
+    "IndexFormatError",
+    "read_index_header",
+    "save_index",
     "save_heap",
     "load_heap",
     "BufferPool",

@@ -42,7 +42,10 @@ def save_heap(heap: HeapFile, path: str | Path) -> Path:
         "pages": [
             {
                 "capacity": page.capacity,
-                "slots": [len(chunk) for chunk in page.tuple_payloads()],
+                # Dead slots render as length 0 (Snippet-2 style line
+                # pointers) so RIDs survive a save/load round trip; their
+                # payload bytes are dropped, i.e. saving compacts the page.
+                "slots": page.slot_lengths(),
             }
             for page in heap.pages
         ],
@@ -79,12 +82,15 @@ def load_heap(path: str | Path) -> HeapFile:
             image = f.read(page_info["capacity"])
             if len(image) != page_info["capacity"]:
                 raise ValueError(f"{path}: truncated page {page_id}")
-            page = Page(page_id, capacity=page_info["capacity"])
+            payloads: list[bytes | None] = []
             offset = 0
             for slot_len in page_info["slots"]:
-                page.append(image[offset : offset + slot_len])
-                offset += slot_len
-            heap.pages.append(page)
+                if slot_len == 0:
+                    payloads.append(None)  # dead slot: keep the id, no bytes
+                else:
+                    payloads.append(image[offset : offset + slot_len])
+                    offset += slot_len
+            heap.pages.append(Page.from_slots(page_id, page_info["capacity"], payloads))
         # Rebuild the position -> (page, slot) directory.  Row pages hold one
         # tuple per slot; a columnar page is one payload whose header says
         # how many rows it packs (``slot`` is then the row index).
@@ -100,6 +106,6 @@ def load_heap(path: str | Path) -> HeapFile:
                     heap._refs.append(_TupleRef(page.page_id, row))
         else:
             for page in heap.pages:
-                for slot in range(page.n_tuples):
+                for slot in page.live_slots():
                     heap._refs.append(_TupleRef(page.page_id, slot))
     return heap

@@ -25,8 +25,18 @@ from .codec import TrainingTuple, TupleBatch, TupleSchema, decode_page, decode_t
 from .columnar import decode_block_columnar, encode_block_columnar
 from .page import DEFAULT_PAGE_BYTES, Page
 from .retry import ChecksumError
+from .rid import RID
 
-__all__ = ["HeapFile"]
+__all__ = ["HeapFile", "ColumnarMutationError"]
+
+
+class ColumnarMutationError(TypeError):
+    """DML on a columnar-layout heap.
+
+    Columnar pages pack many rows into one immutable per-column payload, so
+    slot-level ``INSERT``/``UPDATE``/``DELETE`` has no meaning there; callers
+    must use a row-layout table (or rebuild the columnar table).
+    """
 
 
 @dataclass
@@ -66,6 +76,10 @@ class HeapFile:
         # Columnar append buffer: rows not yet flushed into a page.
         self._pending: list[tuple[int, float, object]] = []
         self._pending_bytes = 0
+        # DML marks the position directory stale; it is rebuilt lazily in
+        # heap order (page-major, slot order) on the next positional access.
+        self._refs_dirty = False
+        self._pos_map: dict[RID, int] | None = None
         self.decode_count = 0  # tuples decoded (CPU accounting)
         # Verify every page read against the page's CRC32 before decoding.
         # Off by default (the in-memory heap cannot tear); the fault plane's
@@ -104,14 +118,13 @@ class HeapFile:
             if self._pending_bytes >= self.page_bytes:
                 self.flush()
             return
-        payload = encode_tuple(tuple_id, label, features)
-        if self.compress:
-            payload = len(payload).to_bytes(4, "little") + zlib.compress(payload, level=1)
+        payload = self.encode_payload(tuple_id, label, features)
         if not self.pages or not self.pages[-1].fits(len(payload)):
             self.pages.append(Page(len(self.pages), capacity=max(self.page_bytes, len(payload))))
         page = self.pages[-1]
-        self._refs.append(_TupleRef(page.page_id, page.n_tuples))
-        page.append(payload)
+        slot = page.append(payload)
+        self._refs.append(_TupleRef(page.page_id, slot))
+        self._pos_map = None
 
     def flush(self) -> None:
         """Flush buffered columnar rows into one single-slot page (no-op for row)."""
@@ -150,10 +163,107 @@ class HeapFile:
             self._refs.append(_TupleRef(page.page_id, row_idx))
         self._pending.clear()
         self._pending_bytes = 0
+        self._pos_map = None
+
+    # ------------------------------------------------------------------
+    # DML: slot-level mutation of row-layout heaps.
+    def encode_payload(self, tuple_id: int, label: float, features) -> bytes:
+        """The exact stored byte form of one tuple (compression included)."""
+        payload = encode_tuple(tuple_id, label, features)
+        if self.compress:
+            payload = len(payload).to_bytes(4, "little") + zlib.compress(payload, level=1)
+        return payload
+
+    def _require_mutable(self) -> None:
+        if self.layout != "row":
+            raise ColumnarMutationError(
+                f"cannot mutate a {self.layout!r}-layout heap: slot-level DML "
+                "is only supported on row-layout tables"
+            )
+
+    def insert(self, tuple_id: int, label: float, features) -> RID:
+        """Insert one tuple, reusing dead slots / free space first-fit.
+
+        Returns the RID of the stored tuple.  Unlike :meth:`append` (bulk
+        load, always fills the tail page) inserts scan for the first page
+        with room — dead-slot reuse keeps churned tables compact.
+        """
+        self._require_mutable()
+        payload = self.encode_payload(tuple_id, label, features)
+        page = None
+        for candidate in self.pages:
+            if candidate.can_fit(len(payload)):
+                page = candidate
+                break
+        if page is None:
+            page = Page(len(self.pages), capacity=max(self.page_bytes, len(payload)))
+            self.pages.append(page)
+        slot = page.append(payload)
+        self._refs_dirty = True
+        return RID(page.page_id, slot)
+
+    def delete(self, rid: RID) -> None:
+        """Delete the tuple at ``rid`` (its slot goes dead, RIDs elsewhere
+        are untouched)."""
+        self._require_mutable()
+        self.pages[rid.page_id].delete(rid.slot)
+        self._refs_dirty = True
+
+    def update(self, rid: RID, tuple_id: int, label: float, features) -> RID:
+        """Rewrite the tuple at ``rid``; returns its (possibly new) RID.
+
+        In-place when the page can hold the new version (RID preserved —
+        indexes on untouched columns stay valid); otherwise the tuple moves:
+        delete + first-fit insert, returning the new address.
+        """
+        self._require_mutable()
+        payload = self.encode_payload(tuple_id, label, features)
+        page = self.pages[rid.page_id]
+        try:
+            page.replace(rid.slot, payload)
+            self._refs_dirty = True
+            return rid
+        except ValueError:
+            self.delete(rid)
+            return self.insert(tuple_id, label, features)
+
+    def _ensure_refs(self) -> None:
+        """Rebuild the position directory after DML (heap order)."""
+        if not self._refs_dirty:
+            return
+        self._refs = [
+            _TupleRef(page.page_id, slot)
+            for page in self.pages
+            for slot in page.live_slots()
+        ]
+        self._refs_dirty = False
+        self._pos_map = None
+
+    def rid_of(self, position: int) -> RID:
+        """The RID of the tuple at heap position ``position`` (scan order)."""
+        self.flush()
+        self._ensure_refs()
+        ref = self._refs[position]
+        return RID(ref.page_id, ref.slot)
+
+    def position_of(self, rid: RID) -> int:
+        """Inverse of :meth:`rid_of`; raises ``KeyError`` for dead RIDs."""
+        self.flush()
+        self._ensure_refs()
+        if self._pos_map is None:
+            self._pos_map = {
+                RID(ref.page_id, ref.slot): pos for pos, ref in enumerate(self._refs)
+            }
+        return self._pos_map[rid]
+
+    def slot_row_map(self, page_id: int) -> dict[int, int]:
+        """slot id → row index within the page's decoded batch (live order)."""
+        return {slot: row for row, slot in enumerate(self.pages[page_id].live_slots())}
 
     # ------------------------------------------------------------------
     @property
     def n_tuples(self) -> int:
+        self._ensure_refs()
         return len(self._refs) + len(self._pending)
 
     @property
@@ -243,6 +353,7 @@ class HeapFile:
     def read_tuple(self, position: int) -> TrainingTuple:
         """Decode the tuple at heap position ``position``."""
         self.flush()
+        self._ensure_refs()
         ref = self._refs[position]
         if self.layout == "columnar":
             # Columnar pages hold one payload; ``slot`` is the row index.
@@ -253,7 +364,7 @@ class HeapFile:
                 float(batch.labels[ref.slot]),
                 batch.row(ref.slot),
             )
-        payload = self.pages[ref.page_id].tuple_payloads()[ref.slot]
+        payload = self.pages[ref.page_id].payload(ref.slot)
         return self._decode(payload)
 
     def scan(self):

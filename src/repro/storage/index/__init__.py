@@ -1,0 +1,32 @@
+"""Secondary indexes: single-column B+trees over heap RIDs.
+
+``bptree`` is the in-memory structure DML maintains synchronously;
+``idxfile`` is its versioned, CRC-checked on-disk ``.idx`` form with
+6-byte packed-RID leaves.
+"""
+
+from ..rid import RID, RID_BYTES, pack_rids, unpack_rids
+from .bptree import DEFAULT_ORDER, BPlusTree
+from .idxfile import (
+    FORMAT_VERSION,
+    MAGIC,
+    IndexFileReader,
+    IndexFormatError,
+    read_index_header,
+    save_index,
+)
+
+__all__ = [
+    "RID",
+    "RID_BYTES",
+    "pack_rids",
+    "unpack_rids",
+    "BPlusTree",
+    "DEFAULT_ORDER",
+    "FORMAT_VERSION",
+    "MAGIC",
+    "IndexFileReader",
+    "IndexFormatError",
+    "read_index_header",
+    "save_index",
+]

@@ -1,0 +1,77 @@
+"""Deterministic DML workload shared by the SIGKILL recovery test.
+
+The parent test imports :func:`make_table` / :func:`apply_ops` to replay
+the exact op stream; run as a script (``python tests/_dml_workload.py
+<data_dir> <n_ops>``) it becomes the child process the test SIGKILLs
+mid-stream.  Determinism matters: every op — including the RNG draws —
+is a pure function of ``(seed, op index, table state)``, so the replay
+walks through the same sequence of index states the child walked through
+before it died.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+N_FEATURES = 6
+READY_AT = 30  # ops completed before the child advertises itself killable
+
+
+def make_table(data_dir=None, page_bytes: int = 512):
+    """A small indexed table; ``data_dir`` turns on ``.idx`` persistence."""
+    from repro.data import make_binary_dense
+    from repro.db.catalog import Catalog
+
+    catalog = Catalog(
+        page_bytes=page_bytes,
+        data_dir=None if data_dir is None else Path(data_dir),
+    )
+    info = catalog.create_table(
+        "t", make_binary_dense(150, N_FEATURES, separation=1.0, seed=5)
+    )
+    catalog.create_index("t", "ix", "f0")
+    return catalog, info
+
+
+def apply_ops(info, n_ops: int, seed: int = 7, progress=None) -> None:
+    """``n_ops`` of interleaved INSERT/DELETE/UPDATE against ``info``.
+
+    Each catalog call persists every index before returning, so after op
+    ``k`` the on-disk ``.idx`` is exactly the tree at state ``k``.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    for i in range(n_ops):
+        choice = i % 3
+        if choice == 0:
+            label = 1.0 if i % 2 else -1.0
+            info.insert_rows([(label, rng.standard_normal(N_FEATURES))])
+        elif choice == 1 and info.n_tuples > 20:
+            position = int(rng.integers(info.n_tuples))
+            info.delete_rids([info.heap.rid_of(position)])
+        else:
+            position = int(rng.integers(info.n_tuples))
+            info.update_rids(
+                [info.heap.rid_of(position)], [("f0", float(rng.standard_normal()))]
+            )
+        if progress is not None:
+            progress(i + 1)
+
+
+def main(argv: list[str]) -> int:
+    data_dir, n_ops = Path(argv[1]), int(argv[2])
+
+    def progress(completed: int) -> None:
+        if completed == READY_AT:
+            (data_dir / "ready").write_text(str(completed))
+
+    _catalog, info = make_table(data_dir)
+    apply_ops(info, n_ops, progress=progress)
+    (data_dir / "done").write_text(str(n_ops))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -78,7 +78,13 @@ class TestTrainQueries:
 
     def test_garbage_rejected(self):
         with pytest.raises(ParseError):
-            parse_query("INSERT INTO t VALUES (1)")
+            parse_query("FROBNICATE THE t TABLE")
+
+    def test_malformed_insert_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("INSERT INTO t VALUES 1, 2")
+        with pytest.raises(ParseError):
+            parse_query("INSERT INTO t VALUES (1, x)")
 
     def test_int_coercion(self):
         q = parse_query("SELECT * FROM t TRAIN BY lr WITH batch_size = 128")

@@ -67,9 +67,10 @@ class TestPinnedValues:
         assert TUPLE_SHUFFLE_STREAM == 7
         assert SLIDING_WINDOW_STREAM == 11
         assert MRS_STREAM == 13
-        # "chunk" was added for the columnar format; the pre-existing codes
-        # must never move (they pin every historical fault plan's draws).
-        assert FAULT_UNIT_CODES == {"block": 1, "page": 2, "chunk": 3}
+        # "chunk" (columnar) and "index_node" (B+tree files) were appended;
+        # the pre-existing codes must never move (they pin every historical
+        # fault plan's draws).
+        assert FAULT_UNIT_CODES == {"block": 1, "page": 2, "chunk": 3, "index_node": 4}
 
     def test_epoch_permutation_pin(self):
         # Pre-refactor: SeedSequence([0, 0]).permutation(8)
