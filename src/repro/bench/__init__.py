@@ -1,6 +1,7 @@
 """Benchmark harness: sweep runners, kernel microbenchmarks, result reporting."""
 
 from .kernelbench import FULL_SIZES, QUICK_SIZES, kernel_bench_rows, run_kernel_bench
+from .mopbench import mop_bench_rows, run_mop_bench
 from .parallelbench import parallel_bench_rows, run_parallel_bench
 from .reporting import format_curve, format_table, print_table, save_records
 from .runners import ConvergenceSweep, history_row, run_convergence_sweep
@@ -21,6 +22,8 @@ __all__ = [
     "kernel_bench_rows",
     "run_parallel_bench",
     "parallel_bench_rows",
+    "run_mop_bench",
+    "mop_bench_rows",
     "QUICK_SIZES",
     "FULL_SIZES",
 ]

@@ -185,6 +185,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --where: build a B+tree index on COLUMN first, so the "
         "planner can pick the index-ordered fetch over the full scan",
     )
+    train.add_argument(
+        "--grid", metavar="AXES", default=None,
+        help="model-hopper grid search, e.g. 'lr = 0.1 | 0.01, l2 = 0 | 1e-4': "
+        "trains every axis combination in one data pass (S models hopping "
+        "over P shard workers) and prints the leaderboard; each config's "
+        "weights are bit-identical to training it alone",
+    )
     train.add_argument("--save-model", help="write the trained model to this .npz path")
     _add_common_options(train, workers=1)
 
@@ -246,6 +253,11 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument(
         "--index", metavar="COLUMN", default=None,
         help="with --where: build a B+tree index on COLUMN before planning",
+    )
+    explain.add_argument(
+        "--grid", metavar="AXES", default=None,
+        help="show the model-hopper plan for a grid TRAIN, e.g. "
+        "'lr = 0.1 | 0.01, l2 = 0 | 1e-4'",
     )
 
     advise = sub.add_parser(
@@ -569,10 +581,80 @@ def _train_where(args, train_set, test_set, epochs: int) -> int:
     return 0
 
 
+def _train_grid(args, train_set, test_set, epochs: int) -> int:
+    """``train --grid``: one model-hopper pass over every axis combination.
+
+    Routes through the engine's ``TRAIN ... WITH grid`` path — S models
+    hop across P shard workers so each config sees the identical CorgiPile
+    stream a solo run sees — and prints the leaderboard plus the hop
+    schedule's cost summary.  ``--save-model`` writes the winner.
+    """
+    from .db.query import _parse_grid
+
+    if args.strategy not in ("corgipile", "auto"):
+        raise SystemExit(
+            f"--grid executes model-hopper CorgiPile; --strategy "
+            f"{args.strategy} has no grid plan"
+        )
+    db = MiniDB(page_bytes=4096)
+    info = db.create_table("t", train_set)
+    query = TrainQuery(
+        table="t",
+        model=args.model,
+        strategy="corgipile",
+        learning_rate=args.lr,
+        decay=args.decay,
+        max_epoch_num=epochs,
+        batch_size=args.batch_size,
+        buffer_fraction=args.buffer_fraction,
+        block_size=max(4096, int(args.block_tuples * info.tuple_bytes)),
+        seed=args.seed,
+        workers=args.workers,
+        grid=_parse_grid(args.grid),
+    )
+    result = db.train(query, test=test_set)
+    rows = [
+        {
+            "rank": row["rank"],
+            "config": row["label"],
+            "model_id": row["model_id"],
+            "train_loss": round(row["final_train_loss"], 4),
+            "train_score": round(row["final_train_score"], 4),
+            "epochs": row["epochs_run"],
+        }
+        for row in result.leaderboard
+    ]
+    hopper = result.query.extra["hopper"]
+    sched = hopper["schedule"]
+    print(
+        format_table(
+            rows,
+            title=(
+                f"{args.model} grid ({args.grid}) — "
+                f"{sched['n_models']} models x {sched['n_workers']} workers"
+            ),
+        )
+    )
+    print(
+        f"\nmodel hopper: {sched['total_slots']} sub-epoch slots "
+        f"(bubble {sched['bubble_ratio']:.2f}x vs a perfect pipeline); "
+        f"{hopper['tuples_processed']} tuples in {hopper['wall_seconds']:.2f}s; "
+        f"best = {result.leaderboard[0]['label']}"
+    )
+    if args.save_model:
+        save_model(result.model, args.save_model)
+        print(f"saved winning model to {args.save_model}")
+    return 0
+
+
 def _cmd_train(args) -> int:
     dataset = _load_input(args)
     epochs = min(args.epochs, 3) if args.quick else args.epochs
     train_set, test_set = dataset.split(1.0 - args.test_fraction, seed=args.seed)
+    if args.grid:
+        if args.where:
+            raise SystemExit("--grid and --where cannot combine (no filtered hopper plan)")
+        return _train_grid(args, train_set, test_set, epochs)
     if args.where:
         return _train_where(args, train_set, test_set, epochs)
     model = _build_model(args.model, dataset)
@@ -671,6 +753,11 @@ def _cmd_explain(args) -> int:
                     name=f"ix_{args.index}", table=args.dataset, column=args.index
                 )
             )
+    grid = None
+    if args.grid:
+        from .db.query import _parse_grid
+
+        grid = _parse_grid(args.grid)
     query = TrainQuery(
         table=args.dataset,
         model=args.model,
@@ -678,6 +765,7 @@ def _cmd_explain(args) -> int:
         block_size=args.block_size,
         buffer_fraction=args.buffer_fraction,
         where=where,
+        grid=grid,
     )
     print(db.explain(query))
     return 0

@@ -72,10 +72,17 @@ from .query import (
     UpdateQuery,
     parse_query,
 )
+from .spec import TrainSpec
 from .timeline import Timeline
 from .timing import ComputeProfile, RuntimeContext
 
-__all__ = ["MiniDB", "TrainResult", "ResourceUsage", "ENGINE_PROFILE"]
+__all__ = [
+    "MiniDB",
+    "TrainResult",
+    "GridTrainResult",
+    "ResourceUsage",
+    "ENGINE_PROFILE",
+]
 
 # Per-tuple SGD cost of the native (C-level) CorgiPile operators: a slot
 # extraction plus a dot product / axpy over the feature values.
@@ -140,6 +147,21 @@ class TrainResult:
     query: TrainQuery
 
 
+@dataclass
+class GridTrainResult(TrainResult):
+    """A ``TRAIN ... WITH grid`` result: the winner plus the leaderboard.
+
+    The base fields describe the *best* configuration (its model is also
+    registered under the plain ``model_id``); every grid configuration's
+    final model is registered as ``grid_<index>`` and ranked in
+    ``leaderboard`` (see :meth:`repro.parallel.HopperResult.leaderboard`).
+    """
+
+    leaderboard: list[dict] = None
+    histories: list[ConvergenceHistory] = None
+    schedule: dict = None
+
+
 class MiniDB:
     """A miniature database engine with in-DB SGD."""
 
@@ -157,6 +179,10 @@ class MiniDB:
         self.cold_cache_per_query = cold_cache_per_query
         self._models: dict[str, SupervisedModel] = {}
         self._model_counter = 0
+        # Per-table per-epoch wall observations from finished TRAINs; the
+        # auto planner fits the clustering penalty κ from these
+        # (see repro.db.advisor.learn_kappa).
+        self._kappa_history: dict[str, list[dict]] = {}
         # Model-store mutations are the only cross-thread shared state in
         # one MiniDB; the lock makes the engine re-entrant from worker
         # threads (the serve daemon registers job-trained models into a
@@ -223,7 +249,9 @@ class MiniDB:
         )
 
     # ------------------------------------------------------------------
-    def _build_model(self, query: TrainQuery, table: TableInfo) -> SupervisedModel:
+    def _build_model(
+        self, query: TrainQuery, table: TableInfo, l2: float | None = None
+    ) -> SupervisedModel:
         d = table.dataset.n_features
         task = table.dataset.task
         if query.model in ("lr", "svm") and task != "binary":
@@ -239,14 +267,17 @@ class MiniDB:
             raise EngineError(
                 f"model 'softmax' needs a multiclass table; {table.name!r} is {task}"
             )
+        if l2 is None:
+            l2 = getattr(query, "l2", None)
+        kwargs = {} if l2 is None else {"l2": float(l2)}
         if query.model == "lr":
-            return LogisticRegression(d)
+            return LogisticRegression(d, **kwargs)
         if query.model == "svm":
-            return LinearSVM(d)
+            return LinearSVM(d, **kwargs)
         if query.model == "linreg":
-            return LinearRegression(d)
+            return LinearRegression(d, **kwargs)
         if query.model == "softmax":
-            return SoftmaxRegression(d, table.dataset.n_classes)
+            return SoftmaxRegression(d, table.dataset.n_classes, **kwargs)
         raise EngineError(f"unknown model {query.model!r}")
 
     def _build_pipeline(self, query: TrainQuery, table: TableInfo, ctx: RuntimeContext):
@@ -319,7 +350,7 @@ class MiniDB:
 
     def _query_device(self, query: TrainQuery) -> DeviceModel:
         """The device charged for this query (``WITH device = '...'`` override)."""
-        name = query.extra.get("device")
+        name = getattr(query, "device", None) or query.extra.get("device")
         if not name:
             return self.device
         from ..storage.iomodel import device_by_name
@@ -338,7 +369,7 @@ class MiniDB:
         statement reaches the engine).  The source is *cloned* — training
         never mutates the registered original.
         """
-        ws = query.extra.get("warm_start")
+        ws = getattr(query, "warm_start", None) or query.extra.get("warm_start")
         if not ws:
             return model
         from pathlib import Path
@@ -378,8 +409,16 @@ class MiniDB:
         }
 
     def train(self, query: TrainQuery, test: Dataset | None = None) -> TrainResult:
+        # Every entry point funnels through the typed spec: legacy
+        # extra-dict knobs are converted (with a DeprecationWarning) and
+        # written back onto the query's first-class fields, so everything
+        # downstream reads one canonical surface.
+        spec = TrainSpec.from_query(query)
+        spec.apply_to_query(query)
         table = self.catalog.get(query.table)
         device = self._query_device(query)
+        if spec.grid is not None:
+            return self._train_grid(query, spec, table, test)
         if query.workers > 1:
             if query.where is not None:
                 raise EngineError("TRAIN ... WHERE does not support workers > 1")
@@ -389,7 +428,13 @@ class MiniDB:
         if query.strategy == "auto":
             from .planner import plan_train
 
-            decision = plan_train(table, query, device, compute=self.compute)
+            decision = plan_train(
+                table,
+                query,
+                device,
+                compute=self.compute,
+                history=self._kappa_history.get(query.table),
+            )
             query = replace(query, strategy=decision.strategy)
             query.extra["planner"] = decision.describe()
             query.extra["advisor"] = decision.to_doc()
@@ -495,8 +540,22 @@ class MiniDB:
         )
 
         query.extra.setdefault("advisor", {})["observed"] = self._observed_doc(sgd)
+        self._record_epoch_walls(query.table, query.strategy, sgd)
         model_id = self.register_model(model)
         return TrainResult(model_id, model, history, timeline, resources, query)
+
+    def _record_epoch_walls(self, table_name: str, strategy: str, sgd) -> None:
+        """Feed a finished run's *simulated* epoch walls to the κ learner.
+
+        Simulated (not measured) walls share units with the device cost
+        model the advisor prices candidates in, so the fit is
+        apples-to-apples; see :func:`repro.db.advisor.learn_kappa`.
+        """
+        walls = [float(w) for w in sgd.epoch_wall_times]
+        if walls:
+            self._kappa_history.setdefault(table_name, []).append(
+                {"strategy": strategy, "epoch_wall_s": walls}
+            )
 
     def _train_where(
         self,
@@ -514,7 +573,7 @@ class MiniDB:
         copy — without writing it.  The planner picks the physical fetch
         (index-ordered block fetch vs full scan) by device cost.
         """
-        from .where import choose_where_path, subset_partition
+        from .where import choose_where_path, plan_where_access, subset_partition
 
         strategy = query.strategy
         if strategy == "auto":
@@ -527,10 +586,14 @@ class MiniDB:
                 f"strategy {strategy!r} does not support TRAIN ... WHERE; "
                 f"one of {', '.join(WHERE_STRATEGIES)}"
             )
-        positions, index = self._where_positions(table, query.where)
+        # Costed candidate enumeration: full scan vs every usable index
+        # range vs their intersection; '!=' shapes fail loudly here.
+        positions, index, access_doc = plan_where_access(table, query.where, device)
         decision = choose_where_path(
-            table, query.where, positions, device, index=index
+            table, query.where, positions, device, index=index,
+            access=access_doc["access"],
         )
+        decision.update(access_doc)
         query.extra["where"] = decision
         if len(positions) == 0:
             raise EngineError(
@@ -643,6 +706,7 @@ class MiniDB:
             wall_seconds=timeline.total_time_s,
         )
         query.extra.setdefault("advisor", {})["observed"] = self._observed_doc(sgd)
+        self._record_epoch_walls(query.table, strategy, sgd)
         model_id = self.register_model(model)
         return TrainResult(model_id, model, history, timeline, resources, query)
 
@@ -744,6 +808,131 @@ class MiniDB:
         }
         model_id = self.register_model(model)
         return TrainResult(model_id, model, result.history, timeline, resources, query)
+
+    # ------------------------------------------------------------------
+    def _train_grid(
+        self,
+        query: TrainQuery,
+        spec: TrainSpec,
+        table: TableInfo,
+        test: Dataset | None,
+    ) -> GridTrainResult:
+        """``TRAIN ... WITH grid``: model-hopper parallelism over S configs.
+
+        One data pass serves every grid point: the table is materialised as
+        a block file once, S models hop across the P shard workers on a
+        staggered schedule (:class:`repro.parallel.HopperSchedule`), and
+        each model consumes the identical CorgiPile tuple stream it would
+        see training alone — so every leaderboard entry is bit-identical
+        to a solo run with the same seed, at roughly one data-pass cost
+        instead of S sequential passes.
+        """
+        import tempfile
+        import time as time_mod
+        from pathlib import Path
+
+        from ..parallel import HopperEngine
+        from ..storage import write_block_file
+
+        if not query.strategy.startswith("corgipile") and query.strategy != "auto":
+            raise EngineError(
+                f"grid = (...) requires a corgipile strategy (got "
+                f"{query.strategy!r}); the hopper executes sharded CorgiPile only"
+            )
+        configs = spec.grid.configs()
+        n_models = len(configs)
+        n_workers = max(query.workers, n_models)
+        dataset = table.dataset
+        tuples_per_block = max(
+            1,
+            min(dataset.n_tuples, round(query.block_size / max(1.0, table.tuple_bytes))),
+        )
+        # Same fair-share cap as _train_parallel: every worker owns >= 4 blocks.
+        fair_share = max(1, dataset.n_tuples // (4 * n_workers))
+        tuples_per_block = min(tuples_per_block, fair_share)
+        buffer_tuples = max(1, round(query.buffer_fraction * dataset.n_tuples))
+        buffer_blocks = max(1, round(buffer_tuples / (n_workers * tuples_per_block)))
+
+        resolved = [c.resolve(spec) for c in configs]
+        models = [self._build_model(query, table, l2=r["l2"]) for r in resolved]
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / f"{table.name}.blocks"
+            t0 = time_mod.perf_counter()
+            write_block_file(dataset, path, tuples_per_block)
+            setup_s = time_mod.perf_counter() - t0
+            result = HopperEngine(
+                path,
+                models,
+                lrs=[r["lr"] for r in resolved],
+                decays=[r["decay"] for r in resolved],
+                epochs=query.max_epoch_num,
+                n_workers=n_workers,
+                buffer_blocks=buffer_blocks,
+                seed=query.seed,
+                labels=[c.label() for c in configs],
+                task=dataset.task,
+            ).run()
+
+        leaderboard = result.leaderboard()
+        for row in leaderboard:
+            row["values"] = resolved[row["config"]]
+            row["model_id"] = self.register_model(
+                result.models[row["config"]], model_id=f"grid_{row['config']}"
+            )
+        best = leaderboard[0]
+        best_i = best["config"]
+        best_model = result.models[best_i]
+        P = result.schedule.n_workers
+
+        timeline = Timeline(
+            system=f"minidb/hopper-{n_models}x{P}",
+            setup_s=setup_s,
+            setup_note=f"materialise block file ({tuples_per_block} tuples/block)",
+        )
+        history = result.histories[best_i]
+        for e, record in enumerate(history.records):
+            # Model m trains in slots m+e*P .. m+(e+1)*P-1; the wall it
+            # experiences per epoch is those coordinator slot walls.
+            wall = sum(result.slot_walls[best_i + e * P : best_i + (e + 1) * P])
+            timeline.append(
+                wall, record.epoch, record.train_loss, record.train_score,
+                record.test_score,
+            )
+        resources = ResourceUsage(
+            buffer_memory_bytes=float(
+                n_workers * buffer_blocks * tuples_per_block * table.tuple_bytes
+                + n_models * best_model.parameter_vector().size * 8
+            ),
+            extra_disk_bytes=float(dataset.n_tuples * table.tuple_bytes),
+            io_seconds=0.0,
+            compute_seconds=result.wall_seconds,
+            wall_seconds=timeline.total_time_s,
+        )
+        query.extra["hopper"] = {
+            "schedule": result.schedule.to_doc(),
+            "tuples_processed": result.tuples_processed,
+            "wall_seconds": round(result.wall_seconds, 6),
+            "plan": result.plan,
+        }
+        query.extra["grid"] = {
+            "n_configs": n_models,
+            "axes": {name: list(values) for name, values in spec.grid.axes},
+            "leaderboard": [
+                {k: v for k, v in row.items() if k != "curve"} for row in leaderboard
+            ],
+        }
+        model_id = self.register_model(best_model)
+        return GridTrainResult(
+            model_id,
+            best_model,
+            history,
+            timeline,
+            resources,
+            query,
+            leaderboard=leaderboard,
+            histories=result.histories,
+            schedule=result.schedule.to_doc(),
+        )
 
     # ------------------------------------------------------------------
     def register_model(self, model: SupervisedModel, model_id: str | None = None) -> str:

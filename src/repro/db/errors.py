@@ -5,10 +5,12 @@ from __future__ import annotations
 __all__ = [
     "EngineError",
     "ParseError",
+    "SpecError",
     "UnknownTableError",
     "UnknownModelError",
     "UnknownIndexError",
     "UnsupportedLayoutError",
+    "UnsupportedPredicateError",
     "StorageError",
 ]
 
@@ -52,6 +54,27 @@ class StorageError(EngineError):
 
 class ParseError(EngineError):
     """The query text could not be parsed."""
+
+
+class SpecError(EngineError):
+    """A TRAIN specification failed typed validation.
+
+    Raised by :class:`~repro.db.spec.TrainSpec` (and the grid axis
+    parser) with a message naming the offending field, the value it got,
+    and what it expected — the redesigned API's replacement for knob
+    typos silently landing in ``extra={...}``.
+    """
+
+
+class UnsupportedPredicateError(EngineError):
+    """The WHERE predicate has a shape the costed planner cannot serve.
+
+    The supported shape is an AND of per-column ranges (``<``, ``<=``,
+    ``>``, ``>=``, ``=``).  Shapes outside it (for example a ``!=``
+    term) used to fall back to a silent full scan; they now fail loudly
+    with this error so the caller knows the plan it asked for does not
+    exist.
+    """
 
 
 class UnknownTableError(EngineError):

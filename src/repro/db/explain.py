@@ -89,6 +89,44 @@ def _filtered_plan_lines(query, table: TableInfo, strategy: str, decision: dict)
     return lines
 
 
+def _grid_plan_lines(query, table: TableInfo, grid) -> list[str]:
+    """The ``TRAIN ... WITH grid`` plan: the model-hopper schedule and its
+    S×P-vs-S-sequential costing, then the per-shard pipeline it executes."""
+    from ..parallel import HopperSchedule
+
+    S = grid.n_configs
+    P = max(query.workers, S)
+    E = query.max_epoch_num
+    schedule = HopperSchedule(S, P, E)
+    # S solo runs would each traverse all P shards per epoch; the hopper
+    # overlaps them into E*P + S - 1 sub-epoch slots.
+    seq_slots = S * E * P
+    tuples_per_block = max(
+        1, min(table.n_tuples, round(query.block_size / max(1.0, table.tuple_bytes)))
+    )
+    fair_share = max(1, table.n_tuples // (4 * P))
+    tuples_per_block = min(tuples_per_block, fair_share)
+    buffer_tuples = max(1, round(query.buffer_fraction * table.n_tuples))
+    buffer_blocks = max(1, round(buffer_tuples / (P * tuples_per_block)))
+    lines = [
+        f"Grid  ({grid.render()}; {S} configs -> models grid_0..grid_{S - 1})",
+        f"  -> ModelHopper  ({S} models x {P} shard workers, "
+        f"{schedule.total_slots} sub-epoch slots)",
+        f"       cost: {schedule.total_slots} slots vs {seq_slots} for "
+        f"{S} sequential solo runs; bubble x{schedule.bubble_ratio:.2f}, "
+        f"speedup x{seq_slots / schedule.total_slots:.2f}",
+    ]
+    lines += ["       " + line for line in schedule.render()]
+    lines += [
+        f"    -> SGD  (model={query.model}, epochs={E}, per-config lr/decay/l2)",
+        f"      -> TupleShuffle  ({buffer_blocks} blocks/fill per worker)",
+        f"        -> ShardBlockFile  ({table.n_tuples} tuples, "
+        f"{tuples_per_block} tuples/block, {P} shards; materialised copy "
+        f"of heap {table.name!r})",
+    ]
+    return lines
+
+
 def _fmt_bytes(n: float) -> str:
     if n >= 1024**2:
         return f"{n / 1024**2:.1f}MB"
@@ -112,31 +150,39 @@ def explain_train_plan(
     strategy = query.strategy
     advisor_lines: list[str] = []
     where_lines: list[str] = []
+    grid_lines: list[str] = []
     where_decision = None
+    grid = getattr(query, "grid", None)
+    if grid is not None:
+        return "\n".join(_grid_plan_lines(query, table, grid))
     if query.where is not None:
         from ..storage.iomodel import SSD as _SSD
-        from .where import choose_where_path, index_qualifying_positions, qualifying_positions
+        from .where import choose_where_path, plan_where_access
 
         if strategy == "auto":
             # Mirror the executor: a filtered subset trains with the
             # shuffle-safe default instead of probing the subset's h_D.
             strategy = "corgipile"
-        index = None
-        for column in query.where.columns():
-            cand = table.index_on(column)
-            if cand is not None and query.where.interval_for(column) is not None:
-                index = cand
-                break
-        positions = (
-            index_qualifying_positions(table, index, query.where)
-            if index is not None
-            else qualifying_positions(table, query.where)
-        )
+        _device = device if device is not None else _SSD
+        positions, index, access_doc = plan_where_access(table, query.where, _device)
         where_decision = choose_where_path(
-            table, query.where, positions, device if device is not None else _SSD, index=index
+            table, query.where, positions, _device, index=index,
+            access=access_doc["access"],
         )
+        where_decision.update(access_doc)
         d = where_decision
         where_lines = [f"WHERE {d['predicate']}"]
+        for name in sorted(
+            d["paths"], key=lambda n: (d["paths"][n]["est_s"], n != "scan")
+        ):
+            p = d["paths"][name]
+            marker = "=> " if name == d["access"] else "   "
+            detail = f"{p['n_candidates']} candidate tuples"
+            if "n_pages" in p:
+                detail += f", {p['n_pages']} pages in {p['page_runs']} run(s)"
+            where_lines.append(
+                f"  {marker}{name:<16} est {p['est_s'] * 1e3:.2f}ms  ({detail})"
+            )
         if d["index"] is not None:
             iv = d["interval"]
             lo = "-inf" if iv["lo"] is None else f"{iv['lo']:g}"
@@ -164,8 +210,9 @@ def explain_train_plan(
         from ..storage.iomodel import SSD, device_by_name
         from .advisor import advise_strategy
 
-        if query.extra.get("device"):
-            device = device_by_name(str(query.extra["device"]))
+        override = getattr(query, "device", None) or query.extra.get("device")
+        if override:
+            device = device_by_name(str(override))
         decision = advise_strategy(
             table,
             device if device is not None else SSD,
@@ -272,4 +319,4 @@ def explain_train_plan(
         )
     else:
         raise EngineError(f"cannot explain unknown strategy {strategy!r}")
-    return "\n".join(advisor_lines + lines)
+    return "\n".join(grid_lines + advisor_lines + lines)

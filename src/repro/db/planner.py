@@ -88,19 +88,23 @@ def plan_train(
     device,
     compute=None,
     max_probe_tuples: int = 20_000,
+    history=None,
 ) -> AdvisorDecision:
     """Resolve ``strategy = auto`` for one TRAIN query via the cost advisor.
 
     ``query`` is a parsed :class:`~repro.db.query.TrainQuery`; its
     ``block_size``, ``buffer_fraction`` and ``max_epoch_num`` parameterise
-    the cost model, and an ``extra["device"]`` override (``WITH device =
-    'nvm'``) re-targets the decision at plan time — the same statement
-    plans differently on HDD and NVM.
+    the cost model, and a ``WITH device = 'nvm'`` override re-targets the
+    decision at plan time — the same statement plans differently on HDD
+    and NVM.  ``history`` forwards earlier per-epoch wall observations for
+    this table so the advisor can fit κ (see
+    :func:`repro.db.advisor.learn_kappa`).
     """
     from ..storage.iomodel import device_by_name
 
-    if query.extra.get("device"):
-        device = device_by_name(str(query.extra["device"]))
+    override = getattr(query, "device", None) or query.extra.get("device")
+    if override:
+        device = device_by_name(str(override))
     return advise_strategy(
         table,
         device,
@@ -109,4 +113,5 @@ def plan_train(
         epochs=query.max_epoch_num,
         compute=compute,
         max_probe_tuples=max_probe_tuples,
+        history=history,
     )

@@ -280,7 +280,25 @@ class TrainQuery:
     #: ``WHERE`` pushdown: train over the qualifying subset only, with the
     #: planner choosing index-range scan vs full scan for the fetch.
     where: Predicate | None = None
+    #: L2 regularisation override; ``None`` keeps each model's default.
+    l2: float | None = None
+    #: Device model name (``WITH device = 'nvm'``) the advisor costs against.
+    device: str | None = None
+    #: Start from a registered model id or ``.npz`` path instead of zeros.
+    warm_start: str | None = None
+    #: Hyperparameter sweep (``WITH grid = (lr = 0.1 | 0.01, ...)``) — a
+    #: :class:`repro.db.spec.GridSpec`; routes the query through the
+    #: model-hopper engine and returns a leaderboard.
+    grid: object | None = None
+    #: The engine's *output* channel (planner/advisor/where/parallel docs).
+    #: Using it to pass inputs is deprecated — see ``repro.db.spec``.
     extra: dict = field(default_factory=dict)
+
+    def spec(self):
+        """The validated :class:`repro.db.spec.TrainSpec` for this query."""
+        from .spec import TrainSpec
+
+        return TrainSpec.from_query(self)
 
 
 @dataclass(frozen=True)
@@ -497,6 +515,45 @@ def parse_query(
     raise ParseError(f"cannot parse query: {sql!r}")
 
 
+_GRID_RE = re.compile(r"grid\s*=\s*\(([^()]*)\)\s*,?", re.IGNORECASE)
+
+#: Typed TrainQuery fields whose default is ``None`` — the generic
+#: ``type(default)(value)`` coercion below cannot handle them.
+_OPTIONAL_FIELD_COERCE = {
+    "l2": float,
+    "device": str,
+    "warm_start": str,
+}
+
+
+def _parse_grid(text: str):
+    """Parse the body of ``grid = (lr = 0.1 | 0.01, l2 = 0 | 1e-4)``."""
+    from .spec import GridSpec
+
+    axes: dict[str, list[float]] = {}
+    for part in text.split(","):
+        if not part.strip():
+            continue
+        if "=" not in part:
+            raise ParseError(
+                f"malformed grid axis {part.strip()!r}; "
+                "expected name = v1 | v2 | ..."
+            )
+        name, raw_values = part.split("=", 1)
+        values = []
+        for raw in raw_values.split("|"):
+            try:
+                values.append(float(raw))
+            except ValueError as exc:
+                raise ParseError(
+                    f"bad grid value {raw.strip()!r} for axis {name.strip()!r}"
+                ) from exc
+        axes[name.strip().lower()] = values
+    if not axes:
+        raise ParseError("grid = (...) declared no axes")
+    return GridSpec.from_axes(axes)
+
+
 def _parse_train(match) -> TrainQuery:
     table, where_text, model, params_text = (
         match.group(1),
@@ -511,6 +568,12 @@ def _parse_train(match) -> TrainQuery:
         query.where = parse_predicate(where_text)
     if not params_text:
         return query
+    # The grid's parenthesised value list contains commas and ``=``; lift
+    # it out whole before the flat per-assignment comma split below.
+    grid_match = _GRID_RE.search(params_text)
+    if grid_match:
+        query.grid = _parse_grid(grid_match.group(1))
+        params_text = params_text[: grid_match.start()] + params_text[grid_match.end():]
     for assignment in params_text.split(","):
         if not assignment.strip():
             continue
@@ -518,13 +581,35 @@ def _parse_train(match) -> TrainQuery:
             raise ParseError(f"malformed parameter {assignment.strip()!r}")
         key, raw = assignment.split("=", 1)
         key = key.strip().lower()
+        if key == "grid":
+            raise ParseError(
+                "grid expects a parenthesised axis list: "
+                "grid = (lr = 0.1 | 0.01, ...)"
+            )
         value = _parse_value(raw)
-        if hasattr(query, key) and key not in ("table", "model", "extra", "where"):
+        if key in _OPTIONAL_FIELD_COERCE:
+            try:
+                setattr(query, key, _OPTIONAL_FIELD_COERCE[key](value))
+            except (TypeError, ValueError) as exc:
+                raise ParseError(f"bad value for {key}: {raw.strip()!r}") from exc
+        elif hasattr(query, key) and key not in ("table", "model", "extra", "where"):
             expected = type(getattr(query, key))
             try:
                 setattr(query, key, expected(value))
             except (TypeError, ValueError) as exc:
                 raise ParseError(f"bad value for {key}: {raw.strip()!r}") from exc
         else:
+            # Unknown knob: collected for one more release so old scripts
+            # keep running, but no longer silently — TrainSpec is the typed
+            # surface and a typo should not vanish into the dict.
+            import warnings
+
+            warnings.warn(
+                f"unknown TRAIN knob {key!r} collected into query.extra; "
+                "this path is deprecated — see repro.db.spec.TrainSpec for "
+                "the typed fields",
+                DeprecationWarning,
+                stacklevel=4,
+            )
             query.extra[key] = value
     return query

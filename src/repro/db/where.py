@@ -34,6 +34,7 @@ import numpy as np
 from ..storage.heapfile import HeapFile
 from ..storage.rid import RID
 from .catalog import TableIndex, TableInfo
+from .errors import UnsupportedPredicateError
 from .query import Predicate
 
 __all__ = [
@@ -41,6 +42,10 @@ __all__ = [
     "SubsetPartition",
     "qualifying_positions",
     "index_qualifying_positions",
+    "index_candidates",
+    "usable_indexes",
+    "check_supported_shape",
+    "plan_where_access",
     "subset_partition",
     "choose_where_path",
 ]
@@ -86,6 +91,135 @@ def index_qualifying_positions(
     dataset = table.dataset
     mask = predicate.mask(dataset.X, dataset.y)
     return np.asarray([p for p in candidates if mask[p]], dtype=np.int64)
+
+
+def index_candidates(table: TableInfo, index: TableIndex, predicate: Predicate) -> np.ndarray:
+    """Sorted heap positions inside the index's usable interval (pre-residual)."""
+    interval = predicate.interval_for(index.column)
+    if interval is None:
+        raise ValueError(f"index {index.name!r} has no usable interval for this predicate")
+    lo, hi, lo_incl, hi_incl = interval
+    return np.asarray(
+        sorted(
+            table.heap.position_of(rid)
+            for _key, rid in index.tree.range(
+                lo, hi, lo_inclusive=lo_incl, hi_inclusive=hi_incl
+            )
+        ),
+        dtype=np.int64,
+    )
+
+
+def usable_indexes(table: TableInfo, predicate: Predicate) -> list[TableIndex]:
+    """Every index whose key column carries a usable range in the predicate."""
+    out = []
+    for column in predicate.columns():
+        index = table.index_on(column)
+        if index is not None and predicate.interval_for(column) is not None:
+            out.append(index)
+    return out
+
+
+def check_supported_shape(predicate: Predicate) -> None:
+    """Reject predicate shapes the costed TRAIN planner cannot serve.
+
+    The supported shape is an AND of per-column ranges.  A ``!=`` term has
+    no range form; it used to fall through to a silent full scan, which
+    made the plan surface lie about what would execute — now it fails
+    loudly with a typed error.
+    """
+    for term in predicate.terms:
+        if term.op == "!=":
+            raise UnsupportedPredicateError(
+                f"WHERE {predicate.render()}: '!=' has no range form; the "
+                "costed TRAIN ... WHERE planner serves AND-of-ranges "
+                "predicates only (<, <=, =, >=, >)"
+            )
+
+
+def _page_fetch_estimate(heap: HeapFile, positions, device) -> tuple[float, int, int]:
+    """``(est_s, n_pages, runs)`` of an index-ordered fetch of ``positions``."""
+    qual_pages = sorted({heap.rid_of(int(p)).page_id for p in positions})
+    runs = 0
+    prev = None
+    for page_id in qual_pages:
+        if prev is None or page_id != prev + 1:
+            runs += 1
+        prev = page_id
+    avg_page_bytes = heap.payload_bytes / max(1, heap.n_pages)
+    est = device.random_time(avg_page_bytes * len(qual_pages) / max(1, runs), runs)
+    return est, len(qual_pages), runs
+
+
+def plan_where_access(
+    table: TableInfo, predicate: Predicate, device
+) -> tuple[np.ndarray, TableIndex | None, dict]:
+    """Costed candidate-enumeration choice for a composite predicate.
+
+    Enumerates every access path — full scan, one range probe per usable
+    index, and (with two or more usable indexes) their *intersection* —
+    charges each by the pages its candidate set touches, and resolves the
+    qualifying positions through the cheapest.  All paths return the same
+    positions (the full predicate is always re-applied as a residual
+    filter); only the charged I/O differs.
+
+    Returns ``(positions, index, doc)``: ``index`` is the probe index when
+    a single-index path won (``None`` for scan/intersect) and ``doc`` is
+    the costed path table merged into ``extra["where"]`` / EXPLAIN.
+    """
+    check_supported_shape(predicate)
+    heap = table.heap
+    indexes = usable_indexes(table, predicate)
+    candidates = {ix.name: index_candidates(table, ix, predicate) for ix in indexes}
+    paths: dict[str, dict] = {
+        "scan": {
+            "est_s": device.sequential_time(float(heap.payload_bytes)),
+            "n_candidates": int(table.n_tuples),
+        }
+    }
+    for ix in indexes:
+        cand = candidates[ix.name]
+        est, n_pages, runs = _page_fetch_estimate(heap, cand, device)
+        paths[f"index:{ix.name}"] = {
+            "est_s": est,
+            "n_candidates": int(cand.size),
+            "n_pages": n_pages,
+            "page_runs": runs,
+        }
+    inter = None
+    if len(indexes) >= 2:
+        inter = candidates[indexes[0].name]
+        for ix in indexes[1:]:
+            inter = np.intersect1d(inter, candidates[ix.name], assume_unique=True)
+        est, n_pages, runs = _page_fetch_estimate(heap, inter, device)
+        paths["intersect"] = {
+            "est_s": est,
+            "n_candidates": int(inter.size),
+            "n_pages": n_pages,
+            "page_runs": runs,
+            "indexes": [ix.name for ix in indexes],
+        }
+    # Cheapest wins; an exact tie resolves to the scan (simplest plan, and
+    # a tied "random" fetch degenerated into a sequential pass anyway).
+    access = min(paths, key=lambda name: (paths[name]["est_s"], name != "scan"))
+    index = None
+    if access == "scan":
+        positions = qualifying_positions(table, predicate)
+    elif access == "intersect":
+        dataset = table.dataset
+        mask = predicate.mask(dataset.X, dataset.y)
+        positions = inter[mask[inter]] if inter.size else inter
+    else:
+        index = next(ix for ix in indexes if f"index:{ix.name}" == access)
+        positions = index_qualifying_positions(table, index, predicate)
+    doc = {
+        "access": access,
+        "paths": {
+            name: {k: (round(v, 9) if isinstance(v, float) else v) for k, v in p.items()}
+            for name, p in paths.items()
+        },
+    }
+    return positions, index, doc
 
 
 @dataclass(frozen=True)
@@ -190,6 +324,7 @@ def choose_where_path(
     positions: np.ndarray,
     device,
     index: TableIndex | None = None,
+    access: str | None = None,
 ) -> dict:
     """Pick ``index`` vs ``scan`` fetch for a filtered query; returns the
     decision document stored in ``query.extra["where"]`` and rendered by
@@ -213,12 +348,20 @@ def choose_where_path(
         avg_page_bytes * len(qual_pages) / max(1, runs), runs
     )
     est_scan_s = device.sequential_time(float(heap.payload_bytes))
-    usable_index = index is not None and predicate.interval_for(index.column) is not None
+    # With a plan_where_access decision the candidate enumeration is
+    # settled: any non-scan access knows the qualifying pages up front, so
+    # the physical fetch may position into them directly.
+    if access is not None:
+        usable_index = access != "scan"
+    else:
+        usable_index = (
+            index is not None and predicate.interval_for(index.column) is not None
+        )
     # Strict <: a tie means the "random" fetch degenerated into one
     # sequential pass anyway, so take the plain scan.
     fetch = "index" if usable_index and est_index_s < est_scan_s else "scan"
     interval = None
-    if usable_index:
+    if index is not None and predicate.interval_for(index.column) is not None:
         lo, hi, lo_incl, hi_incl = predicate.interval_for(index.column)
         interval = {
             "lo": lo,
@@ -228,8 +371,8 @@ def choose_where_path(
         }
     return {
         "predicate": predicate.render(),
-        "index": index.name if usable_index else None,
-        "index_column": index.column if usable_index else None,
+        "index": index.name if index is not None else None,
+        "index_column": index.column if index is not None else None,
         "interval": interval,
         "n_matching": n_qual,
         "n_tuples": int(table.n_tuples),

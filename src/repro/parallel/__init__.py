@@ -24,6 +24,13 @@ from .engine import (
     load_block_dataset,
     sync_reference_trainer,
 )
+from .hopper import (
+    HopperEngine,
+    HopperResult,
+    HopperSchedule,
+    modeled_walls,
+    run_hopper_inprocess,
+)
 from .plan import ShardPlanner
 from .worker import ShardFetcher, WorkerConfig
 
@@ -37,6 +44,11 @@ __all__ = [
     "WorkerError",
     "load_block_dataset",
     "sync_reference_trainer",
+    "HopperSchedule",
+    "HopperEngine",
+    "HopperResult",
+    "run_hopper_inprocess",
+    "modeled_walls",
     "pack_gradients",
     "unpack_gradients",
     "average_gradient_slots",

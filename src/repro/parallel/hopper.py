@@ -1,0 +1,781 @@
+"""Model-hopper parallelism: S models hopping across P CorgiPile shards.
+
+Cerebro-style model-hopper parallelism trains many model configurations in
+roughly one data pass: each worker keeps streaming *its own* shard's
+blocks (CorgiPile's §5 buffer-fill order, untouched), and it is the model
+states — small parameter vectors — that move between workers at sub-epoch
+barriers, not the data.
+
+The schedule is a **staggered pipeline**, not a rotation.  Every model's
+canonical visit stream is::
+
+    [(epoch e, shard w) for e in range(E) for w in range(P)]
+
+and model ``m`` simply runs ``m`` slots behind model ``0``: at global slot
+``t`` it processes stream position ``p = t - m`` (when ``0 <= p < E*P``),
+i.e. epoch ``p // P`` on shard ``p % P``.  Two facts fall out:
+
+* with ``S <= P`` no two models ever want the same shard in the same slot
+  (distinct ``m`` at fixed ``t`` give distinct ``p % P``), so the slot
+  assignment is collision-free and every model visits every shard exactly
+  once per epoch; and
+* every model traverses the *identical* stream a solo run (``S = 1``,
+  same ``P``, same seed) traverses — so each grid config's final weights
+  are bit-identical to training that config alone.  The price is a
+  pipeline fill/drain bubble: ``E*P + S - 1`` slots instead of ``E*P``.
+
+Runtime protocol (mirrors :class:`~repro.parallel.engine.ParallelTrainer`):
+an ``S x dim`` shared-memory slab holds the hopping parameter vectors; per
+slot the coordinator and the ``P`` workers meet at two barriers::
+
+    coordinator                          worker w
+    barrier A  ──────────┬───────────▶   barrier A
+                         │               m = model_at(w, t): load slab[m],
+                         │               step over this epoch's fills,
+    barrier B  ◀─────────┴───────────    write slab[m], barrier B
+    evaluate models that completed an epoch, checkpoint, on_slot()
+
+Checkpoints persist the whole slab plus per-model histories atomically
+(:func:`~repro.ml.persistence.durable_write`), so a SIGKILLed grid resumes
+at the last completed slot and finishes bit-exact.
+
+:func:`run_hopper_inprocess` executes the same schedule serially in one
+process — the reference for equivalence tests and the per-unit timing
+source for ``benchmarks/bench_mop.py``'s modeled critical-path wall.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .. import obs
+from ..obs import LoaderMetrics, StorageMetrics
+from ..ml.models.base import SupervisedModel
+from ..ml.persistence import durable_write, model_from_bytes, model_to_bytes
+from ..ml.trainer import ConvergenceHistory, EpochRecord
+from ..storage.blockfile import BlockFileReader
+from .engine import WorkerError, load_block_dataset
+from .plan import ShardPlanner
+from .shm import alloc_vector, slab_view
+from .worker import (
+    BARRIER_TIMEOUT_S,
+    ShardFetcher,
+    _CoordinatorAbort,
+    _obs_payload,
+    _sync_point,
+)
+
+__all__ = [
+    "HopperSchedule",
+    "HopperWorkerConfig",
+    "HopperResult",
+    "HopperEngine",
+    "hopper_worker_main",
+    "run_hopper_inprocess",
+    "modeled_walls",
+]
+
+_CKPT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# The schedule (pure arithmetic; shared by workers, coordinator, tests)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HopperSchedule:
+    """The staggered-pipeline slot assignment for S models over P shards."""
+
+    n_models: int
+    n_workers: int
+    epochs: int
+
+    def __post_init__(self) -> None:
+        if self.n_models <= 0:
+            raise ValueError("n_models must be positive")
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if self.n_workers < self.n_models:
+            raise ValueError(
+                f"need n_workers >= n_models for a collision-free hop "
+                f"schedule (got P={self.n_workers} < S={self.n_models})"
+            )
+
+    # -- derived sizes ---------------------------------------------------
+    @property
+    def stream_length(self) -> int:
+        """Positions in one model's canonical visit stream (``E * P``)."""
+        return self.epochs * self.n_workers
+
+    @property
+    def total_slots(self) -> int:
+        """Global slots including the pipeline fill/drain bubble."""
+        return self.stream_length + self.n_models - 1
+
+    @property
+    def bubble_ratio(self) -> float:
+        """Slot overhead vs a single model's data pass: ``>= 1.0``."""
+        return self.total_slots / self.stream_length
+
+    # -- the assignment --------------------------------------------------
+    def position(self, model: int, slot: int) -> int | None:
+        """Model ``model``'s stream position at ``slot`` (None = bubble)."""
+        p = slot - model
+        return p if 0 <= p < self.stream_length else None
+
+    def model_at(self, worker: int, slot: int) -> int | None:
+        """Which model worker ``worker`` hosts at ``slot`` (None = idle).
+
+        At most one model matches because distinct models at a fixed slot
+        sit at distinct stream positions, hence distinct shards mod P.
+        """
+        for m in range(self.n_models):
+            p = self.position(m, slot)
+            if p is not None and p % self.n_workers == worker:
+                return m
+        return None
+
+    def epoch_of(self, position: int) -> int:
+        return position // self.n_workers
+
+    def shard_of(self, position: int) -> int:
+        return position % self.n_workers
+
+    def completes_epoch(self, model: int, slot: int) -> int | None:
+        """The epoch ``model`` finishes at the end of ``slot``, if any."""
+        p = self.position(model, slot)
+        if p is not None and (p + 1) % self.n_workers == 0:
+            return (p + 1) // self.n_workers - 1
+        return None
+
+    def visits(self, model: int) -> list[tuple[int, int]]:
+        """``(epoch, shard)`` visit order for one model — the canonical
+        stream, identical for every model (that is the bit-exactness
+        argument in one line)."""
+        return [
+            (self.epoch_of(p), self.shard_of(p)) for p in range(self.stream_length)
+        ]
+
+    def to_doc(self) -> dict:
+        return {
+            "n_models": self.n_models,
+            "n_workers": self.n_workers,
+            "epochs": self.epochs,
+            "total_slots": self.total_slots,
+            "stream_length": self.stream_length,
+            "bubble_ratio": round(self.bubble_ratio, 6),
+        }
+
+    def render(self, max_slots: int = 12) -> list[str]:
+        """Human-oriented hop table for EXPLAIN (one line per slot)."""
+        lines = []
+        for t in range(min(self.total_slots, max_slots)):
+            cells = []
+            for w in range(self.n_workers):
+                m = self.model_at(w, t)
+                cells.append(f"w{w}:{'-' if m is None else f'm{m}'}")
+            lines.append(f"slot {t:>3}  " + "  ".join(cells))
+        if self.total_slots > max_slots:
+            lines.append(f"... ({self.total_slots - max_slots} more slots)")
+        return lines
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HopperWorkerConfig:
+    """Everything one hopper worker needs, as picklable plain data."""
+
+    worker_id: int
+    n_workers: int
+    n_models: int
+    path: str
+    model_blobs: tuple  # S serialized models (constructor config travels too)
+    lrs: tuple  # S base learning rates
+    decays: tuple  # S per-epoch decay factors
+    seed: int
+    epochs: int
+    buffer_blocks: int
+    start_slot: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+def hopper_worker_main(cfg: HopperWorkerConfig, slab_raw, barrier, stop, results) -> None:
+    """Entry point executed inside each spawned hopper worker process."""
+    if cfg.extra.get("trace"):
+        obs.enable()
+    loader_stats = LoaderMetrics(f"hopper-worker{cfg.worker_id}")
+    storage_stats = StorageMetrics(f"hopper-worker{cfg.worker_id}")
+    tuples_done = 0
+    reader = None
+    try:
+        models = [model_from_bytes(blob) for blob in cfg.model_blobs]
+        reader = BlockFileReader(cfg.path, storage_stats=storage_stats)
+        planner = ShardPlanner.for_block_file(
+            cfg.path, cfg.n_workers, cfg.buffer_blocks, seed=cfg.seed
+        )
+        fetcher = ShardFetcher(reader, planner.tuples_per_block, loader_stats)
+        schedule = HopperSchedule(cfg.n_models, cfg.n_workers, cfg.epochs)
+        loader_stats.record_thread_started()
+        slab = slab_view(slab_raw, cfg.n_models)
+        with obs.span("hopper.worker", worker=cfg.worker_id):
+            for slot in range(cfg.start_slot, schedule.total_slots):
+                _sync_point(barrier, stop)  # A: slab rows current
+                m = schedule.model_at(cfg.worker_id, slot)
+                if m is None:
+                    obs.inc("hopper.bubbles")
+                else:
+                    tuples_done += _run_slot(
+                        cfg, schedule, planner, fetcher, models[m], slab, m, slot
+                    )
+                _sync_point(barrier, stop)  # B: coordinator reads the slab
+    except _CoordinatorAbort:
+        pass  # clean shutdown requested; fall through to ship stats
+    except BaseException:
+        import traceback
+
+        barrier.abort()
+        results.put(("error", cfg.worker_id, traceback.format_exc()))
+        return
+    finally:
+        if reader is not None:
+            reader.close()
+        loader_stats.record_thread_joined()
+    results.put(
+        (
+            "stats",
+            cfg.worker_id,
+            loader_stats,
+            storage_stats,
+            tuples_done,
+            _obs_payload(),
+        )
+    )
+
+
+def _run_slot(cfg, schedule, planner, fetcher, model, slab, m, slot) -> int:
+    """Host model ``m`` for one slot: load, step this epoch's fills, store."""
+    p = schedule.position(m, slot)
+    epoch = schedule.epoch_of(p)
+    lr = float(cfg.lrs[m]) * float(cfg.decays[m]) ** epoch
+    with obs.span(
+        "hopper.slot", slot=slot, worker=cfg.worker_id, model=m, epoch=epoch
+    ) as sp:
+        t0 = time.perf_counter()
+        model.load_parameter_vector(slab[m].copy())
+        obs.observe("hopper.serialize_s", time.perf_counter() - t0)
+        count = 0
+        for group, indices in planner.worker_buffer_fills(epoch, cfg.worker_id):
+            X, y = fetcher.fetch_fill(group, indices)
+            model.step_block(X, y, lr)  # fused per-tuple kernels, visit order
+            count += int(y.size)
+        t1 = time.perf_counter()
+        slab[m, :] = model.parameter_vector()
+        obs.observe("hopper.serialize_s", time.perf_counter() - t1)
+        sp.set(tuples=count)
+    obs.inc("hopper.hops")
+    return count
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class HopperResult:
+    """Everything one model-hopper grid run produces."""
+
+    models: list
+    histories: list
+    labels: list
+    schedule: HopperSchedule
+    slots_run: int
+    tuples_processed: int
+    slot_walls: list
+    wall_seconds: float
+    loader_stats: LoaderMetrics
+    storage_stats: StorageMetrics
+    per_worker: list = field(default_factory=list)
+    plan: dict = field(default_factory=dict)
+
+    def leaderboard(self) -> list[dict]:
+        """Per-config summaries, best (lowest final loss) first."""
+        rows = []
+        for i, (label, history) in enumerate(zip(self.labels, self.histories)):
+            final = history.final if history.records else None
+            rows.append(
+                {
+                    "config": i,
+                    "label": label,
+                    "final_train_loss": None if final is None else final.train_loss,
+                    "final_train_score": None if final is None else final.train_score,
+                    "epochs_run": len(history.records),
+                    "curve": [
+                        {
+                            "epoch": r.epoch,
+                            "train_loss": r.train_loss,
+                            "train_score": r.train_score,
+                        }
+                        for r in history.records
+                    ],
+                }
+            )
+        rows.sort(
+            key=lambda r: (
+                r["final_train_loss"] is None,
+                r["final_train_loss"],
+                r["config"],
+            )
+        )
+        for rank, row in enumerate(rows):
+            row["rank"] = rank
+        return rows
+
+    def describe(self) -> dict:
+        return {
+            "schedule": self.schedule.to_doc(),
+            "slots_run": self.slots_run,
+            "tuples_processed": self.tuples_processed,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "leaderboard": self.leaderboard(),
+            "plan": self.plan,
+        }
+
+
+class HopperEngine:
+    """Multi-process model-hopper training of S models over one block file."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        models: list,
+        *,
+        lrs: list,
+        decays: list,
+        epochs: int,
+        n_workers: int,
+        buffer_blocks: int = 2,
+        seed: int = 0,
+        labels: list | None = None,
+        checkpoint_path: str | Path | None = None,
+        checkpoint_every_slots: int = 1,
+        task: str = "binary",
+        on_slot=None,
+        start_method: str = "spawn",
+    ):
+        if not models:
+            raise ValueError("need at least one model")
+        if not (len(models) == len(lrs) == len(decays)):
+            raise ValueError("models, lrs and decays must align")
+        dims = {int(m.parameter_vector().size) for m in models}
+        if len(dims) != 1:
+            raise ValueError(
+                f"all hopper models must share one parameter dimension, got {sorted(dims)}"
+            )
+        self.path = str(path)
+        self.models = list(models)
+        self.lrs = [float(x) for x in lrs]
+        self.decays = [float(x) for x in decays]
+        self.labels = (
+            list(labels) if labels is not None else [f"config {i}" for i in range(len(models))]
+        )
+        self.epochs = int(epochs)
+        self.seed = int(seed)
+        self.checkpoint_path = None if checkpoint_path is None else Path(checkpoint_path)
+        self.checkpoint_every_slots = max(1, int(checkpoint_every_slots))
+        self.on_slot = on_slot
+        self.start_method = start_method
+        self.planner = ShardPlanner.for_block_file(
+            self.path, n_workers, buffer_blocks, seed=self.seed
+        )
+        self.schedule = HopperSchedule(
+            len(models), self.planner.n_workers, self.epochs
+        )
+        self.dim = dims.pop()
+        self.eval_set = load_block_dataset(self.path, task=task)
+
+    # ------------------------------------------------------------------
+    def run(self, resume: bool = False) -> HopperResult:
+        S = self.schedule.n_models
+        histories = [
+            ConvergenceHistory(strategy="hopper", model=type(m).__name__)
+            for m in self.models
+        ]
+        start_slot = 0
+        slab_init = np.stack([m.parameter_vector() for m in self.models])
+        if resume:
+            loaded = self._load_checkpoint(histories)
+            if loaded is not None:
+                start_slot, slab_init = loaded
+
+        ctx = mp.get_context(self.start_method)
+        slab_raw = alloc_vector(S * self.dim)
+        slab = slab_view(slab_raw, S)
+        slab[:, :] = slab_init
+        barrier = ctx.Barrier(self.planner.n_workers + 1)
+        stop = ctx.Event()
+        results = ctx.Queue()
+        blobs = tuple(model_to_bytes(m) for m in self.models)
+        procs = [
+            ctx.Process(
+                target=hopper_worker_main,
+                args=(
+                    HopperWorkerConfig(
+                        worker_id=w,
+                        n_workers=self.planner.n_workers,
+                        n_models=S,
+                        path=self.path,
+                        model_blobs=blobs,
+                        lrs=tuple(self.lrs),
+                        decays=tuple(self.decays),
+                        seed=self.seed,
+                        epochs=self.epochs,
+                        buffer_blocks=self.planner.buffer_blocks,
+                        start_slot=start_slot,
+                        extra={"trace": obs.enabled()},
+                    ),
+                    slab_raw,
+                    barrier,
+                    stop,
+                    results,
+                ),
+                daemon=True,
+                name=f"repro-hopper-w{w}",
+            )
+            for w in range(self.planner.n_workers)
+        ]
+        for proc in procs:
+            proc.start()
+
+        slot_walls: list[float] = []
+        slots_run = 0
+        t_start = time.perf_counter()
+        try:
+            for slot in range(start_slot, self.schedule.total_slots):
+                t0 = time.perf_counter()
+                with obs.span("hopper.coordinator_slot", slot=slot) as sp:
+                    self._rendezvous(barrier, results)  # A: workers step
+                    self._rendezvous(barrier, results)  # B: slab rows written
+                    self._evaluate_completions(slot, slab, histories)
+                    if (
+                        self.checkpoint_path is not None
+                        and (slot + 1 - start_slot) % self.checkpoint_every_slots == 0
+                    ):
+                        self._save_checkpoint(slot + 1, slab, histories)
+                    wall = time.perf_counter() - t0
+                    sp.set(wall_s=wall)
+                slot_walls.append(wall)
+                slots_run += 1
+                obs.inc("hopper.slots")
+                if self.on_slot is not None:
+                    self.on_slot(slot, self._progress_doc(slot + 1, histories))
+        except BaseException:
+            stop.set()
+            barrier.abort()
+            raise
+        finally:
+            per_worker, merged_loader, merged_storage, worker_tuples = self._collect(
+                procs, results, stop, barrier
+            )
+        wall_seconds = time.perf_counter() - t_start
+
+        for m, model in enumerate(self.models):
+            model.load_parameter_vector(slab[m].copy())
+        if self.checkpoint_path is not None:
+            self._save_checkpoint(self.schedule.total_slots, slab, histories)
+        return HopperResult(
+            models=self.models,
+            histories=histories,
+            labels=self.labels,
+            schedule=self.schedule,
+            slots_run=slots_run,
+            tuples_processed=worker_tuples,
+            slot_walls=slot_walls,
+            wall_seconds=wall_seconds,
+            loader_stats=merged_loader,
+            storage_stats=merged_storage,
+            per_worker=per_worker,
+            plan=self.planner.describe(),
+        )
+
+    # ------------------------------------------------------------------
+    def _evaluate_completions(self, slot, slab, histories) -> None:
+        ev = self.eval_set
+        for m in range(self.schedule.n_models):
+            epoch = self.schedule.completes_epoch(m, slot)
+            if epoch is None:
+                continue
+            model = self.models[m]
+            model.load_parameter_vector(slab[m].copy())
+            histories[m].append(
+                EpochRecord(
+                    epoch=epoch,
+                    lr=self.lrs[m] * self.decays[m] ** epoch,
+                    train_loss=model.loss(ev.X, ev.y),
+                    train_score=model.score(ev.X, ev.y),
+                    test_score=None,
+                    tuples_seen=(epoch + 1) * int(ev.n_tuples),
+                )
+            )
+            obs.inc("hopper.epochs_completed")
+
+    def _progress_doc(self, slots_done, histories) -> dict:
+        return {
+            "slots_done": int(slots_done),
+            "total_slots": self.schedule.total_slots,
+            "epochs_completed": [len(h.records) for h in histories],
+        }
+
+    # -- checkpointing ---------------------------------------------------
+    def _checkpoint_meta(self) -> dict:
+        return {
+            "n_models": self.schedule.n_models,
+            "n_workers": self.planner.n_workers,
+            "epochs": self.epochs,
+            "buffer_blocks": self.planner.buffer_blocks,
+            "seed": self.seed,
+        }
+
+    def _save_checkpoint(self, slots_done, slab, histories) -> None:
+        header = {
+            "hopper_checkpoint_version": _CKPT_VERSION,
+            "slots_done": int(slots_done),
+            "labels": self.labels,
+            "lrs": self.lrs,
+            "decays": self.decays,
+            "histories": [
+                [
+                    {
+                        "epoch": r.epoch,
+                        "lr": r.lr,
+                        "train_loss": r.train_loss,
+                        "train_score": r.train_score,
+                        "test_score": r.test_score,
+                        "tuples_seen": r.tuples_seen,
+                    }
+                    for r in h.records
+                ]
+                for h in histories
+            ],
+            "meta": self._checkpoint_meta(),
+        }
+        buffer = io.BytesIO()
+        np.savez(
+            buffer,
+            slab=np.asarray(slab, dtype=np.float64),
+            __header__=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        )
+        durable_write(self.checkpoint_path, buffer.getvalue())
+
+    def _load_checkpoint(self, histories):
+        """Restore ``(start_slot, slab)`` from disk; None if no checkpoint."""
+        if self.checkpoint_path is None or not self.checkpoint_path.exists():
+            return None
+        with np.load(io.BytesIO(self.checkpoint_path.read_bytes())) as archive:
+            header = json.loads(bytes(archive["__header__"].tobytes()).decode())
+            slab = np.array(archive["slab"], dtype=np.float64)
+        if header.get("hopper_checkpoint_version") != _CKPT_VERSION:
+            raise ValueError(
+                f"unsupported hopper checkpoint version "
+                f"{header.get('hopper_checkpoint_version')!r}"
+            )
+        meta = header.get("meta", {})
+        for knob, have in self._checkpoint_meta().items():
+            want = meta.get(knob)
+            if want is not None and want != have:
+                raise ValueError(
+                    f"hopper checkpoint was taken with {knob}={want!r}; resuming "
+                    f"with {have!r} would change the update sequence"
+                )
+        if slab.shape != (self.schedule.n_models, self.dim):
+            raise ValueError(
+                f"hopper checkpoint slab shape {slab.shape} does not match "
+                f"(S={self.schedule.n_models}, dim={self.dim})"
+            )
+        for h, records in zip(histories, header.get("histories", [])):
+            for record in records:
+                h.append(EpochRecord(**record))
+        return int(header["slots_done"]), slab
+
+    # -- worker management (same discipline as ParallelTrainer) ----------
+    def _rendezvous(self, barrier, results) -> None:
+        import threading
+
+        try:
+            barrier.wait(timeout=BARRIER_TIMEOUT_S)
+        except threading.BrokenBarrierError:
+            raise self._worker_failure(results) from None
+
+    def _worker_failure(self, results) -> WorkerError:
+        import queue as queue_mod
+
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            try:
+                msg = results.get(timeout=0.2)
+            except queue_mod.Empty:
+                continue
+            if msg[0] == "error":
+                return WorkerError(f"hopper worker {msg[1]} failed:\n{msg[2]}")
+        return WorkerError("a hopper worker died without reporting an error")
+
+    def _collect(self, procs, results, stop, barrier):
+        import queue as queue_mod
+
+        per_worker: list[dict] = []
+        merged_loader = LoaderMetrics("hopper")
+        merged_storage = StorageMetrics("hopper")
+        worker_tuples = 0
+        deadline = time.monotonic() + 60.0
+        got = 0
+        error: WorkerError | None = None
+        while got < len(procs) and time.monotonic() < deadline:
+            try:
+                msg = results.get(timeout=0.5)
+            except queue_mod.Empty:
+                if not any(p.is_alive() for p in procs) and results.empty():
+                    break
+                continue
+            if msg[0] == "error":
+                error = error or WorkerError(f"hopper worker {msg[1]} failed:\n{msg[2]}")
+                got += 1
+                continue
+            if msg[0] != "stats":
+                continue
+            _, worker_id, loader, storage, tuples_done, payload = msg
+            merged_loader.merge(loader)
+            merged_storage.merge(storage)
+            self._merge_obs_payload(worker_id, payload)
+            worker_tuples += int(tuples_done)
+            per_worker.append(
+                {
+                    "worker_id": worker_id,
+                    "tuples": int(tuples_done),
+                    "loader": loader.as_dict(),
+                    "storage": storage.as_dict(),
+                }
+            )
+            got += 1
+        for proc in procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():  # pragma: no cover - defensive reaping
+                proc.terminate()
+                proc.join(timeout=5.0)
+        per_worker.sort(key=lambda d: d["worker_id"])
+        if error is not None and not stop.is_set():
+            raise error
+        return per_worker, merged_loader, merged_storage, worker_tuples
+
+    @staticmethod
+    def _merge_obs_payload(worker_id: int, payload: dict | None) -> None:
+        if not payload:
+            return
+        tracer = payload.get("tracer")
+        if tracer is not None and obs.enabled():
+            obs.get_tracer().merge(tracer, worker=worker_id)
+        registry = payload.get("registry")
+        if registry is not None:
+            obs.get_registry().merge(registry)
+
+
+# ----------------------------------------------------------------------
+# In-process reference executor (equivalence tests + modeled bench wall)
+# ----------------------------------------------------------------------
+
+
+def run_hopper_inprocess(
+    path: str | Path,
+    models: list,
+    *,
+    lrs: list,
+    decays: list,
+    epochs: int,
+    n_workers: int,
+    buffer_blocks: int = 2,
+    seed: int = 0,
+    task: str = "binary",
+):
+    """Execute the hop schedule serially in this process.
+
+    Work units are independent across workers within a slot (distinct
+    models, private readers), so serial execution produces bit-identical
+    models to :class:`HopperEngine` while also timing every ``(slot,
+    worker)`` unit — the inputs to the modeled critical-path wall used by
+    ``bench_mop`` on single-core hosts.
+
+    Returns ``(models, histories, unit_times)`` where ``unit_times`` maps
+    ``(slot, worker) -> seconds`` for every *active* unit.
+    """
+    path = str(path)
+    planner = ShardPlanner.for_block_file(path, n_workers, buffer_blocks, seed=seed)
+    schedule = HopperSchedule(len(models), planner.n_workers, int(epochs))
+    eval_set = load_block_dataset(path, task=task)
+    histories = [
+        ConvergenceHistory(strategy="hopper-ref", model=type(m).__name__)
+        for m in models
+    ]
+    unit_times: dict[tuple[int, int], float] = {}
+    with BlockFileReader(path) as reader:
+        fetcher = ShardFetcher(reader, planner.tuples_per_block)
+        for slot in range(schedule.total_slots):
+            for worker in range(planner.n_workers):
+                m = schedule.model_at(worker, slot)
+                if m is None:
+                    continue
+                p = schedule.position(m, slot)
+                epoch = schedule.epoch_of(p)
+                lr = float(lrs[m]) * float(decays[m]) ** epoch
+                t0 = time.perf_counter()
+                for group, indices in planner.worker_buffer_fills(epoch, worker):
+                    X, y = fetcher.fetch_fill(group, indices)
+                    models[m].step_block(X, y, lr)
+                unit_times[(slot, worker)] = time.perf_counter() - t0
+            for m in range(schedule.n_models):
+                epoch = schedule.completes_epoch(m, slot)
+                if epoch is None:
+                    continue
+                histories[m].append(
+                    EpochRecord(
+                        epoch=epoch,
+                        lr=float(lrs[m]) * float(decays[m]) ** epoch,
+                        train_loss=models[m].loss(eval_set.X, eval_set.y),
+                        train_score=models[m].score(eval_set.X, eval_set.y),
+                        test_score=None,
+                        tuples_seen=(epoch + 1) * int(eval_set.n_tuples),
+                    )
+                )
+    return models, histories, unit_times
+
+
+def modeled_walls(schedule: HopperSchedule, unit_times: dict) -> dict:
+    """Critical-path wall model from per-unit serial timings.
+
+    * ``hopper_wall``: sum over slots of the slowest active unit in that
+      slot — what a perfectly-scheduled P-core host would take.
+    * ``serial_wall``: plain sum of all unit times — what S sequential
+      solo runs cost (they execute the same multiset of units).
+    """
+    per_slot: dict[int, float] = {}
+    for (slot, _worker), secs in unit_times.items():
+        per_slot[slot] = max(per_slot.get(slot, 0.0), secs)
+    hopper_wall = float(sum(per_slot.values()))
+    serial_wall = float(sum(unit_times.values()))
+    return {
+        "hopper_wall_s": hopper_wall,
+        "serial_wall_s": serial_wall,
+        "speedup": serial_wall / hopper_wall if hopper_wall > 0 else 0.0,
+        "bubble_ratio": schedule.bubble_ratio,
+        "slots": schedule.total_slots,
+    }

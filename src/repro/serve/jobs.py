@@ -100,11 +100,23 @@ class DaemonStopping(Exception):
     """Raised inside the training loop on graceful daemon shutdown."""
 
 
+def _l2_kwargs(spec: dict, l2=None) -> dict:
+    """The regulariser kwarg for a job's model, when the spec carries one."""
+    value = spec.get("l2") if l2 is None else l2
+    return {} if value is None else {"l2": float(value)}
+
+
 _MODEL_CONSTRUCTORS = {
-    "lr": lambda spec: LogisticRegression(spec["n_features"]),
-    "svm": lambda spec: LinearSVM(spec["n_features"]),
-    "linreg": lambda spec: LinearRegression(spec["n_features"]),
-    "softmax": lambda spec: SoftmaxRegression(spec["n_features"], spec["n_classes"]),
+    "lr": lambda spec, l2=None: LogisticRegression(
+        spec["n_features"], **_l2_kwargs(spec, l2)
+    ),
+    "svm": lambda spec, l2=None: LinearSVM(spec["n_features"], **_l2_kwargs(spec, l2)),
+    "linreg": lambda spec, l2=None: LinearRegression(
+        spec["n_features"], **_l2_kwargs(spec, l2)
+    ),
+    "softmax": lambda spec, l2=None: SoftmaxRegression(
+        spec["n_features"], spec["n_classes"], **_l2_kwargs(spec, l2)
+    ),
 }
 
 
@@ -163,7 +175,7 @@ class Job:
         keep = (
             "job_id", "session_id", "state", "sql", "table", "model",
             "strategy", "advisor", "where", "warm_start", "seed", "epochs",
-            "error", "result",
+            "error", "result", "spec", "grid", "grid_progress",
             "submitted_at", "started_at", "finished_at", "queue_wait_s",
         )
         return {k: spec.get(k) for k in keep if spec.get(k) is not None}
@@ -291,6 +303,12 @@ class JobManager:
             obs.inc("serve.jobs.rejected")
             raise Saturated(retry_after, depth)
 
+        # Canonical typed spec: validates the statement (bad grids, grid
+        # with WHERE, etc.) at admission and rides the journal/wire so any
+        # poll or post-crash recovery sees exactly what was asked for.
+        train_spec = query.spec()
+        train_spec.apply_to_query(query)
+
         dataset = table.dataset
         where_doc = None
         if query.where is not None:
@@ -298,35 +316,26 @@ class JobManager:
             # filtered subset, so the worker (and any post-crash incarnation)
             # trains exactly the rows that qualified at submit time, immune
             # to later DML on the session's table.
-            from ..db.where import (
-                choose_where_path,
-                index_qualifying_positions,
-                qualifying_positions,
-            )
+            from ..db.where import choose_where_path, plan_where_access
             from ..storage.iomodel import device_by_name
 
-            index = None
-            for column in query.where.columns():
-                cand = table.index_on(column)
-                if cand is not None and query.where.interval_for(column) is not None:
-                    index = cand
-                    break
-            positions = (
-                index_qualifying_positions(table, index, query.where)
-                if index is not None
-                else qualifying_positions(table, query.where)
+            device = device_by_name(self.device)
+            positions, index, access_doc = plan_where_access(
+                table, query.where, device
             )
             if len(positions) == 0:
                 raise ValueError(
                     f"TRAIN ... WHERE {query.where.render()} matches no tuples"
                 )
             where_doc = choose_where_path(
-                table, query.where, positions, device_by_name(self.device), index=index
+                table, query.where, positions, device, index=index,
+                access=access_doc["access"],
             )
+            where_doc.update(access_doc)
             where_doc["predicate_doc"] = query.where.to_doc()
             dataset = dataset.subset(positions, suffix="where")
 
-        warm_start = query.extra.get("warm_start")
+        warm_start = getattr(query, "warm_start", None) or query.extra.get("warm_start")
         warm_start_path = None
         if warm_start:
             warm_start_path = self._resolve_warm_start(str(warm_start), query)
@@ -350,14 +359,24 @@ class JobManager:
             )
             strategy = decision.strategy
             advisor_doc = decision.to_doc()
+        grid = train_spec.grid
+        hopper_workers = (
+            max(query.workers, grid.n_configs) if grid is not None else 1
+        )
         tuples_per_block = max(
             1, min(dataset.n_tuples, round(query.block_size / max(1.0, table.tuple_bytes)))
         )
         # Keep at least four blocks so the block shuffle has something to
-        # permute (mirrors the engine's parallel-path fair-share cap).
-        tuples_per_block = min(tuples_per_block, max(1, dataset.n_tuples // 4))
+        # permute (mirrors the engine's parallel-path fair-share cap).  A
+        # grid job shards the file across its hopper workers, so each of
+        # them needs that floor.
+        tuples_per_block = min(
+            tuples_per_block, max(1, dataset.n_tuples // (4 * hopper_workers))
+        )
         buffer_tuples = max(1, round(query.buffer_fraction * dataset.n_tuples))
-        buffer_blocks = max(1, round(buffer_tuples / tuples_per_block))
+        buffer_blocks = max(
+            1, round(buffer_tuples / (hopper_workers * tuples_per_block))
+        )
         with self._jobs_lock:
             self._counter += 1
             job_id = f"job_{self._counter}"
@@ -383,6 +402,10 @@ class JobManager:
             "epochs": query.max_epoch_num,
             "learning_rate": query.learning_rate,
             "decay": query.decay,
+            "l2": train_spec.l2,
+            "spec": train_spec.to_doc(),
+            "grid": None if grid is None else grid.to_doc(),
+            "hopper_workers": hopper_workers if grid is not None else None,
             "loader_batch": (
                 query.batch_size if query.batch_size > 1 else _DEFAULT_LOADER_BATCH
             ),
@@ -561,6 +584,8 @@ class JobManager:
     def _train(self, job: Job):
         """Run (or resume) one TRAIN job through the streaming trainer."""
         spec = job.spec
+        if spec.get("grid"):
+            return self._train_grid(job)
         model = _MODEL_CONSTRUCTORS[spec["model"]](spec)
         if spec.get("warm_start_path"):
             from ..ml.persistence import load_model
@@ -622,6 +647,72 @@ class JobManager:
             X, y = eval_set
             summary["final_train_loss"] = float(model.loss(X, y))
             summary["final_train_score"] = float(model.score(X, y))
+        return model, summary
+
+    def _train_grid(self, job: Job):
+        """Run (or resume) a ``TRAIN ... WITH grid`` job via the model hopper.
+
+        Progress is journalled per sub-epoch slot (``grid_progress``), the
+        hopper checkpoint lives at the job's usual ``.ckpt.npz`` path, and a
+        SIGKILL + ``recover()`` resumes the slot loop bit-exactly — the
+        same durability contract as a plain streaming job.
+        """
+        from ..db.spec import TrainSpec
+        from ..parallel import HopperEngine
+
+        spec = job.spec
+        tspec = TrainSpec.from_doc(spec["spec"])
+        configs = tspec.grid.configs()
+        resolved = [c.resolve(tspec) for c in configs]
+        models = [
+            _MODEL_CONSTRUCTORS[spec["model"]](spec, l2=r["l2"]) for r in resolved
+        ]
+        stop = self._stop
+
+        def on_slot(slot: int, progress: dict) -> None:
+            if stop.is_set():
+                raise DaemonStopping()
+            if job.cancel_event.is_set():
+                raise JobCancelled()
+            job.transition(job.state, grid_progress=progress)
+
+        result = HopperEngine(
+            job.blocks_path,
+            models,
+            lrs=[r["lr"] for r in resolved],
+            decays=[r["decay"] for r in resolved],
+            epochs=spec["epochs"],
+            n_workers=spec["hopper_workers"],
+            buffer_blocks=spec["buffer_blocks"],
+            seed=spec["seed"],
+            labels=[c.label() for c in configs],
+            checkpoint_path=job.ckpt_path,
+            task=spec.get("task", "binary"),
+            on_slot=on_slot,
+        ).run(resume=True)
+        leaderboard = result.leaderboard()
+        best = leaderboard[0]
+        model = result.models[best["config"]]
+        summary = {
+            "epochs": spec["epochs"],
+            "tuples_seen": result.tuples_processed,
+            "schedule": result.schedule.to_doc(),
+            "grid": {
+                "n_configs": len(configs),
+                "best": {k: v for k, v in best.items() if k != "curve"},
+                "leaderboard": [
+                    {k: v for k, v in row.items() if k != "curve"}
+                    for row in leaderboard
+                ],
+            },
+            "observed": {
+                "slot_wall_s": [round(w, 6) for w in result.slot_walls],
+                "total_wall_s": round(result.wall_seconds, 6),
+            },
+        }
+        if best["final_train_loss"] is not None:
+            summary["final_train_loss"] = best["final_train_loss"]
+            summary["final_train_score"] = best["final_train_score"]
         return model, summary
 
     def _interruptible(self, loader, job: Job):

@@ -33,6 +33,7 @@ from .. import obs
 from ..ml.persistence import durable_write, model_from_bytes
 from .jobs import JobManager
 from .protocol import (
+    MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
     ConnectionClosed,
     ProtocolError,
@@ -221,14 +222,20 @@ class ReproServer:
             with contextlib.suppress(ConnectionClosed):
                 send_frame(conn, err("bad_handshake", "first frame must be hello"))
             return None
-        if hello.get("version") != PROTOCOL_VERSION:
+        client_version = hello.get("version")
+        if (
+            not isinstance(client_version, int)
+            or not MIN_PROTOCOL_VERSION <= client_version <= PROTOCOL_VERSION
+        ):
             with contextlib.suppress(ConnectionClosed):
                 send_frame(
                     conn,
                     err(
                         "version_mismatch",
-                        f"server speaks protocol {PROTOCOL_VERSION}",
+                        f"server speaks protocols "
+                        f"{MIN_PROTOCOL_VERSION}..{PROTOCOL_VERSION}",
                         server_version=PROTOCOL_VERSION,
+                        min_version=MIN_PROTOCOL_VERSION,
                     ),
                 )
             return None
@@ -242,7 +249,7 @@ class ReproServer:
         try:
             send_frame(
                 conn,
-                ok(session=session_id, version=PROTOCOL_VERSION),
+                ok(session=session_id, version=client_version),
             )
         except ConnectionClosed:
             return None

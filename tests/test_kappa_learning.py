@@ -1,0 +1,173 @@
+"""The advisor's κ feedback loop: learn the clustering penalty from walls.
+
+The cost model prices one epoch of a strategy as
+``epoch_io_s * (1 + κ*(h_eff − 1))``.  κ ships with a calibrated default;
+once the engine has recorded at least :data:`MIN_KAPPA_EPOCHS` epochs of
+per-epoch walls for a table, ``advise_strategy(history=...)`` refits κ by
+weighted least squares through the origin and re-costs the candidates.
+These tests pin the fit arithmetic, the guard rails (too little signal,
+no-signal observations, the ``[0, KAPPA_MAX]`` clamp), the provenance
+stamped on the decision, and the engine wiring that records the history.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import clustered_by_label, make_binary_dense
+from repro.db import MiniDB, parse_query
+from repro.db.advisor import (
+    KAPPA_MAX,
+    MIN_KAPPA_EPOCHS,
+    PENALTY_EPOCHS_PER_HD,
+    StrategyCost,
+    advise_strategy,
+    learn_kappa,
+)
+from repro.db.catalog import Catalog
+from repro.storage import HDD
+
+
+def _cost(strategy="block_only", epoch_io_s=2.0, h_eff=3.0):
+    return StrategyCost(
+        strategy=strategy,
+        setup_s=0.0,
+        epoch_io_s=epoch_io_s,
+        effective_hd=h_eff,
+        epoch_multiplier=1.0 + PENALTY_EPOCHS_PER_HD * (h_eff - 1.0),
+        total_s=0.0,
+    )
+
+
+class TestLearnKappa:
+    def test_exact_fit_recovers_kappa(self):
+        # Walls manufactured from the model with κ = 0.5:
+        # wall = io * (1 + 0.5*(h_eff - 1)) = 2.0 * 2.0 = 4.0
+        costs = (_cost(epoch_io_s=2.0, h_eff=3.0),)
+        obs = [{"strategy": "block_only", "epoch_wall_s": [4.0, 4.0, 4.0]}]
+        kappa, n, source = learn_kappa(obs, costs)
+        assert source == "observed"
+        assert n == 3
+        assert kappa == pytest.approx(0.5)
+
+    def test_weighted_fit_across_runs(self):
+        # Two runs at different (io, h_eff) points, both on the κ=0.8 line.
+        costs = (
+            _cost("block_only", epoch_io_s=2.0, h_eff=3.0),
+            _cost("mrs_once", epoch_io_s=1.0, h_eff=2.0),
+        )
+        obs = [
+            {"strategy": "block_only", "epoch_wall_s": [2.0 * (1 + 0.8 * 2)] * 2},
+            {"strategy": "mrs_once", "epoch_wall_s": [1.0 * (1 + 0.8 * 1)] * 4},
+        ]
+        kappa, n, source = learn_kappa(obs, costs)
+        assert source == "observed"
+        assert n == 6
+        assert kappa == pytest.approx(0.8)
+
+    def test_too_few_epochs_falls_back_to_default(self):
+        costs = (_cost(),)
+        obs = [{"strategy": "block_only", "epoch_wall_s": [4.0]}]
+        assert MIN_KAPPA_EPOCHS == 2
+        kappa, n, source = learn_kappa(obs, costs)
+        assert (kappa, n, source) == (PENALTY_EPOCHS_PER_HD, 1, "default")
+
+    def test_no_signal_observations_skipped(self):
+        # h_eff == 1 (unclustered): x = 0, carries no slope information.
+        costs = (_cost("corgipile", epoch_io_s=2.0, h_eff=1.0),)
+        obs = [{"strategy": "corgipile", "epoch_wall_s": [2.0, 2.0, 2.0]}]
+        kappa, n, source = learn_kappa(obs, costs)
+        assert source == "default"
+        assert n == 0
+
+    def test_unknown_strategy_and_empty_walls_skipped(self):
+        costs = (_cost(),)
+        obs = [
+            {"strategy": "nope", "epoch_wall_s": [4.0, 4.0]},
+            {"strategy": "block_only", "epoch_wall_s": []},
+            {"strategy": "block_only"},
+        ]
+        assert learn_kappa(obs, costs)[2] == "default"
+
+    def test_clamped_to_zero_and_kappa_max(self):
+        costs = (_cost(epoch_io_s=2.0, h_eff=3.0),)
+        # Walls *below* the pure-IO floor → negative slope → clamp to 0.
+        low = [{"strategy": "block_only", "epoch_wall_s": [1.0, 1.0]}]
+        assert learn_kappa(low, costs)[0] == 0.0
+        # Walls far above the model's reach → clamp to KAPPA_MAX.
+        high = [{"strategy": "block_only", "epoch_wall_s": [100.0, 100.0]}]
+        assert learn_kappa(high, costs)[0] == KAPPA_MAX
+
+    def test_custom_default_passed_through(self):
+        kappa, _n, source = learn_kappa([], (), default=0.77)
+        assert (kappa, source) == (0.77, "default")
+
+
+class TestAdvisorHistoryPath:
+    @pytest.fixture(scope="class")
+    def table(self):
+        dataset = clustered_by_label(make_binary_dense(2000, 8, seed=3), seed=3)
+        return Catalog(page_bytes=1024).create_table("t", dataset)
+
+    def test_decision_without_history_stamps_default(self, table):
+        decision = advise_strategy(table, HDD, block_bytes=64 * 1024)
+        assert decision.kappa == PENALTY_EPOCHS_PER_HD
+        assert decision.kappa_source == "default"
+        assert decision.kappa_observations == 0
+        doc = decision.to_doc()
+        assert doc["kappa"]["source"] == "default"
+
+    def test_history_refits_and_stamps_provenance(self, table):
+        base = advise_strategy(table, HDD, block_bytes=64 * 1024)
+        cost = next(c for c in base.costs if c.effective_hd > 1.0)
+        target = 0.9
+        wall = cost.epoch_io_s * (1.0 + target * (cost.effective_hd - 1.0))
+        history = [{"strategy": cost.strategy, "epoch_wall_s": [wall] * 3}]
+        decision = advise_strategy(
+            table, HDD, block_bytes=64 * 1024, history=history
+        )
+        assert decision.kappa_source == "observed"
+        assert decision.kappa_observations == 3
+        assert decision.kappa == pytest.approx(target, rel=1e-6)
+        # The costs were actually recomputed with the learned κ.
+        refit = next(c for c in decision.costs if c.strategy == cost.strategy)
+        assert refit.epoch_multiplier == pytest.approx(
+            1.0 + decision.kappa * (refit.effective_hd - 1.0)
+        )
+
+    def test_doc_round_trip_keeps_kappa(self, table):
+        decision = advise_strategy(table, HDD, block_bytes=64 * 1024)
+        from repro.db.advisor import AdvisorDecision
+
+        clone = AdvisorDecision.from_doc(decision.to_doc())
+        assert clone.kappa == decision.kappa
+        assert clone.kappa_source == decision.kappa_source
+
+
+class TestEngineRecordsHistory:
+    def test_train_auto_twice_learns_kappa(self, dense_binary):
+        """Two strategy=auto TRAINs on one table: the first records its
+        simulated per-epoch walls, the second's advisor decision carries
+        observed-κ provenance."""
+        db = MiniDB(page_bytes=1024)
+        db.create_table("t", clustered_by_label(dense_binary, seed=1))
+        sql = (
+            "SELECT * FROM t TRAIN BY lr WITH strategy = auto, "
+            "max_epoch_num = 3, block_size = 8KB, seed = 1"
+        )
+        first = db.execute(sql)
+        assert first.query.extra["advisor"]["kappa"]["source"] == "default"
+        second = db.execute(sql)
+        kappa_doc = second.query.extra["advisor"]["kappa"]
+        assert kappa_doc["n_observations"] >= MIN_KAPPA_EPOCHS
+        assert kappa_doc["source"] in ("observed", "default")
+        # With three full simulated epochs of the chosen strategy the fit
+        # must have engaged unless the observations carried no h_eff signal.
+        chosen = first.query.extra["advisor"]["strategy"]
+        cost = next(
+            c
+            for c in first.query.extra["advisor"]["costs"]
+            if c["strategy"] == chosen
+        )
+        if cost["effective_hd"] > 1.0:
+            assert kappa_doc["source"] == "observed"

@@ -483,3 +483,153 @@ class TestAdvisorOverTheWire:
         assert final["state"] == "done"
         assert final["strategy"] == "corgipile"
         assert "advisor" not in final
+
+
+# ======================================================================
+# Protocol v2 negotiation
+# ======================================================================
+
+
+class TestProtocolNegotiation:
+    def _raw_hello(self, server, version):
+        with socket.create_connection((server.host, server.port), timeout=10) as sock:
+            send_frame(sock, {"type": "hello", "version": version})
+            reply = recv_frame(sock)
+            if reply.get("ok"):
+                send_frame(sock, {"type": "bye"})
+                recv_frame(sock)
+            return reply
+
+    def test_v2_hello_negotiates_v2(self, server):
+        reply = self._raw_hello(server, 2)
+        assert reply["ok"] and reply["version"] == 2
+
+    def test_v1_client_still_connects(self, server):
+        """Old clients keep working: the reply echoes their version and the
+        v2-only payload fields are extras they never read."""
+        reply = self._raw_hello(server, 1)
+        assert reply["ok"] and reply["version"] == 1
+
+    def test_future_version_rejected_with_range(self, server):
+        reply = self._raw_hello(server, 99)
+        assert not reply["ok"]
+        assert reply["code"] == "version_mismatch"
+        assert reply["server_version"] == 2
+        assert reply["min_version"] == 1
+
+    def test_non_integer_version_rejected(self, server):
+        reply = self._raw_hello(server, "two")
+        assert not reply["ok"] and reply["code"] == "version_mismatch"
+
+
+# ======================================================================
+# Grid TRAIN jobs over the wire
+# ======================================================================
+
+GRID_TRAIN_SQL = (
+    "SELECT * FROM susy TRAIN BY lr "
+    "WITH max_epoch_num = 2, block_size = 16KB, buffer_fraction = 0.2, seed = 3, "
+    "grid = (learning_rate = 0.1 | 0.01, l2 = 0 | 0.0001)"
+)
+
+
+class TestGridJobs:
+    def test_grid_job_round_trip(self, server):
+        with connect(server) as client:
+            client.load("susy")
+            job_id = client.submit(GRID_TRAIN_SQL)
+            final = client.wait(job_id, timeout=300)
+            assert final["state"] == "done", final.get("error")
+
+            # The canonical TrainSpec document travels with the status.
+            assert final["spec"]["grid"]["n_configs"] == 4
+            assert final["grid"]["n_configs"] == 4
+
+            result = final["result"]
+            leaderboard = result["grid"]["leaderboard"]
+            assert len(leaderboard) == 4
+            assert [row["rank"] for row in leaderboard] == [0, 1, 2, 3]
+            losses = [row["final_train_loss"] for row in leaderboard]
+            assert losses == sorted(losses)
+            assert result["grid"]["best"]["config"] == leaderboard[0]["config"]
+            assert result["schedule"]["n_models"] == 4
+
+            # Slot progress was journalled along the way.
+            progress = final["grid_progress"]
+            assert progress["slots_done"] == progress["total_slots"]
+            assert progress["epochs_completed"] == [2, 2, 2, 2]
+
+            # The winner is addressable like any finished job's model.
+            pred = client.sql(f"SELECT * FROM susy PREDICT BY {job_id}")
+            assert pred["n_predictions"] > 0
+            model = client.fetch_model(job_id)
+            assert model.w.size > 0
+
+    def test_grid_sigkill_restart_resumes_bit_exact(self, tmp_path):
+        grid_resume_sql = GRID_TRAIN_SQL.replace(
+            "max_epoch_num = 2", "max_epoch_num = 6"
+        )
+        # --- Reference: the same grid, uninterrupted. --------------------
+        ref_dir = tmp_path / "reference"
+        proc = spawn_daemon(ref_dir)
+        try:
+            with connect_to_dir(ref_dir) as client:
+                client.load("susy")
+                job_id = client.submit(grid_resume_sql)
+                ref_final = client.wait(job_id, timeout=600)
+                assert ref_final["state"] == "done"
+                reference = client.fetch_model(job_id)
+                client.shutdown()
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+        # --- Victim: SIGKILL once the slot checkpoint exists. ------------
+        crash_dir = tmp_path / "crash"
+        proc = spawn_daemon(crash_dir)
+        try:
+            with connect_to_dir(crash_dir) as client:
+                client.load("susy")
+                job_id = client.submit(grid_resume_sql)
+            ckpt = crash_dir / "jobs" / f"{job_id}.ckpt.npz"
+            deadline = time.monotonic() + 120
+            while not ckpt.exists():
+                assert time.monotonic() < deadline, "no checkpoint before kill"
+                assert proc.poll() is None
+                time.sleep(0.01)
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+
+            proc = spawn_daemon(crash_dir)
+            with connect_to_dir(crash_dir) as client:
+                final = client.wait(job_id, timeout=600)
+                assert final["state"] == "done"
+                resumed = client.fetch_model(job_id)
+                client.shutdown()
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+        # Bit-exact winner, identical leaderboard.
+        np.testing.assert_array_equal(resumed.w, reference.w)
+        assert resumed.b == reference.b
+        ref_rows = ref_final["result"]["grid"]["leaderboard"]
+        res_rows = final["result"]["grid"]["leaderboard"]
+        assert [r["config"] for r in res_rows] == [r["config"] for r in ref_rows]
+        assert [r["final_train_loss"] for r in res_rows] == [
+            r["final_train_loss"] for r in ref_rows
+        ]
+
+    def test_grid_where_combination_rejected(self, server):
+        with connect(server) as client:
+            client.load("susy")
+            with pytest.raises(ServerError, match="grid"):
+                client.submit(
+                    "SELECT * FROM susy WHERE f0 >= 0 TRAIN BY lr "
+                    "WITH max_epoch_num = 1, block_size = 16KB, "
+                    "grid = (lr = 0.1 | 0.01)"
+                )

@@ -1,0 +1,151 @@
+"""Composite WHERE planning: costed access paths and the supported shape.
+
+``plan_where_access`` enumerates scan / per-index probe / multi-index
+intersection for an AND-of-ranges predicate, charges each by the pages its
+candidate set touches, and resolves positions through the cheapest — every
+path must return the *same* positions, only the charged I/O differs.  A
+``!=`` term has no range form and now fails loudly with
+:class:`UnsupportedPredicateError` instead of silently scanning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_binary_dense
+from repro.db import MiniDB, parse_query
+from repro.db.catalog import Catalog
+from repro.db.errors import UnsupportedPredicateError
+from repro.db.query import CreateIndexQuery, parse_predicate
+from repro.db.where import (
+    check_supported_shape,
+    plan_where_access,
+    qualifying_positions,
+)
+from repro.storage import SSD
+
+
+@pytest.fixture(scope="module")
+def banded():
+    """f0 ascending and f1 descending with position, so ``f0 >= a AND
+    f1 >= b`` is a narrow contiguous band while each single-column range
+    covers about half the table — the shape where the intersection path
+    beats both single probes and the scan."""
+    dataset = make_binary_dense(800, 4, seed=0)
+    dataset.X[:, 0] = np.linspace(0.0, 1.0, 800)
+    dataset.X[:, 1] = np.linspace(1.0, 0.0, 800)
+    return dataset
+
+
+def _db(dataset, *indexes):
+    db = MiniDB(page_bytes=1024)
+    db.create_table("t", dataset)
+    for column in indexes:
+        db.create_index(CreateIndexQuery(name=f"ix_{column}", table="t", column=column))
+    return db
+
+
+BAND_PRED = "f0 >= 0.4 AND f1 >= 0.5"  # positions [320, 400]: one tight band
+
+
+class TestPlanWhereAccess:
+    def test_all_paths_enumerated_and_costed(self, banded):
+        db = _db(banded, "f0", "f1")
+        table = db.catalog.get("t")
+        predicate = parse_predicate(BAND_PRED)
+        positions, index, doc = plan_where_access(table, predicate, SSD)
+        assert set(doc["paths"]) == {"scan", "index:ix_f0", "index:ix_f1", "intersect"}
+        for path in doc["paths"].values():
+            assert path["est_s"] >= 0.0
+        assert doc["paths"]["intersect"]["indexes"] == ["ix_f0", "ix_f1"]
+        # The intersection's candidate set is the band, far smaller than
+        # either single-column range.
+        n_inter = doc["paths"]["intersect"]["n_candidates"]
+        assert n_inter < doc["paths"]["index:ix_f0"]["n_candidates"]
+        assert n_inter < doc["paths"]["index:ix_f1"]["n_candidates"]
+
+    def test_intersect_wins_on_the_band(self, banded):
+        db = _db(banded, "f0", "f1")
+        table = db.catalog.get("t")
+        positions, index, doc = plan_where_access(
+            table, parse_predicate(BAND_PRED), SSD
+        )
+        assert doc["access"] == "intersect"
+        assert index is None  # intersect path carries no single probe index
+        costs = doc["paths"]
+        assert costs["intersect"]["est_s"] < costs["scan"]["est_s"]
+        assert costs["intersect"]["est_s"] < costs["index:ix_f0"]["est_s"]
+
+    def test_every_path_returns_identical_positions(self, banded):
+        """The access choice changes charged I/O, never the answer."""
+        predicate = parse_predicate(BAND_PRED)
+        expected = None
+        for indexes in ((), ("f0",), ("f1",), ("f0", "f1")):
+            table = _db(banded, *indexes).catalog.get("t")
+            positions, _index, _doc = plan_where_access(table, predicate, SSD)
+            reference = qualifying_positions(table, predicate)
+            assert np.array_equal(positions, reference)
+            if expected is None:
+                expected = np.asarray(positions)
+            else:
+                assert np.array_equal(positions, expected)
+
+    def test_no_index_falls_back_to_scan(self, banded):
+        table = _db(banded).catalog.get("t")
+        _positions, index, doc = plan_where_access(
+            table, parse_predicate(BAND_PRED), SSD
+        )
+        assert doc["access"] == "scan"
+        assert index is None
+        assert set(doc["paths"]) == {"scan"}
+
+
+class TestUnsupportedShape:
+    def test_not_equal_raises_typed_error(self):
+        with pytest.raises(UnsupportedPredicateError, match="range form"):
+            check_supported_shape(parse_predicate("f0 != 0.5"))
+
+    def test_not_equal_in_conjunction_raises(self):
+        with pytest.raises(UnsupportedPredicateError):
+            check_supported_shape(parse_predicate("f0 >= 0 AND f1 != 1"))
+
+    def test_train_where_rejects_not_equal(self, banded):
+        db = _db(banded, "f0")
+        query = parse_query(
+            "SELECT * FROM t WHERE f0 != 0.5 TRAIN BY lr WITH max_epoch_num = 1, "
+            "block_size = 8KB"
+        )
+        with pytest.raises(UnsupportedPredicateError):
+            db.train(query)
+
+    def test_ranges_still_accepted(self):
+        check_supported_shape(parse_predicate("f0 >= 0 AND f0 < 1 AND label = 1"))
+
+
+class TestEngineIntegration:
+    def test_access_doc_lands_in_where_extra(self, banded):
+        db = _db(banded, "f0", "f1")
+        result = db.execute(
+            f"SELECT * FROM t WHERE {BAND_PRED} TRAIN BY lr "
+            "WITH max_epoch_num = 1, block_size = 8KB, seed = 2"
+        )
+        where_doc = result.query.extra["where"]
+        assert where_doc["access"] == "intersect"
+        assert "paths" in where_doc and "intersect" in where_doc["paths"]
+        # plan_where_access settled candidate enumeration, so the physical
+        # fetch positions straight into the qualifying pages.
+        assert where_doc["fetch"] == "index"
+
+    def test_explain_renders_costed_path_table(self, banded):
+        db = _db(banded, "f0", "f1")
+        plan = db.explain(
+            parse_query(
+                f"SELECT * FROM t WHERE {BAND_PRED} TRAIN BY lr "
+                "WITH max_epoch_num = 1, block_size = 8KB"
+            )
+        )
+        assert "intersect" in plan
+        assert "=> " in plan  # the chosen-path marker
+        for name in ("scan", "index:ix_f0", "index:ix_f1"):
+            assert name in plan
